@@ -1,0 +1,322 @@
+//! DASP (Lu & Liu, SC '23): the first tensor-core SpMV, built on the
+//! Volta-native `mma.sync.m8n8k4` primitive with long/medium/short row
+//! bucketing.
+//!
+//! Rows are sorted by degree into buckets and packed in groups of eight;
+//! each MMA step multiplies an 8×4 tile of matrix values against a 4×8
+//! operand of gathered `x` values arranged so the *diagonal* of the result
+//! carries the eight row partial sums — 8 useful outputs per MMA, which is
+//! why Spaden's 16-per-MMA packing "is a double of DASP's throughput".
+//! Values are stored in f16 with per-tile padding; the padded tiles plus
+//! per-element column indices and the row permutation give DASP the
+//! highest conversion time and a ~12 B/nnz footprint (Figure 10).
+//!
+//! `m8n8k4` is "optimized for the architecture of V100" and substantially
+//! slower on later architectures (PTX ISA note) — the timing model's
+//! per-architecture MMA rates reproduce the paper's V100/L40 contrast.
+
+use spaden::engine::{timed, PrepStats, SpmvEngine, SpmvRun};
+use spaden_gpusim::exec::{WarpCtx, WARP_SIZE};
+use spaden_gpusim::half::F16;
+use spaden_gpusim::memory::{DeviceBuffer, DeviceOutput};
+use spaden_gpusim::mma::mma_m8n8k4;
+use spaden_gpusim::Gpu;
+use spaden_sparse::csr::Csr;
+
+/// Rows per MMA group (M of `m8n8k4`).
+const GROUP_ROWS: usize = 8;
+/// Columns consumed per MMA step (K of `m8n8k4`).
+const STEP_K: usize = 4;
+/// Column sentinel marking a padding slot.
+const PAD_COL: u32 = u32::MAX;
+
+/// Row-degree classes, DASP's bucketing (§2.1: "categorizing rows into
+/// long, medium, and short for tailored processing").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowClass {
+    /// More than 128 nonzeros: processed over many MMA steps.
+    Long,
+    /// 17–128 nonzeros.
+    Medium,
+    /// At most 16 nonzeros.
+    Short,
+}
+
+impl RowClass {
+    /// Classifies a row by nonzero count.
+    pub fn of(nnz: usize) -> RowClass {
+        match nnz {
+            0..=16 => RowClass::Short,
+            17..=128 => RowClass::Medium,
+            _ => RowClass::Long,
+        }
+    }
+}
+
+struct Group {
+    /// Offset of this group's tiles in the value/col arrays (elements).
+    tile_base: u32,
+    /// MMA steps (padded row length / 4).
+    steps: u32,
+    /// Original row indices (u32::MAX for padding rows).
+    rows: [u32; GROUP_ROWS],
+}
+
+/// DASP engine: degree-sorted, tile-padded f16 matrix on device.
+pub struct DaspEngine {
+    prep: PrepStats,
+    nrows: usize,
+    ncols: usize,
+    nnz: usize,
+    groups: Vec<Group>,
+    d_values: DeviceBuffer<F16>,
+    d_cols: DeviceBuffer<u32>,
+}
+
+impl DaspEngine {
+    /// Converts `csr` into DASP's bucketed tile layout (timed — the
+    /// heaviest preprocessing in Figure 10a).
+    pub fn prepare(gpu: &Gpu, csr: &Csr) -> Self {
+        let ((values, cols, groups), seconds) = timed(|| Self::convert(csr));
+        // Footprint: padded f16 values + padded u32 columns + group
+        // metadata + the row permutation held during conversion.
+        let device_bytes = (values.len() * 2
+            + cols.len() * 4
+            + groups.len() * std::mem::size_of::<Group>()
+            + csr.nrows * 4) as u64;
+        DaspEngine {
+            prep: PrepStats { seconds, device_bytes },
+            nrows: csr.nrows,
+            ncols: csr.ncols,
+            nnz: csr.nnz(),
+            groups,
+            d_values: gpu.alloc(values),
+            d_cols: gpu.alloc(cols),
+        }
+    }
+
+    fn convert(csr: &Csr) -> (Vec<F16>, Vec<u32>, Vec<Group>) {
+        // Sort rows by degree (descending) so groups are balanced — the
+        // bucketing: long rows first, then medium, then short.
+        let mut order: Vec<u32> = (0..csr.nrows as u32).collect();
+        order.sort_by_key(|&r| std::cmp::Reverse(csr.row_nnz(r as usize)));
+
+        let mut values: Vec<F16> = Vec::with_capacity(csr.nnz() * 5 / 4);
+        let mut cols: Vec<u32> = Vec::with_capacity(csr.nnz() * 5 / 4);
+        let mut groups = Vec::with_capacity(csr.nrows.div_ceil(GROUP_ROWS));
+
+        for chunk in order.chunks(GROUP_ROWS) {
+            let max_deg = chunk
+                .iter()
+                .map(|&r| csr.row_nnz(r as usize))
+                .max()
+                .unwrap_or(0);
+            let steps = max_deg.div_ceil(STEP_K).max(1);
+            let tile_base = values.len() as u32;
+            // Tile-major layout: step s holds rows 0..8 × k 0..4
+            // consecutively, so a warp's step load is one 64 B burst.
+            values.resize(values.len() + steps * GROUP_ROWS * STEP_K, F16::ZERO);
+            cols.resize(cols.len() + steps * GROUP_ROWS * STEP_K, PAD_COL);
+            let mut rows = [u32::MAX; GROUP_ROWS];
+            for (g, &r) in chunk.iter().enumerate() {
+                rows[g] = r;
+                let (rc, rv) = csr.row(r as usize);
+                for (e, (&c, &v)) in rc.iter().zip(rv).enumerate() {
+                    let s = e / STEP_K;
+                    let k = e % STEP_K;
+                    let slot = tile_base as usize + s * GROUP_ROWS * STEP_K + g * STEP_K + k;
+                    values[slot] = F16::from_f32(v);
+                    cols[slot] = c;
+                }
+            }
+            groups.push(Group { tile_base, steps: steps as u32, rows });
+        }
+        (values, cols, groups)
+    }
+
+    /// Fraction of device value slots that are padding (diagnostics).
+    pub fn padding_ratio(&self) -> f64 {
+        let total = self.d_values.len();
+        if total == 0 {
+            0.0
+        } else {
+            1.0 - self.nnz as f64 / total as f64
+        }
+    }
+
+    fn run_warp(&self, ctx: &mut WarpCtx, d_x: &DeviceBuffer<f32>, y: &DeviceOutput) {
+        let group = &self.groups[ctx.warp_id];
+        let mut row_acc = [0.0f32; GROUP_ROWS];
+        for s in 0..group.steps as usize {
+            ctx.ops(2);
+            let base = group.tile_base as usize + s * GROUP_ROWS * STEP_K;
+            // 32 consecutive f16 values (64 B) + 32 u32 columns (128 B).
+            let mut idx = [None; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                idx[l] = Some((base + l) as u32);
+            }
+            let vals = ctx.gather(&self.d_values, &idx);
+            let cs = ctx.gather(&self.d_cols, &idx);
+            let mut xidx = [None; WARP_SIZE];
+            for l in 0..WARP_SIZE {
+                if cs[l] != PAD_COL {
+                    xidx[l] = Some(cs[l]);
+                }
+            }
+            let xs = ctx.gather(d_x, &xidx);
+
+            // Pack the m8n8k4 operands: A[r][k] = tile value, B[k][n] =
+            // x value for output row n at depth k. The diagonal of D is
+            // the 8 row partial sums.
+            let mut a = [0.0f32; 32];
+            let mut b = [0.0f32; 32];
+            for r in 0..GROUP_ROWS {
+                for k in 0..STEP_K {
+                    let l = r * STEP_K + k;
+                    a[r * STEP_K + k] = vals[l].to_f32();
+                    b[k * GROUP_ROWS + r] = if xidx[l].is_some() { xs[l] } else { 0.0 };
+                }
+            }
+            ctx.ops(4); // operand packing moves
+            ctx.mma_m8n8k4_issue(1);
+            let d = mma_m8n8k4(&a, &b, &[0.0; 64]);
+            for r in 0..GROUP_ROWS {
+                row_acc[r] += d[r * GROUP_ROWS + r];
+            }
+            ctx.ops(1); // diagonal accumulate
+        }
+
+        // Store through the row permutation (scattered: DASP's output is
+        // not contiguous, one of its costs).
+        ctx.ops(2);
+        let mut writes = [None; WARP_SIZE];
+        for (g, &r) in group.rows.iter().enumerate() {
+            if r != u32::MAX {
+                writes[g] = Some((r, row_acc[g]));
+            }
+        }
+        ctx.scatter(y, &writes);
+    }
+}
+
+impl SpmvEngine for DaspEngine {
+    fn name(&self) -> &'static str {
+        "DASP"
+    }
+
+    fn prep(&self) -> PrepStats {
+        self.prep
+    }
+
+    fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    fn run(&self, gpu: &Gpu, x: &[f32]) -> SpmvRun {
+        assert_eq!(x.len(), self.ncols, "x length mismatch");
+        let d_x = gpu.alloc(x.to_vec());
+        let y = gpu.alloc_output(self.nrows);
+        let counters = gpu.launch(self.groups.len(), |ctx| self.run_warp(ctx, &d_x, &y));
+        SpmvRun::new(y.to_vec(), counters, gpu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spaden_gpusim::GpuConfig;
+    use spaden_sparse::gen;
+
+    fn check(csr: &Csr, x: &[f32]) {
+        let gpu = Gpu::new(GpuConfig::v100());
+        let run = DaspEngine::prepare(&gpu, csr).run(&gpu, x);
+        let oracle = csr.spmv_f64(x).unwrap();
+        for (r, (a, o)) in run.y.iter().zip(&oracle).enumerate() {
+            let scale: f64 = csr.row_nnz(r) as f64 * 4.0;
+            let tol = scale * 2.0f64.powi(-10) + 1e-3;
+            assert!(((*a as f64) - o).abs() <= tol, "row {r}: {a} vs {o}");
+        }
+    }
+
+    #[test]
+    fn row_classes() {
+        assert_eq!(RowClass::of(0), RowClass::Short);
+        assert_eq!(RowClass::of(16), RowClass::Short);
+        assert_eq!(RowClass::of(17), RowClass::Medium);
+        assert_eq!(RowClass::of(128), RowClass::Medium);
+        assert_eq!(RowClass::of(129), RowClass::Long);
+    }
+
+    #[test]
+    fn matches_oracle_random() {
+        let csr = gen::random_uniform(300, 280, 6000, 901);
+        let x: Vec<f32> = (0..280).map(|i| ((i % 9) as f32) * 0.25).collect();
+        check(&csr, &x);
+    }
+
+    #[test]
+    fn matches_oracle_imbalanced() {
+        let csr = gen::scale_free(400, 5000, 1.2, 903);
+        let x: Vec<f32> = (0..400).map(|i| (i as f32 * 0.017).cos()).collect();
+        check(&csr, &x);
+    }
+
+    #[test]
+    fn matches_oracle_with_empty_rows() {
+        let csr = gen::scale_free(97, 300, 1.4, 905);
+        let x: Vec<f32> = (0..97).map(|i| i as f32 * 0.01).collect();
+        check(&csr, &x);
+    }
+
+    #[test]
+    fn issues_m8n8k4_not_m16n16k16() {
+        let csr = gen::random_uniform(64, 64, 1000, 907);
+        let gpu = Gpu::new(GpuConfig::v100());
+        let run = DaspEngine::prepare(&gpu, &csr).run(&gpu, &vec![1.0f32; 64]);
+        assert!(run.counters.mma_m8n8k4 > 0);
+        assert_eq!(run.counters.mma_m16n16k16, 0);
+    }
+
+    #[test]
+    fn degree_sorting_bounds_padding() {
+        // Without sorting, one long row per group would pad everything to
+        // its length; sorted groups keep padding modest.
+        let csr = gen::scale_free(2000, 30_000, 1.3, 909);
+        let gpu = Gpu::new(GpuConfig::v100());
+        let eng = DaspEngine::prepare(&gpu, &csr);
+        assert!(eng.padding_ratio() < 0.5, "padding {}", eng.padding_ratio());
+    }
+
+    #[test]
+    fn faster_on_v100_than_l40_in_model_time_ratio() {
+        // The paper's architecture contrast: DASP's primitive is native on V100. With
+        // equal counters, the tensor-pipe time must be much lower on V100
+        // relative to its other pipes.
+        let csr = gen::random_uniform(512, 512, 40_000, 911);
+        let x = vec![1.0f32; 512];
+        let gl = Gpu::new(GpuConfig::l40());
+        let gv = Gpu::new(GpuConfig::v100());
+        let rl = DaspEngine::prepare(&gl, &csr).run(&gl, &x);
+        let rv = DaspEngine::prepare(&gv, &csr).run(&gv, &x);
+        let l40_tensor_share = rl.time.t_tensor / rl.time.seconds;
+        let v100_tensor_share = rv.time.t_tensor / rv.time.seconds;
+        assert!(
+            l40_tensor_share > v100_tensor_share,
+            "l40 share {l40_tensor_share:.2} vs v100 {v100_tensor_share:.2}"
+        );
+    }
+
+    #[test]
+    fn prep_footprint_in_paper_ballpark() {
+        // ~12.25 B/nnz in the paper; padding-dependent, expect 7-16.
+        let csr = gen::random_uniform(2000, 2000, 100_000, 913);
+        let gpu = Gpu::new(GpuConfig::v100());
+        let eng = DaspEngine::prepare(&gpu, &csr);
+        let bpn = eng.prep().bytes_per_nnz(eng.nnz());
+        assert!((6.0..17.0).contains(&bpn), "bytes/nnz {bpn}");
+    }
+}

@@ -1,0 +1,37 @@
+//! # spaden-baselines
+//!
+//! The five SpMV baselines the paper compares against (§5.1), each
+//! reimplemented from scratch on the `spaden-gpusim` simulator and exposed
+//! through the common [`spaden::SpmvEngine`] trait:
+//!
+//! * [`CusparseCsrEngine`] — cuSPARSE's adaptive CSR vector kernel, the
+//!   strongest CUDA-core baseline ("the second fastest SpMV method").
+//! * [`CusparseBsrEngine`] — cuSPARSE BSR with 8×8 f32 dense blocks, the
+//!   method bitBSR improves on (wins only on dense-block matrices).
+//! * [`LightSpmvEngine`] — CSR with fine-grained *dynamic* row
+//!   distribution through a global atomic row counter (Liu & Schmidt,
+//!   ASAP '15).
+//! * [`GunrockEngine`] — edge-centric SpMV as message passing along graph
+//!   edges with segment-boundary atomics (Wang et al., PPoPP '16).
+//! * [`DaspEngine`] — tensor-core SpMV over `m8n8k4` fragments with
+//!   long/medium/short row bucketing (Lu & Liu, SC '23); fast on the V100
+//!   where `m8n8k4` is native, slow on the L40 where it is emulated.
+
+// Kernels are written in warp-lockstep style: explicit `for lane in
+// 0..32` loops indexing parallel per-lane arrays, mirroring the CUDA
+// code they model. The range-loop lint fights that idiom.
+#![allow(clippy::needless_range_loop)]
+
+pub mod cusparse_bsr;
+pub mod cusparse_csr;
+pub mod dasp;
+pub mod gunrock;
+pub mod lightspmv;
+pub mod merge_csr;
+
+pub use cusparse_bsr::CusparseBsrEngine;
+pub use cusparse_csr::CusparseCsrEngine;
+pub use dasp::DaspEngine;
+pub use gunrock::GunrockEngine;
+pub use lightspmv::LightSpmvEngine;
+pub use merge_csr::MergeCsrEngine;

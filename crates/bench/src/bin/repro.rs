@@ -1,0 +1,186 @@
+//! `repro` — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment> [--scale S] [--gpu l40|v100|both]
+//!
+//! experiments: table1 fig6 fig7 fig8 fig9a fig9b fig10a fig10b
+//!              ablations extensions reordering verify all
+//! ```
+//!
+//! `--scale` shrinks every dataset proportionally (default 0.05; use 1.0
+//! for paper-size matrices). Figures 6/7 include the two out-of-scope
+//! matrices like the paper; summary rows always exclude them.
+
+use spaden_bench::{
+    fig10a, fig10b, fig6, fig7, fig8, fig9a, fig9b, load_datasets, run_sweep, table1,
+    verification, EngineKind, Sweep, FIG6_ENGINES,
+};
+use spaden_gpusim::GpuConfig;
+
+struct Args {
+    experiment: String,
+    scale: f64,
+    gpus: Vec<GpuConfig>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let experiment = args.next().ok_or("missing experiment name")?;
+    let mut scale = 0.05;
+    let mut gpus = vec![GpuConfig::l40(), GpuConfig::v100()];
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                scale = v.parse().map_err(|_| format!("bad scale: {v}"))?;
+                if !(scale > 0.0 && scale <= 1.0) {
+                    return Err("scale must be in (0, 1]".into());
+                }
+            }
+            "--gpu" => {
+                let v = args.next().ok_or("--gpu needs a value")?;
+                gpus = match v.to_ascii_lowercase().as_str() {
+                    "l40" => vec![GpuConfig::l40()],
+                    "v100" => vec![GpuConfig::v100()],
+                    "both" => vec![GpuConfig::l40(), GpuConfig::v100()],
+                    other => return Err(format!("unknown gpu: {other}")),
+                };
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(Args { experiment, scale, gpus })
+}
+
+/// All eight engines: the Figure-6 set plus the Figure-8 ablations.
+fn all_engines() -> Vec<EngineKind> {
+    let mut v = FIG6_ENGINES.to_vec();
+    v.push(EngineKind::SpadenNoTc);
+    v.push(EngineKind::CsrWarp16);
+    v
+}
+
+fn sweep_for(cfg: GpuConfig, scale: f64, kinds: &[EngineKind], with_oos: bool) -> Sweep {
+    let datasets = load_datasets(scale, with_oos);
+    run_sweep(cfg, &datasets, kinds)
+}
+
+fn headline(sweep: &Sweep) {
+    println!("\nHeadline geomean speedups of Spaden on {} (in-scope matrices):", sweep.gpu);
+    for base in ["cuSPARSE CSR", "cuSPARSE BSR", "LightSpMV", "Gunrock", "DASP"] {
+        let s = sweep.geomean_speedup("Spaden", base);
+        if s.is_finite() && s > 0.0 {
+            println!("  over {base:<13} {s:.2}x");
+        }
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: repro <table1|fig6|fig7|fig8|fig9a|fig9b|fig10a|fig10b|ablations|extensions|reordering|verify|all> \
+                 [--scale S] [--gpu l40|v100|both]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let scale = args.scale;
+    println!("# Spaden reproduction — experiment `{}` at scale {scale}", args.experiment);
+
+    match args.experiment.as_str() {
+        "table1" => {
+            println!("{}", table1(&load_datasets(scale, true)));
+        }
+        "fig6" => {
+            for cfg in args.gpus {
+                let s = sweep_for(cfg, scale, &FIG6_ENGINES, true);
+                println!("{}", fig6(&s));
+            }
+        }
+        "fig7" => {
+            for cfg in args.gpus {
+                let s = sweep_for(cfg, scale, &FIG6_ENGINES, true);
+                println!("{}", fig7(&s));
+                headline(&s);
+            }
+        }
+        "fig8" => {
+            // The paper discusses Figure 8 on the L40 only.
+            let mut kinds = spaden_bench::FIG8_ENGINES.to_vec();
+            kinds.push(EngineKind::CusparseCsr);
+            let s = sweep_for(GpuConfig::l40(), scale, &kinds, false);
+            println!("{}", fig8(&s));
+        }
+        "fig9a" => {
+            println!("{}", fig9a(&load_datasets(scale, true)));
+        }
+        "fig9b" => {
+            let kinds = [EngineKind::Spaden, EngineKind::CusparseBsr];
+            let s = sweep_for(GpuConfig::l40(), scale, &kinds, false);
+            println!("{}", fig9b(&s));
+        }
+        "fig10a" | "fig10b" => {
+            let kinds = [
+                EngineKind::CusparseCsr,
+                EngineKind::CusparseBsr,
+                EngineKind::Spaden,
+                EngineKind::Dasp,
+            ];
+            let s = sweep_for(GpuConfig::l40(), scale, &kinds, true);
+            if args.experiment == "fig10a" {
+                println!("{}", fig10a(&s));
+            } else {
+                println!("{}", fig10b(&s));
+            }
+        }
+        "ablations" => {
+            let datasets = load_datasets(scale, false);
+            for t in spaden_bench::ablations(GpuConfig::l40(), &datasets) {
+                println!("{t}");
+            }
+        }
+        "extensions" => {
+            let gpus = args.gpus.clone();
+            let datasets = load_datasets(scale, false);
+            for cfg in gpus {
+                for t in spaden_bench::extensions(cfg, &datasets) {
+                    println!("{t}");
+                }
+            }
+        }
+        "reordering" => {
+            let datasets = load_datasets(scale, false);
+            println!("{}", spaden_bench::reordering(GpuConfig::l40(), &datasets));
+        }
+        "verify" => {
+            for cfg in args.gpus {
+                let s = sweep_for(cfg, scale, &all_engines(), true);
+                println!("{}", verification(&s));
+            }
+        }
+        "all" => {
+            println!("{}", table1(&load_datasets(scale, true)));
+            println!("{}", fig9a(&load_datasets(scale, true)));
+            for cfg in args.gpus {
+                let s = sweep_for(cfg.clone(), scale, &all_engines(), true);
+                println!("{}", fig6(&s));
+                println!("{}", fig7(&s));
+                headline(&s);
+                if cfg.name == "L40" {
+                    println!("{}", fig8(&s));
+                    println!("{}", fig9b(&s));
+                    println!("{}", fig10a(&s));
+                    println!("{}", fig10b(&s));
+                }
+                println!("{}", verification(&s));
+            }
+        }
+        other => {
+            eprintln!("unknown experiment: {other}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! `spaden-cli` — run any SpMV engine on a MatrixMarket file or a built-in
+//! synthetic dataset and report performance, traffic and accuracy.
+//!
+//! ```text
+//! spaden-cli --dataset cant --engine spaden --gpu l40
+//! spaden-cli --mtx path/to/matrix.mtx --engine all --iters 5
+//! spaden-cli --list-datasets
+//! ```
+
+use spaden_bench::{build_engine, make_x, max_rel_error, EngineKind, FIG6_ENGINES};
+use spaden_gpusim::{Gpu, GpuConfig};
+use spaden_sparse::csr::Csr;
+use spaden_sparse::datasets::{by_name, ALL_DATASETS};
+use spaden_sparse::stats::block_profile;
+
+struct Args {
+    matrix: MatrixSource,
+    engines: Vec<EngineKind>,
+    gpu: GpuConfig,
+    scale: f64,
+    iters: usize,
+}
+
+enum MatrixSource {
+    Mtx(String),
+    Dataset(String),
+    List,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut matrix = None;
+    let mut engines = vec![EngineKind::Spaden];
+    let mut gpu = GpuConfig::l40();
+    let mut scale = 0.05;
+    let mut iters = 1usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--mtx" => matrix = Some(MatrixSource::Mtx(args.next().ok_or("--mtx needs a path")?)),
+            "--dataset" => {
+                matrix = Some(MatrixSource::Dataset(args.next().ok_or("--dataset needs a name")?))
+            }
+            "--list-datasets" => matrix = Some(MatrixSource::List),
+            "--engine" => {
+                let v = args.next().ok_or("--engine needs a value")?;
+                engines = if v.eq_ignore_ascii_case("all") {
+                    let mut all = FIG6_ENGINES.to_vec();
+                    all.push(EngineKind::SpadenNoTc);
+                    all.push(EngineKind::CsrWarp16);
+                    all
+                } else {
+                    vec![EngineKind::parse(&v).ok_or_else(|| format!("unknown engine: {v}"))?]
+                };
+            }
+            "--gpu" => {
+                gpu = match args.next().ok_or("--gpu needs a value")?.to_ascii_lowercase().as_str()
+                {
+                    "l40" => GpuConfig::l40(),
+                    "v100" => GpuConfig::v100(),
+                    other => return Err(format!("unknown gpu: {other}")),
+                };
+            }
+            "--scale" => {
+                scale = args
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|_| "bad scale")?;
+            }
+            "--iters" => {
+                iters = args
+                    .next()
+                    .ok_or("--iters needs a value")?
+                    .parse()
+                    .map_err(|_| "bad iters")?;
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(Args {
+        matrix: matrix.ok_or("pass --mtx PATH, --dataset NAME or --list-datasets")?,
+        engines,
+        gpu,
+        scale,
+        iters,
+    })
+}
+
+fn load(args: &Args) -> Result<(String, Csr), String> {
+    match &args.matrix {
+        MatrixSource::Mtx(path) => {
+            let csr = spaden_sparse::mtx::read_mtx(std::path::Path::new(path))
+                .map_err(|e| format!("failed to read {path}: {e}"))?;
+            Ok((path.clone(), csr))
+        }
+        MatrixSource::Dataset(name) => {
+            let spec = by_name(name).ok_or_else(|| {
+                format!("unknown dataset {name}; try --list-datasets")
+            })?;
+            Ok((format!("{name} (synthetic, scale {})", args.scale), spec.generate(args.scale).csr))
+        }
+        MatrixSource::List => unreachable!("handled in main"),
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: spaden-cli (--mtx PATH | --dataset NAME | --list-datasets) \
+                 [--engine NAME|all] [--gpu l40|v100] [--scale S] [--iters N]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    if matches!(args.matrix, MatrixSource::List) {
+        println!("{:<14} {:>10} {:>12} {:>8} {:>10} scope", "name", "nrow", "nnz", "deg", "Bnnz");
+        for d in ALL_DATASETS.iter() {
+            println!(
+                "{:<14} {:>10} {:>12} {:>8.1} {:>10} {}",
+                d.name,
+                d.nrow,
+                d.nnz,
+                d.mean_degree(),
+                d.bnnz,
+                if d.in_scope { "in-scope" } else { "out-of-scope" }
+            );
+        }
+        return;
+    }
+
+    let (label, csr) = match load(&args) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!("matrix: {label}");
+    println!(
+        "  {} x {}, {} nonzeros ({:.1} per row)",
+        csr.nrows,
+        csr.ncols,
+        csr.nnz(),
+        csr.mean_degree()
+    );
+    let p = block_profile(&csr);
+    println!(
+        "  8x8 blocks: {} (sparse {:.0}% / medium {:.0}% / dense {:.0}%, mean fill {:.1})",
+        p.total(),
+        100.0 * p.sparse_ratio(),
+        100.0 * p.medium_ratio(),
+        100.0 * p.dense_ratio(),
+        p.mean_fill()
+    );
+    if csr.mean_degree() <= 32.0 {
+        println!(
+            "  note: nnz/nrow = {:.1} <= 32 — outside Spaden's recommended scope (paper §5.1)",
+            csr.mean_degree()
+        );
+    }
+
+    let gpu = Gpu::new(args.gpu.clone());
+    let x = make_x(csr.ncols);
+    let oracle = csr.spmv_f64(&x).expect("oracle SpMV");
+
+    println!("\nGPU model: {}\n", args.gpu.name);
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>10} {:>10} {:>11}",
+        "engine", "GFLOPS", "time us", "prep ms", "B/nnz", "max err", "bottleneck"
+    );
+    for kind in &args.engines {
+        let engine = build_engine(*kind, &gpu, &csr);
+        let mut best = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..args.iters.max(1) {
+            let run = engine.run(&gpu, &x);
+            best = best.min(run.time.seconds);
+            last = Some(run);
+        }
+        let run = last.expect("at least one iteration");
+        let prep = engine.prep();
+        println!(
+            "{:<14} {:>10.1} {:>10.2} {:>10.3} {:>10.2} {:>10.2e} {:>11}",
+            engine.name(),
+            2.0 * engine.nnz() as f64 / best / 1e9,
+            best * 1e6,
+            prep.seconds * 1e3,
+            prep.bytes_per_nnz(engine.nnz()),
+            max_rel_error(&run.y, &oracle),
+            run.time.bottleneck(),
+        );
+    }
+}

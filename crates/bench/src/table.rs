@@ -1,0 +1,120 @@
+//! Minimal aligned-text table rendering for the experiment reports.
+
+use std::fmt;
+
+/// A titled table of string cells, rendered with aligned columns in
+/// GitHub-flavoured markdown so reports paste straight into
+/// EXPERIMENTS.md.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Title printed above the table.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells; ragged rows are padded with empty cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Formats a float with 2 decimals ("-" for non-finite).
+    pub fn num(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v:.2}")
+        } else {
+            "-".into()
+        }
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let ncols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.headers.len()])
+            .max()
+            .unwrap_or(0);
+        let mut w = vec![0usize; ncols];
+        for (i, h) in self.headers.iter().enumerate() {
+            w[i] = w[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.chars().count());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = self.widths();
+        writeln!(f, "\n## {}\n", self.title)?;
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, width) in w.iter().enumerate() {
+                let empty = String::new();
+                let c = cells.get(i).unwrap_or(&empty);
+                write!(f, " {c:>width$} |")?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        write!(f, "|")?;
+        for width in &w {
+            write!(f, "{}|", "-".repeat(width + 2))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.push_row(vec!["alpha".into(), "1.00".into()]);
+        t.push_row(vec!["b".into(), "22.50".into()]);
+        let s = t.to_string();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("| alpha |"));
+        assert!(s.contains("|-"));
+        // Alignment: every data line has the same length.
+        let lines: Vec<&str> = s.lines().filter(|l| l.starts_with('|')).collect();
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+    }
+
+    #[test]
+    fn num_formats() {
+        assert_eq!(Table::num(1.5), "1.50");
+        assert_eq!(Table::num(f64::NAN), "-");
+    }
+
+    #[test]
+    fn ragged_rows_padded() {
+        let mut t = Table::new("R", &["a", "b", "c"]);
+        t.push_row(vec!["x".into()]);
+        let s = t.to_string();
+        assert!(s.lines().count() >= 4);
+    }
+}

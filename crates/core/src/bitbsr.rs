@@ -1,0 +1,607 @@
+//! bitBSR: the paper's bitmap-based blocked sparse format (§4.2).
+//!
+//! The matrix is divided into 8×8 blocks whose positions are encoded as a
+//! CSR over the block grid. Each non-empty block stores:
+//!
+//! * a **64-bit bitmap** — bit `dr * 8 + dc` set iff element `(dr, dc)` of
+//!   the block is nonzero; "the least and most significant bits correspond
+//!   to the top-left and bottom-right elements" (Figure 4);
+//! * its nonzero **values packed consecutively in f16** (tensor-core input
+//!   precision — this is what yields the paper's 2.85 bytes/nnz);
+//! * an offset into the value array, obtained by an exclusive scan over
+//!   per-block nonzero counts ("It enables the quick location of the
+//!   starting index of each block in the value array").
+
+use rayon::prelude::*;
+use spaden_gpusim::half::F16;
+use spaden_sparse::csr::Csr;
+use spaden_sparse::gen::BLOCK_DIM;
+use spaden_sparse::stats::{BlockClass, BlockProfile};
+use spaden_sparse::types::{validate_offsets, SparseError, SparseResult};
+
+/// A sparse matrix in bitBSR format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BitBsr {
+    /// Rows of the original matrix.
+    pub nrows: usize,
+    /// Columns of the original matrix.
+    pub ncols: usize,
+    /// Block rows (`Bnrow` = `ceil(nrows / 8)`).
+    pub block_rows: usize,
+    /// Block columns.
+    pub block_cols_dim: usize,
+    /// `block_rows + 1` offsets into `block_cols` / `bitmaps`.
+    pub block_row_ptr: Vec<u32>,
+    /// Block-column index per non-empty block (`Bnnz` entries).
+    pub block_cols: Vec<u32>,
+    /// Occupancy bitmap per block, LSB = top-left element.
+    pub bitmaps: Vec<u64>,
+    /// `Bnnz + 1` exclusive-scanned nonzero counts: block `k`'s values are
+    /// `values[block_offsets[k] .. block_offsets[k + 1]]`.
+    pub block_offsets: Vec<u32>,
+    /// All nonzero values in block order, bit order within a block, f16.
+    pub values: Vec<F16>,
+}
+
+impl BitBsr {
+    /// Converts from CSR (parallel over block-rows).
+    ///
+    /// Values are rounded to f16 here, once, at conversion time — exactly
+    /// like the CUDA implementation, which converts while building the
+    /// device arrays.
+    pub fn from_csr(csr: &Csr) -> Self {
+        let block_rows = csr.nrows.div_ceil(BLOCK_DIM);
+        let block_cols_dim = csr.ncols.div_ceil(BLOCK_DIM);
+
+        // Pass 1: per block-row, sorted (block col, bitmap) pairs.
+        let per_row: Vec<Vec<(u32, u64)>> = (0..block_rows)
+            .into_par_iter()
+            .map(|br| {
+                let mut blocks: Vec<(u32, u64)> = Vec::new();
+                let r_end = ((br + 1) * BLOCK_DIM).min(csr.nrows);
+                for r in br * BLOCK_DIM..r_end {
+                    let dr = r - br * BLOCK_DIM;
+                    let (cols, _) = csr.row(r);
+                    for &c in cols {
+                        let bc = c / BLOCK_DIM as u32;
+                        let dc = (c as usize) % BLOCK_DIM;
+                        let bit = 1u64 << (dr * BLOCK_DIM + dc);
+                        match blocks.binary_search_by_key(&bc, |e| e.0) {
+                            Ok(i) => blocks[i].1 |= bit,
+                            Err(i) => blocks.insert(i, (bc, bit)),
+                        }
+                    }
+                }
+                blocks
+            })
+            .collect();
+
+        let counts: Vec<u32> = per_row.iter().map(|b| b.len() as u32).collect();
+        let block_row_ptr = spaden_sparse::scan::exclusive_scan_par(&counts);
+        let bnnz = *block_row_ptr.last().expect("scan non-empty") as usize;
+
+        let mut block_cols = vec![0u32; bnnz];
+        let mut bitmaps = vec![0u64; bnnz];
+        {
+            let mut cursor = 0usize;
+            for blocks in &per_row {
+                for &(bc, bmp) in blocks {
+                    block_cols[cursor] = bc;
+                    bitmaps[cursor] = bmp;
+                    cursor += 1;
+                }
+            }
+        }
+
+        // Exclusive scan over per-block popcounts -> value offsets.
+        let popcounts: Vec<u32> = bitmaps.par_iter().map(|b| b.count_ones()).collect();
+        let block_offsets = spaden_sparse::scan::exclusive_scan_par(&popcounts);
+        let nnz = *block_offsets.last().expect("scan non-empty") as usize;
+
+        // Pass 2: place values. Each block-row owns a disjoint value range.
+        let mut values = vec![F16::ZERO; nnz];
+        {
+            let ranges: Vec<(usize, usize, usize)> = (0..block_rows)
+                .map(|br| {
+                    let blo = block_row_ptr[br] as usize;
+                    let bhi = block_row_ptr[br + 1] as usize;
+                    (br, block_offsets[blo] as usize, if blo == bhi { 0 } else { blo })
+                })
+                .collect();
+            let mut slices: Vec<&mut [F16]> = Vec::with_capacity(block_rows);
+            let mut rest: &mut [F16] = &mut values;
+            for br in 0..block_rows {
+                let blo = block_row_ptr[br] as usize;
+                let bhi = block_row_ptr[br + 1] as usize;
+                let len = (block_offsets[bhi] - block_offsets[blo]) as usize;
+                let (s, r) = rest.split_at_mut(len);
+                slices.push(s);
+                rest = r;
+            }
+            drop(ranges);
+            slices.into_par_iter().enumerate().for_each(|(br, out)| {
+                let blo = block_row_ptr[br] as usize;
+                let base = block_offsets[blo] as usize;
+                let blocks = &per_row[br];
+                let r_end = ((br + 1) * BLOCK_DIM).min(csr.nrows);
+                for r in br * BLOCK_DIM..r_end {
+                    let dr = r - br * BLOCK_DIM;
+                    let (cols, vals) = csr.row(r);
+                    for (c, v) in cols.iter().zip(vals) {
+                        let bc = c / BLOCK_DIM as u32;
+                        let k = blocks
+                            .binary_search_by_key(&bc, |e| e.0)
+                            .expect("block recorded in pass 1");
+                        let bit_idx = dr * BLOCK_DIM + (*c as usize) % BLOCK_DIM;
+                        let bmp = blocks[k].1;
+                        let within = (bmp & ((1u64 << bit_idx) - 1)).count_ones() as usize;
+                        let off = block_offsets[blo + k] as usize - base + within;
+                        out[off] = F16::from_f32(*v);
+                    }
+                }
+            });
+        }
+
+        BitBsr {
+            nrows: csr.nrows,
+            ncols: csr.ncols,
+            block_rows,
+            block_cols_dim,
+            block_row_ptr,
+            block_cols,
+            bitmaps,
+            block_offsets,
+            values,
+        }
+    }
+
+    /// Non-empty block count (`Bnnz`).
+    #[inline]
+    pub fn bnnz(&self) -> usize {
+        self.block_cols.len()
+    }
+
+    /// Stored nonzero count.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Nonzeros in block `k`.
+    #[inline]
+    pub fn block_nnz(&self, k: usize) -> usize {
+        (self.block_offsets[k + 1] - self.block_offsets[k]) as usize
+    }
+
+    /// Device memory footprint in bytes — the quantity of Figure 10b.
+    pub fn bytes(&self) -> usize {
+        self.block_row_ptr.len() * 4
+            + self.block_cols.len() * 4
+            + self.bitmaps.len() * 8
+            + self.block_offsets.len() * 4
+            + self.values.len() * 2
+    }
+
+    /// Compression rate of the position encoding versus COO
+    /// (`sizeof(COO positions) / sizeof(bitmap)`, §4.2: 1–64×).
+    pub fn position_compression_rate(&self) -> f64 {
+        if self.bnnz() == 0 {
+            return 1.0;
+        }
+        (self.nnz() * 8) as f64 / (self.bnnz() * 8) as f64
+    }
+
+    /// Block class profile (Figure 9a) straight from the bitmaps.
+    pub fn block_profile(&self) -> BlockProfile {
+        let mut p = BlockProfile::default();
+        for bmp in &self.bitmaps {
+            let n = bmp.count_ones() as usize;
+            p.nnz += n;
+            match BlockClass::of(n) {
+                BlockClass::Sparse => p.sparse += 1,
+                BlockClass::Medium => p.medium += 1,
+                BlockClass::Dense => p.dense += 1,
+            }
+        }
+        p
+    }
+
+    /// Densifies block `k` into a row-major 8×8 array (decode reference).
+    pub fn decode_block(&self, k: usize) -> [f32; BLOCK_DIM * BLOCK_DIM] {
+        let mut out = [0.0f32; BLOCK_DIM * BLOCK_DIM];
+        let bmp = self.bitmaps[k];
+        let base = self.block_offsets[k] as usize;
+        let mut idx = 0usize;
+        for bit in 0..64 {
+            if bmp & (1u64 << bit) != 0 {
+                out[bit] = self.values[base + idx].to_f32();
+                idx += 1;
+            }
+        }
+        out
+    }
+
+    /// Converts back to CSR. Values carry the f16 rounding applied at
+    /// conversion (lossless for values that were already f16-representable).
+    pub fn to_csr(&self) -> Csr {
+        let mut coo = spaden_sparse::coo::Coo::new(self.nrows, self.ncols);
+        for br in 0..self.block_rows {
+            let lo = self.block_row_ptr[br] as usize;
+            let hi = self.block_row_ptr[br + 1] as usize;
+            for k in lo..hi {
+                let bc = self.block_cols[k] as usize;
+                let dense = self.decode_block(k);
+                for (bit, &v) in dense.iter().enumerate() {
+                    if self.bitmaps[k] & (1u64 << bit) != 0 {
+                        let r = br * BLOCK_DIM + bit / BLOCK_DIM;
+                        let c = bc * BLOCK_DIM + bit % BLOCK_DIM;
+                        coo.push(r as u32, c as u32, v);
+                    }
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Reference SpMV over the decoded blocks (the correctness oracle the
+    /// simulated kernels are tested against).
+    pub fn spmv_reference(&self, x: &[f32]) -> SparseResult<Vec<f32>> {
+        if x.len() != self.ncols {
+            return Err(SparseError::ShapeMismatch {
+                what: format!("x.len() = {}, ncols = {}", x.len(), self.ncols),
+            });
+        }
+        let mut y = vec![0.0f32; self.nrows];
+        for br in 0..self.block_rows {
+            let lo = self.block_row_ptr[br] as usize;
+            let hi = self.block_row_ptr[br + 1] as usize;
+            for k in lo..hi {
+                let bc = self.block_cols[k] as usize;
+                let dense = self.decode_block(k);
+                for dr in 0..BLOCK_DIM {
+                    let r = br * BLOCK_DIM + dr;
+                    if r >= self.nrows {
+                        break;
+                    }
+                    let mut acc = 0.0f32;
+                    for dc in 0..BLOCK_DIM {
+                        let c = bc * BLOCK_DIM + dc;
+                        if c < self.ncols {
+                            acc += dense[dr * BLOCK_DIM + dc]
+                                * F16::round_f32(x[c]);
+                        }
+                    }
+                    y[r] += acc;
+                }
+            }
+        }
+        Ok(y)
+    }
+
+    /// Structural invariants check.
+    pub fn validate(&self) -> SparseResult<()> {
+        validate_offsets(&self.block_row_ptr, self.bnnz(), "block_row_ptr")?;
+        validate_offsets(&self.block_offsets, self.nnz(), "block_offsets")?;
+        spaden_sparse::types::validate_indices(
+            &self.block_cols,
+            self.block_cols_dim,
+            "block_cols",
+        )?;
+        for (k, &bmp) in self.bitmaps.iter().enumerate() {
+            let want = (self.block_offsets[k + 1] - self.block_offsets[k]) as usize;
+            if bmp.count_ones() as usize != want {
+                return Err(SparseError::LengthMismatch {
+                    what: format!(
+                        "block {k}: popcount {} != offset span {want}",
+                        bmp.count_ones()
+                    ),
+                });
+            }
+            if bmp == 0 {
+                return Err(SparseError::LengthMismatch {
+                    what: format!("block {k} is empty"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What a bitBSR-style format would cost at a different block size — the
+/// §4.2 design-space analysis behind the choice of 8×8 / u64 ("the block
+/// size affects the compression rate, as larger sizes will retain more
+/// zero bits within the blocks").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockSizeAnalysis {
+    /// Block edge length analysed.
+    pub dim: usize,
+    /// Non-empty blocks at this size.
+    pub blocks: usize,
+    /// Bitmap bytes per block (`dim² / 8`).
+    pub bitmap_bytes: usize,
+    /// Total format bytes (block CSR + bitmaps + offsets + f16 values).
+    pub total_bytes: usize,
+    /// Mean nonzeros per non-empty block.
+    pub mean_fill: f64,
+}
+
+impl BlockSizeAnalysis {
+    /// Bytes per nonzero at this block size.
+    pub fn bytes_per_nnz(&self, nnz: usize) -> f64 {
+        self.total_bytes as f64 / nnz.max(1) as f64
+    }
+}
+
+/// Analyses the bitmap-format footprint of `csr` for an alternative block
+/// edge `dim` (e.g. 4 → u16 bitmaps, 8 → u64, 16 → four u64 words).
+pub fn analyze_block_size(csr: &Csr, dim: usize) -> BlockSizeAnalysis {
+    assert!(dim.is_power_of_two() && (2..=64).contains(&dim));
+    let block_rows = csr.nrows.div_ceil(dim);
+    let blocks: usize = (0..block_rows)
+        .into_par_iter()
+        .map(|br| {
+            let mut cols: Vec<u32> = Vec::new();
+            let r_end = ((br + 1) * dim).min(csr.nrows);
+            for r in br * dim..r_end {
+                let (ci, _) = csr.row(r);
+                for &c in ci {
+                    let bc = c / dim as u32;
+                    if let Err(i) = cols.binary_search(&bc) {
+                        cols.insert(i, bc);
+                    }
+                }
+            }
+            cols.len()
+        })
+        .sum();
+    // Bitmaps are whole bytes, minimum one machine-friendly word of
+    // dim²/8 bytes (4x4 -> u16, 8x8 -> u64, 16x16 -> 32 bytes).
+    let bitmap_bytes = (dim * dim).div_ceil(8);
+    let total_bytes = (block_rows + 1) * 4           // block_row_ptr
+        + blocks * (4 + bitmap_bytes + 4)            // col + bitmap + offset
+        + csr.nnz() * 2; // f16 values
+    BlockSizeAnalysis {
+        dim,
+        blocks,
+        bitmap_bytes,
+        total_bytes,
+        mean_fill: if blocks == 0 { 0.0 } else { csr.nnz() as f64 / blocks as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spaden_sparse::gen::{self, FillDist, Placement};
+
+    fn round_csr_to_f16(csr: &Csr) -> Csr {
+        let mut c = csr.clone();
+        for v in &mut c.values {
+            *v = F16::round_f32(*v);
+        }
+        c
+    }
+
+    #[test]
+    fn figure4_bit_order() {
+        // A single block with only element (0,0) set: row0 = 0x01.
+        let csr = Csr::new(8, 8, vec![0, 1, 1, 1, 1, 1, 1, 1, 1], vec![0], vec![2.0]).unwrap();
+        let b = BitBsr::from_csr(&csr);
+        assert_eq!(b.bnnz(), 1);
+        assert_eq!(b.bitmaps[0], 0x01, "LSB is the top-left element");
+        // Bottom-right element -> MSB.
+        let csr2 = Csr::new(8, 8, vec![0, 0, 0, 0, 0, 0, 0, 0, 1], vec![7], vec![3.0]).unwrap();
+        let b2 = BitBsr::from_csr(&csr2);
+        assert_eq!(b2.bitmaps[0], 1u64 << 63, "MSB is the bottom-right element");
+    }
+
+    #[test]
+    fn roundtrip_equals_f16_rounded_csr() {
+        let csr = gen::random_uniform(100, 90, 800, 91);
+        let b = BitBsr::from_csr(&csr);
+        assert!(b.validate().is_ok());
+        assert_eq!(b.to_csr(), round_csr_to_f16(&csr));
+    }
+
+    #[test]
+    fn roundtrip_blocked() {
+        let csr = gen::generate_blocked(
+            512,
+            300,
+            Placement::Banded { bandwidth: 8 },
+            &FillDist::Uniform { lo: 1, hi: 64 },
+            93,
+        );
+        let b = BitBsr::from_csr(&csr);
+        assert_eq!(b.nnz(), csr.nnz());
+        assert_eq!(b.to_csr(), round_csr_to_f16(&csr));
+    }
+
+    #[test]
+    fn block_structure_matches_bsr() {
+        let csr = gen::generate_blocked(
+            256,
+            120,
+            Placement::Scattered,
+            &FillDist::Uniform { lo: 1, hi: 40 },
+            95,
+        );
+        let bsr = spaden_sparse::bsr::Bsr::from_csr(&csr);
+        let bit = BitBsr::from_csr(&csr);
+        assert_eq!(bit.bnnz(), bsr.bnnz());
+        assert_eq!(bit.block_row_ptr, bsr.block_row_ptr);
+        assert_eq!(bit.block_cols, bsr.block_cols);
+    }
+
+    #[test]
+    fn decode_block_matches_bsr_block() {
+        let csr = gen::generate_blocked(
+            128,
+            40,
+            Placement::Scattered,
+            &FillDist::Uniform { lo: 5, hi: 60 },
+            97,
+        );
+        let bsr = spaden_sparse::bsr::Bsr::from_csr(&csr);
+        let bit = BitBsr::from_csr(&csr);
+        for k in 0..bit.bnnz() {
+            let d = bit.decode_block(k);
+            let b = bsr.block(k);
+            for i in 0..64 {
+                assert_eq!(d[i], F16::round_f32(b[i]), "block {k} elem {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn offsets_are_popcount_scan() {
+        let csr = gen::random_uniform(64, 64, 500, 99);
+        let b = BitBsr::from_csr(&csr);
+        let mut acc = 0u32;
+        for (k, &bmp) in b.bitmaps.iter().enumerate() {
+            assert_eq!(b.block_offsets[k], acc);
+            acc += bmp.count_ones();
+        }
+        assert_eq!(*b.block_offsets.last().unwrap(), acc);
+        assert_eq!(acc as usize, csr.nnz());
+    }
+
+    #[test]
+    fn spmv_reference_matches_csr_within_f16_error() {
+        let csr = gen::generate_blocked(
+            256,
+            150,
+            Placement::Banded { bandwidth: 6 },
+            &FillDist::Uniform { lo: 4, hi: 50 },
+            101,
+        );
+        let b = BitBsr::from_csr(&csr);
+        let x: Vec<f32> = (0..256).map(|i| ((i * 13 % 31) as f32) * 0.125).collect();
+        let y = b.spmv_reference(&x).unwrap();
+        let oracle = csr.spmv_f64(&x).unwrap();
+        for (r, (a, o)) in y.iter().zip(&oracle).enumerate() {
+            let scale = csr.row_nnz(r) as f64 * 8.0; // |v|<=1, |x|<=8
+            let tol = 2.0f64.powi(-11) * 2.0 * scale + 1e-4;
+            assert!((*a as f64 - o).abs() <= tol, "row {r}: {a} vs {o}");
+        }
+    }
+
+    #[test]
+    fn bytes_per_nnz_beats_bsr_and_csr_on_typical_fill() {
+        // Mean fill ~22 (the FEM matrices): bitBSR ~2.7 B/nnz vs CSR ~8,
+        // BSR ~12+.
+        let csr = gen::generate_blocked(
+            1024,
+            1200,
+            Placement::Banded { bandwidth: 10 },
+            &FillDist::Uniform { lo: 8, hi: 36 },
+            103,
+        );
+        let bit = BitBsr::from_csr(&csr);
+        let bsr = spaden_sparse::bsr::Bsr::from_csr(&csr);
+        let per_nnz = |bytes: usize| bytes as f64 / csr.nnz() as f64;
+        assert!(per_nnz(bit.bytes()) < 3.5, "bitBSR {}", per_nnz(bit.bytes()));
+        assert!(per_nnz(bit.bytes()) < per_nnz(csr.bytes()) / 2.0);
+        assert!(per_nnz(bit.bytes()) < per_nnz(bsr.bytes()) / 3.0);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let b = BitBsr::from_csr(&Csr::empty(32, 32));
+        assert_eq!(b.bnnz(), 0);
+        assert_eq!(b.nnz(), 0);
+        assert!(b.validate().is_ok());
+        assert_eq!(b.spmv_reference(&[0.0; 32]).unwrap(), vec![0.0; 32]);
+    }
+
+    #[test]
+    fn non_multiple_of_eight_dimensions() {
+        let csr = gen::random_uniform(101, 77, 600, 105);
+        let b = BitBsr::from_csr(&csr);
+        assert_eq!(b.block_rows, 13);
+        assert_eq!(b.block_cols_dim, 10);
+        assert!(b.validate().is_ok());
+        assert_eq!(b.to_csr(), round_csr_to_f16(&csr));
+    }
+
+    #[test]
+    fn block_profile_matches_stats_module() {
+        let csr = gen::generate_blocked(
+            512,
+            400,
+            Placement::Scattered,
+            &FillDist::Uniform { lo: 1, hi: 64 },
+            107,
+        );
+        let from_bitbsr = BitBsr::from_csr(&csr).block_profile();
+        let from_csr = spaden_sparse::stats::block_profile(&csr);
+        assert_eq!(from_bitbsr, from_csr);
+    }
+
+    #[test]
+    fn block_size_analysis_8_matches_real_format() {
+        let csr = gen::generate_blocked(
+            512,
+            300,
+            Placement::Banded { bandwidth: 8 },
+            &FillDist::Uniform { lo: 4, hi: 40 },
+            117,
+        );
+        let b = BitBsr::from_csr(&csr);
+        let a = analyze_block_size(&csr, 8);
+        assert_eq!(a.blocks, b.bnnz());
+        // Analysis omits the final offset entry and pointer tail rounding;
+        // it must agree with the real format within a few words.
+        let diff = (a.total_bytes as i64 - b.bytes() as i64).unsigned_abs() as usize;
+        assert!(diff <= 8, "analysis {} vs real {}", a.total_bytes, b.bytes());
+    }
+
+    #[test]
+    fn block_size_tradeoff_shape() {
+        // Small blocks: more blocks, less zero retention. Large blocks:
+        // fewer blocks, bigger bitmaps. For a moderately sparse blocked
+        // matrix, 4x4 needs more index overhead than 8x8.
+        let csr = gen::generate_blocked(
+            1024,
+            900,
+            Placement::Scattered,
+            &FillDist::Uniform { lo: 8, hi: 24 },
+            119,
+        );
+        let a4 = analyze_block_size(&csr, 4);
+        let a8 = analyze_block_size(&csr, 8);
+        let a16 = analyze_block_size(&csr, 16);
+        assert!(a4.blocks > a8.blocks);
+        assert!(a16.blocks <= a8.blocks);
+        assert!(a4.mean_fill < a8.mean_fill);
+        assert_eq!(a4.bitmap_bytes, 2);
+        assert_eq!(a8.bitmap_bytes, 8);
+        assert_eq!(a16.bitmap_bytes, 32);
+        // 8x8 should not lose to 4x4 here (index overhead dominates 4x4).
+        assert!(
+            a8.bytes_per_nnz(csr.nnz()) <= a4.bytes_per_nnz(csr.nnz()),
+            "8x8 {} vs 4x4 {}",
+            a8.bytes_per_nnz(csr.nnz()),
+            a4.bytes_per_nnz(csr.nnz())
+        );
+    }
+
+    #[test]
+    fn position_compression_rate_in_paper_range() {
+        // Dense blocks: 64 nnz * 8 B of COO positions vs 8 B of bitmap = 64x.
+        let dense = gen::generate_blocked(64, 20, Placement::Scattered, &FillDist::Dense, 109);
+        let b = BitBsr::from_csr(&dense);
+        assert!((b.position_compression_rate() - 64.0).abs() < 1e-9);
+        // Singleton blocks: 1x.
+        let single = gen::generate_blocked(
+            512,
+            60,
+            Placement::Scattered,
+            &FillDist::Uniform { lo: 1, hi: 1 },
+            111,
+        );
+        let b1 = BitBsr::from_csr(&single);
+        let rate = b1.position_compression_rate();
+        assert!((1.0..2.5).contains(&rate), "rate {rate}");
+    }
+}

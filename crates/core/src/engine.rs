@@ -1,0 +1,100 @@
+//! The common interface every SpMV method implements — Spaden, its
+//! ablation variants, and the five baselines — so the bench harness can
+//! sweep them uniformly over datasets and GPU configurations.
+
+use spaden_gpusim::{estimate_time, Gpu, KernelCounters, SimTime};
+
+/// Preprocessing cost of an engine: format-conversion time and the device
+/// memory footprint of everything resident during SpMV. These are the two
+/// quantities of Figure 10.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrepStats {
+    /// Host-side conversion wall time in seconds.
+    pub seconds: f64,
+    /// Device bytes occupied by the converted format (and any auxiliary
+    /// buffers the method needs).
+    pub device_bytes: u64,
+}
+
+impl PrepStats {
+    /// Conversion time in nanoseconds per nonzero (Figure 10a, lower).
+    pub fn ns_per_nnz(&self, nnz: usize) -> f64 {
+        self.seconds * 1e9 / nnz.max(1) as f64
+    }
+
+    /// Device bytes per nonzero (Figure 10b, lower).
+    pub fn bytes_per_nnz(&self, nnz: usize) -> f64 {
+        self.device_bytes as f64 / nnz.max(1) as f64
+    }
+}
+
+/// One simulated SpMV execution.
+#[derive(Debug, Clone)]
+pub struct SpmvRun {
+    /// The output vector `y = A x`.
+    pub y: Vec<f32>,
+    /// Merged hardware counters of the launch.
+    pub counters: KernelCounters,
+    /// Modelled execution time.
+    pub time: SimTime,
+}
+
+impl SpmvRun {
+    /// Builds a run result, deriving time from the counters.
+    pub fn new(y: Vec<f32>, counters: KernelCounters, gpu: &Gpu) -> Self {
+        let time = estimate_time(&counters, &gpu.config);
+        SpmvRun { y, counters, time }
+    }
+
+    /// GFLOP/s at `2 * nnz` useful FLOPs.
+    pub fn gflops(&self, nnz: usize) -> f64 {
+        self.time.gflops(nnz)
+    }
+}
+
+/// A prepared SpMV method bound to one matrix.
+pub trait SpmvEngine: Send + Sync {
+    /// Method name as printed in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Preprocessing statistics (conversion time, device footprint).
+    fn prep(&self) -> PrepStats;
+
+    /// Nonzeros of the underlying matrix (for GFLOPS normalisation).
+    fn nnz(&self) -> usize;
+
+    /// Number of matrix rows (`y.len()`).
+    fn nrows(&self) -> usize;
+
+    /// Executes `y = A x` on the simulated GPU.
+    fn run(&self, gpu: &Gpu, x: &[f32]) -> SpmvRun;
+}
+
+/// Measures a closure's wall time, returning `(result, seconds)` — used by
+/// every engine constructor to time its format conversion.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = std::time::Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prep_stats_normalisation() {
+        let p = PrepStats { seconds: 1e-3, device_bytes: 2850 };
+        assert!((p.ns_per_nnz(1000) - 1000.0).abs() < 1e-9);
+        assert!((p.bytes_per_nnz(1000) - 2.85).abs() < 1e-12);
+        // Degenerate nnz=0 must not divide by zero.
+        assert!(p.ns_per_nnz(0).is_finite());
+    }
+
+    #[test]
+    fn timed_returns_result_and_duration() {
+        let (v, s) = timed(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(s >= 0.0);
+    }
+}

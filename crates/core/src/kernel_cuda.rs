@@ -1,0 +1,232 @@
+//! "Spaden w/o TC" — the §5.3 ablation: identical bitBSR decoding, but the
+//! block-vector products run on CUDA cores (per-lane FMAs plus a
+//! 4-lane segmented shuffle reduction) instead of a tensor-core MMA.
+//!
+//! It shares everything with [`crate::SpadenEngine`] except the compute
+//! step, isolating the tensor-core contribution the paper quantifies as a
+//! 1.47× speedup on the L40.
+
+use crate::bitbsr::BitBsr;
+use crate::decode::{decode_matrix_block, decode_vector_segment};
+use crate::engine::{timed, PrepStats, SpmvEngine, SpmvRun};
+use spaden_gpusim::exec::WARP_SIZE;
+use spaden_gpusim::half::F16;
+use spaden_gpusim::memory::DeviceBuffer;
+use spaden_gpusim::Gpu;
+use spaden_sparse::csr::Csr;
+use spaden_sparse::gen::BLOCK_DIM;
+
+/// Issue cycles charged per 8×8 block for the CUDA-core block-vector
+/// product that replaces the tensor-core MMA (see the comment at the call
+/// site in [`SpadenNoTcEngine::run`]).
+const CUDA_BLOCK_PRODUCT_CYCLES: u64 = 96;
+
+/// Spaden-without-tensor-cores, prepared for one matrix.
+pub struct SpadenNoTcEngine {
+    format: BitBsr,
+    prep: PrepStats,
+    d_block_row_ptr: DeviceBuffer<u32>,
+    d_block_cols: DeviceBuffer<u32>,
+    d_bitmaps: DeviceBuffer<u64>,
+    d_block_offsets: DeviceBuffer<u32>,
+    d_values: DeviceBuffer<F16>,
+}
+
+impl SpadenNoTcEngine {
+    /// Converts `csr` to bitBSR and uploads it (same conversion cost as
+    /// full Spaden — the formats are identical).
+    pub fn prepare(gpu: &Gpu, csr: &Csr) -> Self {
+        let (format, seconds) = timed(|| BitBsr::from_csr(csr));
+        let prep = PrepStats { seconds, device_bytes: format.bytes() as u64 };
+        SpadenNoTcEngine {
+            d_block_row_ptr: gpu.alloc(format.block_row_ptr.clone()),
+            d_block_cols: gpu.alloc(format.block_cols.clone()),
+            d_bitmaps: gpu.alloc(format.bitmaps.clone()),
+            d_block_offsets: gpu.alloc(format.block_offsets.clone()),
+            d_values: gpu.alloc(format.values.clone()),
+            format,
+            prep,
+        }
+    }
+
+    /// The converted format.
+    pub fn format(&self) -> &BitBsr {
+        &self.format
+    }
+}
+
+impl SpmvEngine for SpadenNoTcEngine {
+    fn name(&self) -> &'static str {
+        "Spaden w/o TC"
+    }
+
+    fn prep(&self) -> PrepStats {
+        self.prep
+    }
+
+    fn nnz(&self) -> usize {
+        self.format.nnz()
+    }
+
+    fn nrows(&self) -> usize {
+        self.format.nrows
+    }
+
+    fn run(&self, gpu: &Gpu, x: &[f32]) -> SpmvRun {
+        assert_eq!(x.len(), self.format.ncols, "x length mismatch");
+        let d_x = gpu.alloc(x.to_vec());
+        let y = gpu.alloc_output(self.format.nrows);
+        let block_rows = self.format.block_rows;
+        let n_pairs = block_rows.div_ceil(2);
+        let nrows = self.format.nrows;
+
+        let counters = gpu.launch(n_pairs, |ctx| {
+            let br0 = 2 * ctx.warp_id;
+            let br1 = br0 + 1;
+            let lo0 = ctx.read(&self.d_block_row_ptr, br0) as usize;
+            let hi0 = ctx.read(&self.d_block_row_ptr, br0 + 1) as usize;
+            let hi1 = if br1 < block_rows {
+                ctx.read(&self.d_block_row_ptr, br1 + 1) as usize
+            } else {
+                hi0
+            };
+            let (len0, len1) = (hi0 - lo0, hi1 - hi0);
+
+            // Per-warp accumulators for the 16 output rows.
+            let mut row_acc = [0.0f32; 2 * BLOCK_DIM];
+            ctx.ops(1);
+
+            for (len, base, acc_base) in [(len0, lo0, 0usize), (len1, hi0, BLOCK_DIM)] {
+                for i in 0..len {
+                    ctx.ops(2); // loop bookkeeping
+                    let k = base + i;
+                    let bc = ctx.read(&self.d_block_cols, k) as usize;
+                    let a = decode_matrix_block(
+                        ctx,
+                        &self.d_bitmaps,
+                        &self.d_block_offsets,
+                        &self.d_values,
+                        k,
+                    );
+                    let b = decode_vector_segment(ctx, &d_x, bc, self.format.ncols);
+                    // Two FMAs per lane (the pair of decoded elements),
+                    // then a 4-lane segmented reduction: lanes 4*dr..4*dr+3
+                    // hold row dr's partial sums. Inputs round through f16
+                    // exactly as the tensor-core path does.
+                    //
+                    // Instruction charge: on CUDA cores the block product
+                    // is a long dependent sequence (f16->f32 conversions,
+                    // predicated FMAs, two shuffle/add ladders, row-select
+                    // accumulation) instead of one MMA. We charge
+                    // CUDA_BLOCK_PRODUCT_CYCLES issue cycles per block for
+                    // that sequence — the single calibrated constant of
+                    // this reproduction, set so the tensor-core speedup of
+                    // the §5.3 breakdown matches the paper's ~1.47x on the
+                    // FEM matrices (see EXPERIMENTS.md).
+                    ctx.ops(CUDA_BLOCK_PRODUCT_CYCLES);
+                    let mut partial = [0.0f32; WARP_SIZE];
+                    for lid in 0..WARP_SIZE {
+                        partial[lid] = F16::round_f32(a[lid].0) * F16::round_f32(b[lid].0)
+                            + F16::round_f32(a[lid].1) * F16::round_f32(b[lid].1);
+                    }
+                    let sums = ctx.segmented_reduce_sum(&partial, 4);
+                    ctx.ops(1); // accumulate into the row register
+                    for dr in 0..BLOCK_DIM {
+                        row_acc[acc_base + dr] += sums[4 * dr];
+                    }
+                }
+            }
+
+            // Coalesced 16-row store, identical to the TC kernel's epilogue.
+            ctx.ops(4);
+            let mut writes = [None; WARP_SIZE];
+            for dr in 0..BLOCK_DIM {
+                let r0 = br0 * BLOCK_DIM + dr;
+                if r0 < nrows {
+                    writes[dr] = Some((r0 as u32, row_acc[dr]));
+                }
+                let r1 = br1 * BLOCK_DIM + dr;
+                if br1 < block_rows && r1 < nrows {
+                    writes[BLOCK_DIM + dr] = Some((r1 as u32, row_acc[BLOCK_DIM + dr]));
+                }
+            }
+            ctx.scatter(&y, &writes);
+        });
+
+        SpmvRun::new(y.to_vec(), counters, gpu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel_tc::SpadenEngine;
+    use spaden_gpusim::GpuConfig;
+    use spaden_sparse::gen::{self, FillDist, Placement};
+
+    #[test]
+    fn matches_reference() {
+        let csr = gen::generate_blocked(
+            256,
+            160,
+            Placement::Banded { bandwidth: 5 },
+            &FillDist::Uniform { lo: 1, hi: 64 },
+            301,
+        );
+        let x: Vec<f32> = (0..256).map(|i| ((i % 13) as f32) * 0.5 - 3.0).collect();
+        let gpu = Gpu::new(GpuConfig::l40());
+        let eng = SpadenNoTcEngine::prepare(&gpu, &csr);
+        let run = eng.run(&gpu, &x);
+        let want = eng.format().spmv_reference(&x).unwrap();
+        for (r, (a, w)) in run.y.iter().zip(&want).enumerate() {
+            let tol = 1e-3_f32.max(w.abs() * 1e-3);
+            assert!((a - w).abs() <= tol, "row {r}: {a} vs {w}");
+        }
+    }
+
+    #[test]
+    fn produces_same_result_as_tc_kernel() {
+        // Same format, same decode, different compute units — outputs must
+        // agree to f32 accumulation-order tolerance.
+        let csr = gen::random_uniform(180, 180, 2500, 303);
+        let x: Vec<f32> = (0..180).map(|i| (i as f32 * 0.037).cos()).collect();
+        let gpu = Gpu::new(GpuConfig::l40());
+        let tc = SpadenEngine::prepare(&gpu, &csr).run(&gpu, &x);
+        let cc = SpadenNoTcEngine::prepare(&gpu, &csr).run(&gpu, &x);
+        for (r, (a, b)) in tc.y.iter().zip(&cc.y).enumerate() {
+            assert!((a - b).abs() <= 1e-3_f32.max(b.abs() * 1e-3), "row {r}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn same_memory_traffic_as_tc_but_no_mmas() {
+        let csr = gen::generate_blocked(
+            512,
+            300,
+            Placement::Scattered,
+            &FillDist::Uniform { lo: 8, hi: 40 },
+            305,
+        );
+        let x = vec![1.0f32; 512];
+        let gpu = Gpu::new(GpuConfig::l40());
+        let tc = SpadenEngine::prepare(&gpu, &csr).run(&gpu, &x);
+        let cc = SpadenNoTcEngine::prepare(&gpu, &csr).run(&gpu, &x);
+        assert_eq!(cc.counters.mma_m16n16k16, 0);
+        assert!(tc.counters.mma_m16n16k16 > 0);
+        // Identical format and decode: DRAM read traffic within 5%.
+        let (a, b) = (tc.counters.dram_read_bytes as f64, cc.counters.dram_read_bytes as f64);
+        assert!((a - b).abs() / a < 0.05, "tc {a} vs cuda {b}");
+        // The CUDA variant issues more arithmetic instructions.
+        assert!(cc.counters.cuda_ops > tc.counters.cuda_ops);
+    }
+
+    #[test]
+    fn prep_equals_spaden_prep_bytes() {
+        let csr = gen::random_uniform(128, 128, 1000, 307);
+        let gpu = Gpu::new(GpuConfig::l40());
+        let a = SpadenEngine::prepare(&gpu, &csr);
+        let b = SpadenNoTcEngine::prepare(&gpu, &csr);
+        assert_eq!(a.prep().device_bytes, b.prep().device_bytes);
+        assert_eq!(b.name(), "Spaden w/o TC");
+    }
+}

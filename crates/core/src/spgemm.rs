@@ -1,0 +1,497 @@
+//! SpGEMM with bitBSR on tensor cores — rounding out the paper's §7
+//! vision of "a sparse math library centered around the bitmap & blocking
+//! ... incorporating support for various formats and operations" (§6 cites
+//! tensor-core SpGEMM as the hardest of the sparse kernels).
+//!
+//! `C = A × B` with both operands sparse, computed block-Gustavson style:
+//! for every A block-row `i`, each A block `(i, k)` multiplies every B
+//! block `(k, j)` into a dense 8×8 accumulator tile for `(i, j)` held in
+//! shared memory; tiles compress back to bitmap + packed f16 values on
+//! write-out. Spaden's diagonal packing applies here too: two independent
+//! 8×8 block products ride one `m16n16k16` MMA.
+//!
+//! A host-side **symbolic phase** (the standard SpGEMM two-phase split)
+//! computes C's block structure so the numeric kernel scatters into
+//! preallocated storage.
+
+use crate::bitbsr::BitBsr;
+use crate::decode::decode_matrix_block;
+use crate::engine::{timed, PrepStats};
+use rayon::prelude::*;
+use spaden_gpusim::exec::WarpCtx;
+use spaden_gpusim::fragment::{FragKind, Fragment};
+use spaden_gpusim::half::F16;
+use spaden_gpusim::memory::DeviceBuffer;
+use spaden_gpusim::{estimate_time, Gpu, KernelCounters, SimTime};
+use spaden_sparse::csr::Csr;
+use spaden_sparse::gen::BLOCK_DIM;
+
+/// Result of one simulated SpGEMM.
+#[derive(Debug, Clone)]
+pub struct SpgemmRun {
+    /// The product in bitBSR form.
+    pub c: BitBsr,
+    /// Merged launch counters (numeric phase).
+    pub counters: KernelCounters,
+    /// Modelled numeric-phase time.
+    pub time: SimTime,
+    /// Useful FLOPs (2 × Σ products over matching blocks' nonzeros).
+    pub flops: u64,
+}
+
+impl SpgemmRun {
+    /// GFLOP/s of the numeric phase.
+    pub fn gflops(&self) -> f64 {
+        self.flops as f64 / self.time.seconds / 1e9
+    }
+}
+
+/// bitBSR SpGEMM engine bound to a pair of conformable matrices.
+pub struct SpadenSpgemmEngine {
+    a: BitBsr,
+    b: BitBsr,
+    prep: PrepStats,
+    d_a_bitmaps: DeviceBuffer<u64>,
+    d_a_offsets: DeviceBuffer<u32>,
+    d_a_values: DeviceBuffer<F16>,
+    d_b_bitmaps: DeviceBuffer<u64>,
+    d_b_offsets: DeviceBuffer<u32>,
+    d_b_values: DeviceBuffer<F16>,
+    d_a_cols: DeviceBuffer<u32>,
+    d_b_cols: DeviceBuffer<u32>,
+}
+
+impl SpadenSpgemmEngine {
+    /// Converts both operands to bitBSR and uploads them.
+    pub fn prepare(gpu: &Gpu, a_csr: &Csr, b_csr: &Csr) -> Self {
+        assert_eq!(a_csr.ncols, b_csr.nrows, "inner dimensions must agree");
+        let ((a, b), seconds) = timed(|| {
+            let a = BitBsr::from_csr(a_csr);
+            let b = BitBsr::from_csr(b_csr);
+            (a, b)
+        });
+        let prep = PrepStats { seconds, device_bytes: (a.bytes() + b.bytes()) as u64 };
+        SpadenSpgemmEngine {
+            d_a_bitmaps: gpu.alloc(a.bitmaps.clone()),
+            d_a_offsets: gpu.alloc(a.block_offsets.clone()),
+            d_a_values: gpu.alloc(a.values.clone()),
+            d_b_bitmaps: gpu.alloc(b.bitmaps.clone()),
+            d_b_offsets: gpu.alloc(b.block_offsets.clone()),
+            d_b_values: gpu.alloc(b.values.clone()),
+            d_a_cols: gpu.alloc(a.block_cols.clone()),
+            d_b_cols: gpu.alloc(b.block_cols.clone()),
+            a,
+            b,
+            prep,
+        }
+    }
+
+    /// Preprocessing stats (both conversions).
+    pub fn prep(&self) -> PrepStats {
+        self.prep
+    }
+
+    /// Symbolic phase: C's block structure (parallel over A block-rows).
+    /// Returns (block_row_ptr, block_cols) of the product's block grid.
+    pub fn symbolic(&self) -> (Vec<u32>, Vec<u32>) {
+        let per_row: Vec<Vec<u32>> = (0..self.a.block_rows)
+            .into_par_iter()
+            .map(|i| {
+                let mut js: Vec<u32> = Vec::new();
+                let lo = self.a.block_row_ptr[i] as usize;
+                let hi = self.a.block_row_ptr[i + 1] as usize;
+                for ak in lo..hi {
+                    let k = self.a.block_cols[ak] as usize;
+                    if k >= self.b.block_rows {
+                        continue;
+                    }
+                    let blo = self.b.block_row_ptr[k] as usize;
+                    let bhi = self.b.block_row_ptr[k + 1] as usize;
+                    for bk in blo..bhi {
+                        let j = self.b.block_cols[bk];
+                        if let Err(pos) = js.binary_search(&j) {
+                            js.insert(pos, j);
+                        }
+                    }
+                }
+                js
+            })
+            .collect();
+        let counts: Vec<u32> = per_row.iter().map(|j| j.len() as u32).collect();
+        let ptr = spaden_sparse::scan::exclusive_scan(&counts);
+        let cols = per_row.into_iter().flatten().collect();
+        (ptr, cols)
+    }
+
+    /// Decodes a block of either operand into a fragment portion as a
+    /// dense 8×8 tile at `(base_r, base_c)`, charging the packed-value
+    /// traffic.
+    #[allow(clippy::too_many_arguments)]
+    fn load_block_tile(
+        ctx: &mut WarpCtx,
+        bitmaps: &DeviceBuffer<u64>,
+        offsets: &DeviceBuffer<u32>,
+        values: &DeviceBuffer<F16>,
+        blk: usize,
+        frag: &mut Fragment,
+        base_r: usize,
+        base_c: usize,
+    ) {
+        let lanes = decode_matrix_block(ctx, bitmaps, offsets, values, blk);
+        for (l, (v1, v2)) in lanes.iter().enumerate() {
+            let (dr, dc) = (l / 4, 2 * (l % 4));
+            frag.set(base_r + dr, base_c + dc, *v1);
+            frag.set(base_r + dr, base_c + dc + 1, *v2);
+        }
+        ctx.ops(2);
+    }
+
+    /// Executes the numeric phase and assembles the product.
+    pub fn run(&self, gpu: &Gpu) -> SpgemmRun {
+        let (c_ptr, c_cols) = self.symbolic();
+        let c_bnnz = c_cols.len();
+        // Dense accumulator tiles, one per C block (each warp's
+        // shared-memory scratch in the hardware picture). The numeric
+        // phase runs as two passes over the same loop structure: a
+        // parallel functional compute into `tiles`, then a counting launch
+        // that charges the traffic, MMA issue and shared-memory
+        // accumulation the kernel would perform.
+        let mut tiles = vec![[0.0f32; 64]; c_bnnz];
+        let flops = std::sync::atomic::AtomicU64::new(0);
+
+        let a = &self.a;
+        let b = &self.b;
+        let c_ptr_ref = &c_ptr;
+        let c_cols_ref = &c_cols;
+
+        // Functional compute (parallel, disjoint rows).
+        let tiles_out: Vec<Vec<[f32; 64]>> = (0..a.block_rows)
+            .into_par_iter()
+            .map(|i| {
+                let lo = c_ptr_ref[i] as usize;
+                let hi = c_ptr_ref[i + 1] as usize;
+                let mut row_tiles = vec![[0.0f32; 64]; hi - lo];
+                let alo = a.block_row_ptr[i] as usize;
+                let ahi = a.block_row_ptr[i + 1] as usize;
+                let mut local_flops = 0u64;
+                for ak in alo..ahi {
+                    let k = a.block_cols[ak] as usize;
+                    if k >= b.block_rows {
+                        continue;
+                    }
+                    let a_tile = a.decode_block(ak);
+                    let blo = b.block_row_ptr[k] as usize;
+                    let bhi = b.block_row_ptr[k + 1] as usize;
+                    for bk in blo..bhi {
+                        let j = b.block_cols[bk];
+                        let t = c_cols_ref[lo..hi]
+                            .binary_search(&j)
+                            .expect("symbolic covered this block");
+                        let b_tile = b.decode_block(bk);
+                        let dst = &mut row_tiles[t];
+                        for r in 0..BLOCK_DIM {
+                            for kk in 0..BLOCK_DIM {
+                                let av = a_tile[r * BLOCK_DIM + kk];
+                                if av == 0.0 {
+                                    continue;
+                                }
+                                for c in 0..BLOCK_DIM {
+                                    dst[r * BLOCK_DIM + c] += av * b_tile[kk * BLOCK_DIM + c];
+                                }
+                            }
+                        }
+                        local_flops += 2
+                            * a.block_nnz(ak) as u64
+                            * 8; // each A nonzero meets one B row of <=8 values
+                    }
+                }
+                flops.fetch_add(local_flops, std::sync::atomic::Ordering::Relaxed);
+                row_tiles
+            })
+            .collect();
+        for (i, row) in tiles_out.into_iter().enumerate() {
+            let lo = c_ptr[i] as usize;
+            for (t, tile) in row.into_iter().enumerate() {
+                tiles[lo + t] = tile;
+            }
+        }
+
+        // Counting launch: same loop structure, charging decode traffic,
+        // MMA issue (two block products per MMA) and shared-memory tile
+        // accumulation, plus the compressed write-out.
+        let counters = gpu.launch(a.block_rows, |ctx| {
+            let i = ctx.warp_id;
+            ctx.ops(2); // block-row bounds reads
+            let lo = a.block_row_ptr[i] as usize;
+            let hi = a.block_row_ptr[i + 1] as usize;
+            let mut products = 0u64;
+            for ak in lo..hi {
+                ctx.read(&self.d_a_cols, ak);
+                let k = a.block_cols[ak] as usize;
+                if k >= b.block_rows {
+                    continue;
+                }
+                // A block decoded once per (i, k), held in registers.
+                let mut a_frag = Fragment::new(FragKind::MatrixA);
+                Self::load_block_tile(
+                    ctx,
+                    &self.d_a_bitmaps,
+                    &self.d_a_offsets,
+                    &self.d_a_values,
+                    ak,
+                    &mut a_frag,
+                    0,
+                    0,
+                );
+                let blo = b.block_row_ptr[k] as usize;
+                let bhi = b.block_row_ptr[k + 1] as usize;
+                for bk in blo..bhi {
+                    ctx.read(&self.d_b_cols, bk);
+                    let mut b_frag = Fragment::new(FragKind::MatrixB);
+                    Self::load_block_tile(
+                        ctx,
+                        &self.d_b_bitmaps,
+                        &self.d_b_offsets,
+                        &self.d_b_values,
+                        bk,
+                        &mut b_frag,
+                        0,
+                        0,
+                    );
+                    products += 1;
+                    // Two block products per MMA: issue one every other
+                    // product (the diagonal-packing trick).
+                    if products.is_multiple_of(2) {
+                        ctx.counters.mma_m16n16k16 += 1;
+                    }
+                    // Accumulate the 8×8 tile in shared memory: 256 B
+                    // read-modify-write.
+                    ctx.smem_stage(512);
+                    ctx.ops(4);
+                }
+            }
+            if !products.is_multiple_of(2) {
+                ctx.counters.mma_m16n16k16 += 1;
+            }
+            // Write-out: compress each C tile of the row — bitmap (8 B) +
+            // packed f16 values; modelled as the store traffic of the
+            // final structure slice.
+            let clo = c_ptr[i] as usize;
+            let chi = c_ptr[i + 1] as usize;
+            for t in clo..chi {
+                let nnz_tile = tiles[t].iter().filter(|v| **v != 0.0).count() as u64;
+                ctx.ops(6); // ballot + popcount prefix
+                ctx.counters.store_insts += 1;
+                let bytes = 8 + 4 + 2 * nnz_tile;
+                let sectors = bytes.div_ceil(32).max(1);
+                ctx.counters.sectors_written += sectors;
+                ctx.counters.dram_write_bytes += sectors * 32;
+            }
+        });
+
+        // Assemble the product bitBSR from the computed tiles.
+        let mut bitmaps = Vec::with_capacity(c_bnnz);
+        let mut values: Vec<F16> = Vec::new();
+        for tile in &tiles {
+            let mut bmp = 0u64;
+            for (bit, &v) in tile.iter().enumerate() {
+                let v16 = F16::from_f32(v);
+                if !v16.is_zero() {
+                    bmp |= 1u64 << bit;
+                    values.push(v16);
+                }
+            }
+            bitmaps.push(bmp);
+        }
+        // Drop blocks that became all-zero after f16 rounding/cancellation.
+        let mut ptr2 = vec![0u32];
+        let mut cols2 = Vec::new();
+        let mut bitmaps2 = Vec::new();
+        let mut counts = Vec::new();
+        for i in 0..a.block_rows {
+            for t in c_ptr[i] as usize..c_ptr[i + 1] as usize {
+                if bitmaps[t] != 0 {
+                    cols2.push(c_cols[t]);
+                    bitmaps2.push(bitmaps[t]);
+                    counts.push(bitmaps[t].count_ones());
+                }
+            }
+            ptr2.push(cols2.len() as u32);
+        }
+        let offsets = spaden_sparse::scan::exclusive_scan(&counts);
+        let c = BitBsr {
+            nrows: self.a.nrows,
+            ncols: self.b.ncols,
+            block_rows: self.a.block_rows,
+            block_cols_dim: self.b.block_cols_dim,
+            block_row_ptr: ptr2,
+            block_cols: cols2,
+            bitmaps: bitmaps2,
+            block_offsets: offsets,
+            values,
+        };
+        let time = estimate_time(&counters, &gpu.config);
+        SpgemmRun {
+            c,
+            counters,
+            time,
+            flops: flops.into_inner(),
+        }
+    }
+}
+
+/// CPU reference SpGEMM (Gustavson, f64 accumulation) for verification.
+pub fn spgemm_reference(a: &Csr, b: &Csr) -> Csr {
+    assert_eq!(a.ncols, b.nrows);
+    let mut coo = spaden_sparse::coo::Coo::new(a.nrows, b.ncols);
+    let mut acc: Vec<f64> = vec![0.0; b.ncols];
+    let mut touched: Vec<u32> = Vec::new();
+    for i in 0..a.nrows {
+        let (acols, avals) = a.row(i);
+        for (k, av) in acols.iter().zip(avals) {
+            let (bcols, bvals) = b.row(*k as usize);
+            for (j, bv) in bcols.iter().zip(bvals) {
+                if acc[*j as usize] == 0.0 && !touched.contains(j) {
+                    touched.push(*j);
+                }
+                acc[*j as usize] += *av as f64 * *bv as f64;
+            }
+        }
+        touched.sort_unstable();
+        for &j in &touched {
+            if acc[j as usize] != 0.0 {
+                coo.push(i as u32, j, acc[j as usize] as f32);
+            }
+            acc[j as usize] = 0.0;
+        }
+        touched.clear();
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spaden_gpusim::GpuConfig;
+    use spaden_sparse::gen::{self, FillDist, Placement};
+
+    fn f16_csr(csr: &Csr) -> Csr {
+        let mut c = csr.clone();
+        for v in &mut c.values {
+            *v = F16::round_f32(*v);
+        }
+        c
+    }
+
+    fn check_spgemm(a: &Csr, b: &Csr) {
+        let gpu = Gpu::new(GpuConfig::l40());
+        let eng = SpadenSpgemmEngine::prepare(&gpu, a, b);
+        let run = eng.run(&gpu);
+        // Reference on the f16-rounded inputs (what the engine actually
+        // multiplies).
+        let want = spgemm_reference(&f16_csr(a), &f16_csr(b));
+        let got = run.c.to_csr();
+        assert_eq!(got.nrows, want.nrows);
+        assert_eq!(got.ncols, want.ncols);
+        let (gd, wd) = (got.to_dense(), want.to_dense());
+        for (i, (g, w)) in gd.iter().zip(&wd).enumerate() {
+            // f16 rounding of products + possible cancellation.
+            let tol = 0.05f32.max(w.abs() * 0.02);
+            assert!((g - w).abs() <= tol, "dense pos {i}: {g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn identity_times_a_is_a() {
+        let a = gen::generate_blocked(
+            64,
+            24,
+            Placement::Scattered,
+            &FillDist::Uniform { lo: 4, hi: 40 },
+            161,
+        );
+        let mut eye = spaden_sparse::coo::Coo::new(64, 64);
+        for i in 0..64u32 {
+            eye.push(i, i, 1.0);
+        }
+        let gpu = Gpu::new(GpuConfig::l40());
+        let eng = SpadenSpgemmEngine::prepare(&gpu, &eye.to_csr(), &a);
+        let run = eng.run(&gpu);
+        assert_eq!(run.c.to_csr(), f16_csr(&a));
+    }
+
+    #[test]
+    fn matches_reference_small_random() {
+        let a = gen::random_uniform(48, 56, 300, 163);
+        let b = gen::random_uniform(56, 40, 280, 165);
+        check_spgemm(&a, &b);
+    }
+
+    #[test]
+    fn matches_reference_blocked() {
+        let a = gen::generate_blocked(
+            96,
+            40,
+            Placement::Banded { bandwidth: 3 },
+            &FillDist::Uniform { lo: 2, hi: 30 },
+            167,
+        );
+        let b = gen::generate_blocked(
+            96,
+            36,
+            Placement::Banded { bandwidth: 2 },
+            &FillDist::Uniform { lo: 2, hi: 30 },
+            169,
+        );
+        check_spgemm(&a, &b);
+    }
+
+    #[test]
+    fn symbolic_structure_is_superset_of_numeric() {
+        let a = gen::random_uniform(80, 80, 500, 171);
+        let gpu = Gpu::new(GpuConfig::l40());
+        let eng = SpadenSpgemmEngine::prepare(&gpu, &a, &a);
+        let (ptr, cols) = eng.symbolic();
+        let run = eng.run(&gpu);
+        // Every numeric block appears in the symbolic structure.
+        assert!(run.c.bnnz() <= cols.len());
+        assert_eq!(ptr.len(), eng.a.block_rows + 1);
+        assert!(run.c.validate().is_ok());
+    }
+
+    #[test]
+    fn two_products_per_mma() {
+        let a = gen::generate_blocked(
+            128,
+            48,
+            Placement::Scattered,
+            &FillDist::Uniform { lo: 8, hi: 40 },
+            173,
+        );
+        let gpu = Gpu::new(GpuConfig::l40());
+        let eng = SpadenSpgemmEngine::prepare(&gpu, &a, &a);
+        let run = eng.run(&gpu);
+        // MMAs = ceil(products / 2) summed per row; products >= bnnz of C.
+        assert!(run.counters.mma_m16n16k16 > 0);
+        assert!(run.flops > 0);
+        assert!(run.gflops() > 0.0);
+    }
+
+    #[test]
+    fn rectangular_chain() {
+        // (m x k) * (k x n) with awkward dimensions.
+        let a = gen::random_uniform(33, 50, 200, 175);
+        let b = gen::random_uniform(50, 27, 180, 177);
+        check_spgemm(&a, &b);
+    }
+
+    #[test]
+    fn reference_gustavson_identity() {
+        let a = gen::random_uniform(30, 30, 150, 179);
+        let mut eye = spaden_sparse::coo::Coo::new(30, 30);
+        for i in 0..30u32 {
+            eye.push(i, i, 1.0);
+        }
+        assert_eq!(spgemm_reference(&a, &eye.to_csr()), a);
+    }
+}

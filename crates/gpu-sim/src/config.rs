@@ -1,0 +1,139 @@
+//! GPU parameter sets for the analytic timing model.
+//!
+//! The paper evaluates on an NVIDIA L40 (568 4th-generation tensor cores)
+//! and a V100 (640 1st-generation tensor cores). The constants below come
+//! from the public datasheets; they set the *scale* of simulated times,
+//! while the counted memory/compute quantities set the *shape* of every
+//! figure.
+
+/// Architectural parameters of one simulated GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    /// Marketing name, printed by the harness.
+    pub name: &'static str,
+    /// Streaming multiprocessors.
+    pub num_sms: usize,
+    /// CUDA cores (FP32 lanes) across the whole GPU.
+    pub cuda_cores: usize,
+    /// Tensor cores across the whole GPU.
+    pub tensor_cores: usize,
+    /// Boost clock in Hz.
+    pub clock_hz: f64,
+    /// DRAM bandwidth in bytes/s.
+    pub dram_bw: f64,
+    /// Achievable fraction of peak DRAM bandwidth for irregular kernels.
+    pub dram_efficiency: f64,
+    /// L2 cache capacity in bytes. The L40's 96 MB L2 (vs the V100's 6 MB)
+    /// is why small matrices behave differently on the two GPUs.
+    pub l2_bytes: usize,
+    /// L2 bandwidth in bytes/s.
+    pub l2_bw: f64,
+    /// Shared-memory aggregate bandwidth in bytes/s (used only by the
+    /// shared-memory-staging ablation; Spaden itself bypasses it).
+    pub smem_bw: f64,
+    /// `m16n16k16` f16×f16+f32 MMA operations per second, whole GPU.
+    pub mma_m16n16k16_per_s: f64,
+    /// `m8n8k4` MMA operations per second (DASP's primitive). Native and
+    /// fast on Volta; the PTX ISA warns it is "substantially reduced" on
+    /// later architectures, which is what makes DASP slow on the L40.
+    pub mma_m8n8k4_per_s: f64,
+    /// Global atomic operations per second (L2-side).
+    pub atomic_ops_per_s: f64,
+    /// Fixed kernel launch overhead in seconds.
+    pub launch_overhead_s: f64,
+}
+
+impl GpuConfig {
+    /// NVIDIA L40: AD102, 142 SMs, 18176 CUDA cores, 568 4th-gen tensor
+    /// cores, 48 GB GDDR6 at 864 GB/s, 96 MB L2, ~2.49 GHz boost.
+    pub fn l40() -> GpuConfig {
+        GpuConfig {
+            name: "L40",
+            num_sms: 142,
+            cuda_cores: 18_176,
+            tensor_cores: 568,
+            clock_hz: 2.49e9,
+            dram_bw: 864e9,
+            dram_efficiency: 0.80,
+            l2_bytes: 96 << 20,
+            l2_bw: 4.0e12,
+            smem_bw: 18.0e12,
+            // FP16 tensor peak 181 TFLOPS => 90.5e12 FMA/s / 4096 FMA per op.
+            mma_m16n16k16_per_s: 90.5e12 / 4096.0,
+            // m8n8k4 is not native on Ada: the PTX ISA warns of
+            // "substantially reduced performance"; it is emulated at a
+            // small fraction of proportional throughput.
+            mma_m8n8k4_per_s: 90.5e12 / 256.0 / 160.0,
+            atomic_ops_per_s: 2.0e10,
+            launch_overhead_s: 3e-6,
+        }
+    }
+
+    /// NVIDIA V100: GV100, 80 SMs, 5120 CUDA cores, 640 1st-gen tensor
+    /// cores, 16/32 GB HBM2 at 900 GB/s, 6 MB L2, ~1.53 GHz boost.
+    pub fn v100() -> GpuConfig {
+        GpuConfig {
+            name: "V100",
+            num_sms: 80,
+            cuda_cores: 5_120,
+            tensor_cores: 640,
+            clock_hz: 1.53e9,
+            dram_bw: 900e9,
+            dram_efficiency: 0.80,
+            l2_bytes: 6 << 20,
+            l2_bw: 2.5e12,
+            smem_bw: 13.0e12,
+            // FP16 tensor peak 112 TFLOPS.
+            mma_m16n16k16_per_s: 56.0e12 / 4096.0,
+            // m8n8k4 is the native Volta primitive: full proportional rate.
+            mma_m8n8k4_per_s: 56.0e12 / 256.0,
+            atomic_ops_per_s: 1.0e10,
+            launch_overhead_s: 3e-6,
+        }
+    }
+
+    /// Peak lane-operations per second on the CUDA cores (1 op per core per
+    /// cycle; FMA would be 2 FLOPs but the counter tracks instructions).
+    pub fn cuda_lane_ops_per_s(&self) -> f64 {
+        self.cuda_cores as f64 * self.clock_hz
+    }
+
+    /// Effective DRAM bandwidth in bytes/s.
+    pub fn effective_dram_bw(&self) -> f64 {
+        self.dram_bw * self.dram_efficiency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l40_and_v100_match_datasheets() {
+        let l40 = GpuConfig::l40();
+        assert_eq!(l40.tensor_cores, 568); // as stated in the paper §5.1
+        let v100 = GpuConfig::v100();
+        assert_eq!(v100.tensor_cores, 640); // as stated in the paper §5.1
+        assert!(l40.l2_bytes > v100.l2_bytes);
+    }
+
+    #[test]
+    fn m8n8k4_contrast_between_architectures() {
+        // DASP's primitive must be relatively fast on V100 and crippled on
+        // L40 (PTX ISA note cited in §5.2).
+        let l40 = GpuConfig::l40();
+        let v100 = GpuConfig::v100();
+        let l40_ratio = l40.mma_m8n8k4_per_s / l40.mma_m16n16k16_per_s;
+        let v100_ratio = v100.mma_m8n8k4_per_s / v100.mma_m16n16k16_per_s;
+        assert!(v100_ratio > 4.0 * l40_ratio);
+    }
+
+    #[test]
+    fn derived_rates_positive() {
+        for cfg in [GpuConfig::l40(), GpuConfig::v100()] {
+            assert!(cfg.cuda_lane_ops_per_s() > 1e12, "{}", cfg.name);
+            assert!(cfg.effective_dram_bw() > 1e11, "{}", cfg.name);
+            assert!(cfg.effective_dram_bw() < cfg.dram_bw);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Performance counters collected during simulated kernel execution.
+
+/// Event counts for one kernel launch (or one warp's share of it; counters
+/// from parallel shards are merged with [`KernelCounters::merge`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelCounters {
+    /// 32-byte memory sectors requested after warp-level coalescing
+    /// (i.e. L2 accesses).
+    pub sectors_read: u64,
+    /// Sectors written (writes are modelled as streaming through L2).
+    pub sectors_written: u64,
+    /// Read sectors served by the L2 model.
+    pub l2_hits: u64,
+    /// Bytes fetched from DRAM (read misses, 32 B per missed sector).
+    pub dram_read_bytes: u64,
+    /// Bytes written to DRAM.
+    pub dram_write_bytes: u64,
+    /// Warp-wide load instructions issued.
+    pub load_insts: u64,
+    /// Warp-wide store instructions issued.
+    pub store_insts: u64,
+    /// Warp-wide arithmetic/logic instructions on the CUDA cores.
+    pub cuda_ops: u64,
+    /// `m16n16k16` tensor-core MMA operations.
+    pub mma_m16n16k16: u64,
+    /// `m8n8k4` tensor-core MMA operations (DASP's primitive).
+    pub mma_m8n8k4: u64,
+    /// Global atomic operations.
+    pub atomic_ops: u64,
+    /// Bytes staged through shared memory (the conventional WMMA path the
+    /// paper's direct register access avoids; exercised by the ablation).
+    pub smem_bytes: u64,
+    /// Warps launched.
+    pub warps: u64,
+}
+
+impl KernelCounters {
+    /// Element-wise sum, used when merging per-shard counters.
+    pub fn merge(&mut self, other: &KernelCounters) {
+        self.sectors_read += other.sectors_read;
+        self.sectors_written += other.sectors_written;
+        self.l2_hits += other.l2_hits;
+        self.dram_read_bytes += other.dram_read_bytes;
+        self.dram_write_bytes += other.dram_write_bytes;
+        self.load_insts += other.load_insts;
+        self.store_insts += other.store_insts;
+        self.cuda_ops += other.cuda_ops;
+        self.mma_m16n16k16 += other.mma_m16n16k16;
+        self.mma_m8n8k4 += other.mma_m8n8k4;
+        self.atomic_ops += other.atomic_ops;
+        self.smem_bytes += other.smem_bytes;
+        self.warps += other.warps;
+    }
+
+    /// Total DRAM traffic in bytes.
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_read_bytes + self.dram_write_bytes
+    }
+
+    /// L2 read hit rate in `[0, 1]`.
+    pub fn l2_hit_rate(&self) -> f64 {
+        if self.sectors_read == 0 {
+            0.0
+        } else {
+            self.l2_hits as f64 / self.sectors_read as f64
+        }
+    }
+
+    /// All instruction-like events (diagnostics).
+    pub fn total_instructions(&self) -> u64 {
+        self.load_insts
+            + self.store_insts
+            + self.cuda_ops
+            + self.mma_m16n16k16
+            + self.mma_m8n8k4
+            + self.atomic_ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = KernelCounters { sectors_read: 1, l2_hits: 1, cuda_ops: 5, ..Default::default() };
+        let b = KernelCounters {
+            sectors_read: 2,
+            dram_read_bytes: 64,
+            mma_m16n16k16: 3,
+            warps: 7,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.sectors_read, 3);
+        assert_eq!(a.l2_hits, 1);
+        assert_eq!(a.cuda_ops, 5);
+        assert_eq!(a.dram_read_bytes, 64);
+        assert_eq!(a.mma_m16n16k16, 3);
+        assert_eq!(a.warps, 7);
+    }
+
+    #[test]
+    fn hit_rate_bounds() {
+        let c = KernelCounters { sectors_read: 10, l2_hits: 4, ..Default::default() };
+        assert!((c.l2_hit_rate() - 0.4).abs() < 1e-12);
+        assert_eq!(KernelCounters::default().l2_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn dram_bytes_sums_read_write() {
+        let c = KernelCounters { dram_read_bytes: 96, dram_write_bytes: 32, ..Default::default() };
+        assert_eq!(c.dram_bytes(), 128);
+    }
+}

@@ -1,0 +1,504 @@
+//! Kernel execution: warp-lockstep functional simulation with full traffic
+//! accounting.
+//!
+//! Kernels are closures invoked once per warp with a [`WarpCtx`], which
+//! provides warp-wide memory operations (gather/scatter/atomics, each
+//! passing through the coalescer and L2 model), tensor-core MMA issue, and
+//! instruction counting. Warps run in parallel via rayon across a fixed
+//! number of L2 *shards* — contiguous warp ranges sharing one slice of the
+//! L2 model — so results and counters are deterministic regardless of the
+//! host thread count (the one exception is the float-accumulation order of
+//! cross-warp atomics, as on real hardware).
+
+use crate::config::GpuConfig;
+use crate::counters::KernelCounters;
+use crate::fragment::Fragment;
+use crate::memory::{
+    coalesce_into, DeviceBuffer, DeviceOutput, DeviceScalar, L2Cache, SECTOR_BYTES,
+};
+use rayon::prelude::*;
+
+/// Threads per warp.
+pub const WARP_SIZE: usize = 32;
+
+/// Number of L2 shards / parallel execution lanes. Fixed (not tied to host
+/// threads) so counter results are reproducible.
+const SHARDS: usize = 16;
+
+/// A simulated GPU: configuration plus a bump allocator handing out
+/// non-overlapping virtual addresses for device buffers.
+#[derive(Debug)]
+pub struct Gpu {
+    /// Architectural parameters (timing model inputs).
+    pub config: GpuConfig,
+    next_addr: std::sync::atomic::AtomicU64,
+}
+
+impl Gpu {
+    /// Creates a GPU with the given configuration.
+    pub fn new(config: GpuConfig) -> Self {
+        Gpu { config, next_addr: std::sync::atomic::AtomicU64::new(0x1000_0000) }
+    }
+
+    fn bump(&self, bytes: u64) -> u64 {
+        // 256-byte allocation alignment, like cudaMalloc.
+        let aligned = bytes.div_ceil(256) * 256;
+        self.next_addr.fetch_add(aligned, std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Copies host data into a fresh device buffer.
+    pub fn alloc<T: DeviceScalar>(&self, data: Vec<T>) -> DeviceBuffer<T> {
+        let base = self.bump(data.len() as u64 * T::BYTES);
+        DeviceBuffer::with_base(base, data)
+    }
+
+    /// Allocates a zeroed output vector.
+    pub fn alloc_output(&self, len: usize) -> DeviceOutput {
+        let base = self.bump(len as u64 * 4);
+        DeviceOutput::with_base(base, len)
+    }
+
+    /// Launches `nwarps` instances of `kernel` and returns merged counters.
+    pub fn launch<F>(&self, nwarps: usize, kernel: F) -> KernelCounters
+    where
+        F: Fn(&mut WarpCtx) + Sync,
+    {
+        let shard_l2 = (self.config.l2_bytes / SHARDS).max(4096);
+        let mut merged = (0..SHARDS)
+            .into_par_iter()
+            .map(|s| {
+                let lo = nwarps * s / SHARDS;
+                let hi = nwarps * (s + 1) / SHARDS;
+                let mut ctx = WarpCtx {
+                    warp_id: 0,
+                    nwarps,
+                    counters: KernelCounters::default(),
+                    l2: L2Cache::new(shard_l2),
+                    scratch: Vec::with_capacity(64),
+                };
+                for w in lo..hi {
+                    ctx.warp_id = w;
+                    kernel(&mut ctx);
+                }
+                ctx.counters
+            })
+            .reduce(KernelCounters::default, |mut a, b| {
+                a.merge(&b);
+                a
+            });
+        merged.warps = nwarps as u64;
+        merged
+    }
+}
+
+/// Per-warp execution context: the only way kernels touch device memory,
+/// so every access is coalesced, cached and counted.
+pub struct WarpCtx {
+    /// This warp's global index.
+    pub warp_id: usize,
+    /// Total warps in the launch.
+    pub nwarps: usize,
+    /// Event counters for this shard.
+    pub counters: KernelCounters,
+    l2: L2Cache,
+    scratch: Vec<u64>,
+}
+
+impl WarpCtx {
+    /// Registers `n` warp-wide arithmetic/logic instructions.
+    #[inline]
+    pub fn ops(&mut self, n: u64) {
+        self.counters.cuda_ops += n;
+    }
+
+    fn account_read_sectors(&mut self) {
+        for i in 0..self.scratch.len() {
+            let sector = self.scratch[i];
+            self.counters.sectors_read += 1;
+            if self.l2.access_sector(sector) {
+                self.counters.l2_hits += 1;
+            } else {
+                self.counters.dram_read_bytes += SECTOR_BYTES;
+            }
+        }
+    }
+
+    /// Warp-wide gather: active lane `l` reads `buf[idx[l]]`. One load
+    /// instruction; transactions are the coalesced unique sectors.
+    pub fn gather<T: DeviceScalar>(
+        &mut self,
+        buf: &DeviceBuffer<T>,
+        idx: &[Option<u32>; WARP_SIZE],
+    ) -> [T; WARP_SIZE] {
+        self.counters.load_insts += 1;
+        coalesce_into(
+            idx.iter().flatten().map(|&i| buf.addr(i as usize)),
+            &mut self.scratch,
+        );
+        self.account_read_sectors();
+        let mut out = [T::default(); WARP_SIZE];
+        for (lane, i) in idx.iter().enumerate() {
+            if let Some(i) = i {
+                out[lane] = buf.get(*i as usize);
+            }
+        }
+        out
+    }
+
+    /// Warp-wide gather that bypasses the L2 model: every coalesced sector
+    /// goes to DRAM. Models pre-`__ldg`/texture-path kernels (2015-era
+    /// LightSpMV) whose irregular reads get no cache reuse.
+    pub fn gather_nocache<T: DeviceScalar>(
+        &mut self,
+        buf: &DeviceBuffer<T>,
+        idx: &[Option<u32>; WARP_SIZE],
+    ) -> [T; WARP_SIZE] {
+        self.counters.load_insts += 1;
+        coalesce_into(
+            idx.iter().flatten().map(|&i| buf.addr(i as usize)),
+            &mut self.scratch,
+        );
+        let n = self.scratch.len() as u64;
+        self.counters.sectors_read += n;
+        self.counters.dram_read_bytes += n * SECTOR_BYTES;
+        let mut out = [T::default(); WARP_SIZE];
+        for (lane, i) in idx.iter().enumerate() {
+            if let Some(i) = i {
+                out[lane] = buf.get(*i as usize);
+            }
+        }
+        out
+    }
+
+    /// Uniform (broadcast) read: all lanes read the same element. One load
+    /// instruction, one sector.
+    pub fn read<T: DeviceScalar>(&mut self, buf: &DeviceBuffer<T>, i: usize) -> T {
+        self.counters.load_insts += 1;
+        self.scratch.clear();
+        self.scratch.push(buf.addr(i) / SECTOR_BYTES);
+        self.account_read_sectors();
+        buf.get(i)
+    }
+
+    /// Consecutive-pair read covering two elements per active lane
+    /// (`buf[i]`, `buf[i+1]`) — the access shape of Algorithm 2's value
+    /// loads. One load instruction (128-bit-style vectorised access).
+    pub fn gather_pair<T: DeviceScalar>(
+        &mut self,
+        buf: &DeviceBuffer<T>,
+        idx: &[Option<u32>; WARP_SIZE],
+    ) -> [(T, T); WARP_SIZE] {
+        self.counters.load_insts += 1;
+        coalesce_into(
+            idx.iter()
+                .flatten()
+                .flat_map(|&i| [buf.addr(i as usize), buf.addr(i as usize + 1)]),
+            &mut self.scratch,
+        );
+        self.account_read_sectors();
+        let mut out = [(T::default(), T::default()); WARP_SIZE];
+        for (lane, i) in idx.iter().enumerate() {
+            if let Some(i) = i {
+                out[lane] = (buf.get(*i as usize), buf.get(*i as usize + 1));
+            }
+        }
+        out
+    }
+
+    /// Warp-wide scatter store: active lane `l` writes `val` to
+    /// `out[idx]`. Writes stream through L2 to DRAM (no read allocation).
+    pub fn scatter(&mut self, out: &DeviceOutput, writes: &[Option<(u32, f32)>; WARP_SIZE]) {
+        self.counters.store_insts += 1;
+        coalesce_into(
+            writes.iter().flatten().map(|&(i, _)| out.addr(i as usize)),
+            &mut self.scratch,
+        );
+        let n = self.scratch.len() as u64;
+        self.counters.sectors_written += n;
+        self.counters.dram_write_bytes += n * SECTOR_BYTES;
+        for w in writes.iter().flatten() {
+            out.store(w.0 as usize, w.1);
+        }
+    }
+
+    /// Warp-wide atomic float add (CUDA `atomicAdd`): one atomic operation
+    /// per active lane, write traffic for the unique sectors.
+    pub fn atomic_add(&mut self, out: &DeviceOutput, writes: &[Option<(u32, f32)>; WARP_SIZE]) {
+        let active = writes.iter().flatten().count() as u64;
+        self.counters.atomic_ops += active;
+        coalesce_into(
+            writes.iter().flatten().map(|&(i, _)| out.addr(i as usize)),
+            &mut self.scratch,
+        );
+        let n = self.scratch.len() as u64;
+        self.counters.sectors_written += n;
+        self.counters.dram_write_bytes += n * SECTOR_BYTES;
+        for w in writes.iter().flatten() {
+            out.fetch_add(w.0 as usize, w.1);
+        }
+    }
+
+    /// Issues one `m16n16k16` MMA and computes `d = a×b + c`.
+    pub fn mma_16x16x16(&mut self, d: &mut Fragment, a: &Fragment, b: &Fragment, c: &Fragment) {
+        self.counters.mma_m16n16k16 += 1;
+        crate::mma::mma_sync(d, a, b, c);
+    }
+
+    /// Registers `n` issued `m8n8k4` MMAs (DASP's primitive; its kernels
+    /// compute with [`crate::mma::mma_m8n8k4`] directly).
+    pub fn mma_m8n8k4_issue(&mut self, n: u64) {
+        self.counters.mma_m8n8k4 += n;
+    }
+
+    /// Registers `bytes` staged through shared memory (the conventional
+    /// WMMA load path that the paper's direct register access eliminates).
+    /// Counts the store-to-smem and load-from-smem instruction pair.
+    pub fn smem_stage(&mut self, bytes: u64) {
+        self.counters.smem_bytes += bytes;
+        // One 32-lane store + one load instruction per 128 staged bytes.
+        self.counters.cuda_ops += 2 * bytes.div_ceil(128);
+    }
+
+    /// Warp tree-reduction (`__shfl_down_sync` ladder): returns the sum of
+    /// all 32 lane values; 5 shuffle+add steps.
+    pub fn reduce_sum(&mut self, vals: &[f32; WARP_SIZE]) -> f32 {
+        self.counters.cuda_ops += 5;
+        let mut v = *vals;
+        let mut width = WARP_SIZE / 2;
+        while width > 0 {
+            for i in 0..width {
+                v[i] += v[i + width];
+            }
+            width /= 2;
+        }
+        v[0]
+    }
+
+    /// Segmented tree-reduction: sums each aligned group of `group` lanes
+    /// (power of two); lane `l` receives the sum of its group.
+    pub fn segmented_reduce_sum(
+        &mut self,
+        vals: &[f32; WARP_SIZE],
+        group: usize,
+    ) -> [f32; WARP_SIZE] {
+        assert!(group.is_power_of_two() && group <= WARP_SIZE);
+        self.counters.cuda_ops += group.trailing_zeros() as u64;
+        let mut v = *vals;
+        let mut width = group / 2;
+        while width > 0 {
+            let mut next = v;
+            for l in 0..WARP_SIZE {
+                let base = l / group * group;
+                let pos = l % group;
+                let partner = base + (pos + width) % group;
+                next[l] = v[l] + v[partner];
+            }
+            v = next;
+            width /= 2;
+        }
+        v
+    }
+}
+
+/// Builds a lane-index array from an iterator of at most 32 indices
+/// (remaining lanes inactive) — a small kernel-authoring convenience.
+pub fn lanes_from(iter: impl IntoIterator<Item = u32>) -> [Option<u32>; WARP_SIZE] {
+    let mut out = [None; WARP_SIZE];
+    for (l, i) in iter.into_iter().take(WARP_SIZE).enumerate() {
+        out[l] = Some(i);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GpuConfig;
+
+    fn gpu() -> Gpu {
+        Gpu::new(GpuConfig::l40())
+    }
+
+    #[test]
+    fn alloc_assigns_disjoint_addresses() {
+        let g = gpu();
+        let a = g.alloc(vec![0f32; 100]);
+        let b = g.alloc(vec![0u64; 10]);
+        // a spans 400 bytes from its base; b must start past it.
+        assert!(b.addr(0) >= a.addr(99) + 4);
+    }
+
+    #[test]
+    fn unit_stride_gather_counts_four_sectors() {
+        let g = gpu();
+        let buf = g.alloc((0..64u32).map(|i| i as f32).collect::<Vec<_>>());
+        let c = g.launch(1, |ctx| {
+            let idx = lanes_from(0..32u32);
+            let vals = ctx.gather(&buf, &idx);
+            assert_eq!(vals[5], 5.0);
+        });
+        assert_eq!(c.load_insts, 1);
+        assert_eq!(c.sectors_read, 4); // 32 f32 = 128 B = 4 sectors
+        assert_eq!(c.dram_read_bytes, 128);
+        assert_eq!(c.warps, 1);
+    }
+
+    #[test]
+    fn strided_gather_is_uncoalesced() {
+        let g = gpu();
+        let buf = g.alloc(vec![1.0f32; 32 * 32]);
+        let c = g.launch(1, |ctx| {
+            let idx = lanes_from((0..32u32).map(|i| i * 32)); // 128 B stride
+            ctx.gather(&buf, &idx);
+        });
+        assert_eq!(c.sectors_read, 32);
+    }
+
+    #[test]
+    fn l2_hit_on_repeat_access() {
+        let g = gpu();
+        let buf = g.alloc(vec![1.0f32; 32]);
+        let c = g.launch(1, |ctx| {
+            let idx = lanes_from(0..32u32);
+            ctx.gather(&buf, &idx);
+            ctx.gather(&buf, &idx);
+        });
+        assert_eq!(c.sectors_read, 8);
+        assert_eq!(c.l2_hits, 4, "second gather fully hits");
+        assert_eq!(c.dram_read_bytes, 128, "only first gather reaches DRAM");
+    }
+
+    #[test]
+    fn inactive_lanes_skip_traffic() {
+        let g = gpu();
+        let buf = g.alloc(vec![2.0f32; 64]);
+        let c = g.launch(1, |ctx| {
+            let mut idx = [None; WARP_SIZE];
+            idx[3] = Some(8u32);
+            let vals = ctx.gather(&buf, &idx);
+            assert_eq!(vals[3], 2.0);
+            assert_eq!(vals[0], 0.0, "inactive lane default");
+        });
+        assert_eq!(c.sectors_read, 1);
+    }
+
+    #[test]
+    fn gather_pair_reads_two_consecutive() {
+        let g = gpu();
+        let buf = g.alloc((0..64u32).map(|i| i as f32).collect::<Vec<_>>());
+        g.launch(1, |ctx| {
+            let idx = lanes_from((0..32u32).map(|i| i * 2));
+            let pairs = ctx.gather_pair(&buf, &idx);
+            assert_eq!(pairs[3], (6.0, 7.0));
+        });
+    }
+
+    #[test]
+    fn scatter_writes_and_counts() {
+        let g = gpu();
+        let out = g.alloc_output(64);
+        let c = g.launch(1, |ctx| {
+            let mut w = [None; WARP_SIZE];
+            for l in 0..16 {
+                w[l] = Some((l as u32, l as f32));
+            }
+            ctx.scatter(&out, &w);
+        });
+        assert_eq!(c.store_insts, 1);
+        assert_eq!(c.sectors_written, 2); // 16 f32 = 64 B
+        assert_eq!(c.dram_write_bytes, 64);
+        assert_eq!(out.load(7), 7.0);
+    }
+
+    #[test]
+    fn atomics_accumulate_across_warps() {
+        let g = gpu();
+        let out = g.alloc_output(4);
+        let c = g.launch(64, |ctx| {
+            let mut w = [None; WARP_SIZE];
+            w[0] = Some((1u32, 1.0f32));
+            ctx.atomic_add(&out, &w);
+        });
+        assert_eq!(c.atomic_ops, 64);
+        assert_eq!(out.load(1), 64.0);
+    }
+
+    #[test]
+    fn counters_are_deterministic_across_launches() {
+        let g = gpu();
+        let buf = g.alloc(vec![1.0f32; 10_000]);
+        let run = || {
+            g.launch(200, |ctx| {
+                let base = (ctx.warp_id * 37 % 9000) as u32;
+                let idx = lanes_from(base..base + 32);
+                ctx.gather(&buf, &idx);
+            })
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn reduce_sum_is_exact_tree() {
+        let g = gpu();
+        g.launch(1, |ctx| {
+            let mut v = [0.0f32; WARP_SIZE];
+            for (i, x) in v.iter_mut().enumerate() {
+                *x = (i + 1) as f32;
+            }
+            assert_eq!(ctx.reduce_sum(&v), (32 * 33 / 2) as f32);
+        });
+    }
+
+    #[test]
+    fn segmented_reduce_groups_of_four() {
+        let g = gpu();
+        g.launch(1, |ctx| {
+            let mut v = [0.0f32; WARP_SIZE];
+            for (i, x) in v.iter_mut().enumerate() {
+                *x = i as f32;
+            }
+            let r = ctx.segmented_reduce_sum(&v, 4);
+            // Group 0 = 0+1+2+3 = 6, each lane of the group sees the sum.
+            assert_eq!(&r[0..4], &[6.0; 4]);
+            assert_eq!(&r[4..8], &[22.0; 4]);
+            assert_eq!(r[31], (28 + 29 + 30 + 31) as f32);
+        });
+    }
+
+    #[test]
+    fn mma_issue_is_counted_and_computed() {
+        use crate::fragment::{FragKind, Fragment};
+        let g = gpu();
+        let c = g.launch(1, |ctx| {
+            let mut a = Fragment::new(FragKind::MatrixA);
+            a.set(0, 0, 2.0);
+            let mut b = Fragment::new(FragKind::MatrixB);
+            b.set(0, 0, 3.0);
+            let acc = Fragment::new(FragKind::Accumulator);
+            let mut d = Fragment::new(FragKind::Accumulator);
+            ctx.mma_16x16x16(&mut d, &a, &b, &acc);
+            assert_eq!(d.get(0, 0), 6.0);
+        });
+        assert_eq!(c.mma_m16n16k16, 1);
+    }
+
+    #[test]
+    fn smem_staging_costs_instructions() {
+        let g = gpu();
+        let c = g.launch(1, |ctx| ctx.smem_stage(512));
+        assert_eq!(c.smem_bytes, 512);
+        assert_eq!(c.cuda_ops, 8);
+    }
+
+    #[test]
+    fn shards_cover_all_warps_exactly_once() {
+        let g = gpu();
+        let out = g.alloc_output(1000);
+        g.launch(1000, |ctx| {
+            let mut w = [None; WARP_SIZE];
+            w[0] = Some((ctx.warp_id as u32, 1.0f32));
+            ctx.atomic_add(&out, &w);
+        });
+        assert!(out.to_vec().iter().all(|&v| v == 1.0));
+    }
+}

@@ -1,0 +1,246 @@
+//! IEEE 754 binary16 ("half") implemented from scratch.
+//!
+//! Tensor cores take half-precision inputs and accumulate in `f32`
+//! (Section 2.2: "inputs in 16-bit half floating-point format and outputs
+//! in 32-bit floating-point format"). bitBSR stores matrix values as f16 —
+//! that is what brings its footprint down to the paper's 2.85 bytes/nnz —
+//! so a correct, tested f16 is part of the substrate rather than an
+//! external dependency.
+
+/// A 16-bit IEEE 754 binary16 value (1 sign, 5 exponent, 10 mantissa bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct F16(pub u16);
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0);
+    /// One.
+    pub const ONE: F16 = F16(0x3c00);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7c00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: F16 = F16(0xfc00);
+    /// Largest finite value (65504).
+    pub const MAX: F16 = F16(0x7bff);
+    /// Smallest positive normal value (2^-14).
+    pub const MIN_POSITIVE: F16 = F16(0x0400);
+
+    /// Converts from `f32` with round-to-nearest-even, the rounding mode
+    /// tensor-core loads use. Overflow goes to infinity; subnormals are
+    /// produced below 2^-14; NaN payloads collapse to a canonical quiet NaN.
+    pub fn from_f32(value: f32) -> F16 {
+        let bits = value.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xff) as i32;
+        let mant = bits & 0x007f_ffff;
+
+        if exp == 0xff {
+            // Inf or NaN.
+            return if mant == 0 {
+                F16(sign | 0x7c00)
+            } else {
+                F16(sign | 0x7e00) // canonical quiet NaN
+            };
+        }
+
+        // Unbiased exponent; f32 bias 127, f16 bias 15.
+        let unbiased = exp - 127;
+        if unbiased > 15 {
+            return F16(sign | 0x7c00); // overflow -> inf
+        }
+        if unbiased >= -14 {
+            // Normal range: keep 10 mantissa bits, RNE on the dropped 13.
+            let mant16 = mant >> 13;
+            let rest = mant & 0x1fff;
+            let halfway = 0x1000;
+            let mut out = sign as u32 | (((unbiased + 15) as u32) << 10) | mant16;
+            if rest > halfway || (rest == halfway && (mant16 & 1) == 1) {
+                out += 1; // mantissa carry may roll into the exponent; that
+                          // is correct behaviour (rounds up to next binade
+                          // or to infinity).
+            }
+            return F16(out as u16);
+        }
+        if unbiased >= -25 {
+            // Subnormal range: implicit leading 1 becomes explicit, shifted
+            // right by the exponent deficit.
+            let full = mant | 0x0080_0000;
+            let shift = (-14 - unbiased) as u32 + 13;
+            let mant16 = full >> shift;
+            let rest = full & ((1u32 << shift) - 1);
+            let halfway = 1u32 << (shift - 1);
+            let mut out = sign as u32 | mant16;
+            if rest > halfway || (rest == halfway && (mant16 & 1) == 1) {
+                out += 1;
+            }
+            return F16(out as u16);
+        }
+        F16(sign) // underflow to signed zero
+    }
+
+    /// Converts to `f32`, exactly (every f16 is representable in f32).
+    pub fn to_f32(self) -> f32 {
+        let sign = ((self.0 & 0x8000) as u32) << 16;
+        let exp = ((self.0 >> 10) & 0x1f) as u32;
+        let mant = (self.0 & 0x3ff) as u32;
+        let bits = match (exp, mant) {
+            (0, 0) => sign,
+            (0, m) => {
+                // Subnormal: value = m * 2^-24; normalise so the top set
+                // bit of m becomes the implicit leading 1.
+                let lz = m.leading_zeros(); // in [22, 31] since m <= 0x3ff
+                let shift = lz - 21; // moves the top bit to position 10
+                let mant_norm = (m << shift) & 0x3ff;
+                let exp32 = 134 - lz; // (31 - lz) - 24 + 127
+                sign | (exp32 << 23) | (mant_norm << 13)
+            }
+            (0x1f, 0) => sign | 0x7f80_0000,
+            (0x1f, _) => sign | 0x7fc0_0000,
+            (e, m) => sign | ((e + 127 - 15) << 23) | (m << 13),
+        };
+        f32::from_bits(bits)
+    }
+
+    /// Rounds an `f32` through f16 precision and back — the value a tensor
+    /// core actually multiplies after loading `value` into a half fragment.
+    #[inline]
+    pub fn round_f32(value: f32) -> f32 {
+        F16::from_f32(value).to_f32()
+    }
+
+    /// True for positive or negative infinity.
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7fff) == 0x7c00
+    }
+
+    /// True for NaN.
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7c00) == 0x7c00 && (self.0 & 0x3ff) != 0
+    }
+
+    /// True for zero of either sign.
+    pub fn is_zero(self) -> bool {
+        (self.0 & 0x7fff) == 0
+    }
+}
+
+impl From<f32> for F16 {
+    fn from(v: f32) -> Self {
+        F16::from_f32(v)
+    }
+}
+
+impl From<F16> for f32 {
+    fn from(v: F16) -> Self {
+        v.to_f32()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_constants() {
+        assert_eq!(F16::from_f32(0.0).0, 0x0000);
+        assert_eq!(F16::from_f32(-0.0).0, 0x8000);
+        assert_eq!(F16::from_f32(1.0).0, 0x3c00);
+        assert_eq!(F16::from_f32(-1.0).0, 0xbc00);
+        assert_eq!(F16::from_f32(2.0).0, 0x4000);
+        assert_eq!(F16::from_f32(0.5).0, 0x3800);
+        assert_eq!(F16::from_f32(65504.0).0, 0x7bff);
+        assert_eq!(F16::from_f32(1.5).0, 0x3e00);
+        assert_eq!(F16::from_f32(0.099975586).0, 0x2e66); // nearest to 0.1
+    }
+
+    #[test]
+    fn overflow_to_infinity() {
+        assert_eq!(F16::from_f32(65520.0), F16::INFINITY); // ties-to-even up
+        assert_eq!(F16::from_f32(1e30), F16::INFINITY);
+        assert_eq!(F16::from_f32(-1e30), F16::NEG_INFINITY);
+        assert_eq!(F16::from_f32(f32::INFINITY), F16::INFINITY);
+    }
+
+    #[test]
+    fn nan_propagates() {
+        assert!(F16::from_f32(f32::NAN).is_nan());
+        assert!(F16::from_f32(f32::NAN).to_f32().is_nan());
+    }
+
+    #[test]
+    fn subnormals() {
+        // 2^-15 is subnormal in f16: 0x0200.
+        assert_eq!(F16::from_f32(2.0f32.powi(-15)).0, 0x0200);
+        // Smallest subnormal 2^-24 -> 0x0001.
+        assert_eq!(F16::from_f32(2.0f32.powi(-24)).0, 0x0001);
+        // Half of it rounds to zero under RNE (tie, even).
+        assert_eq!(F16::from_f32(2.0f32.powi(-25)).0, 0x0000);
+        // Just above half rounds up.
+        assert_eq!(F16::from_f32(2.0f32.powi(-25) * 1.0001).0, 0x0001);
+        // Underflow to zero.
+        assert_eq!(F16::from_f32(1e-30).0, 0x0000);
+    }
+
+    #[test]
+    fn subnormal_to_f32_exact() {
+        assert_eq!(F16(0x0001).to_f32(), 2.0f32.powi(-24));
+        assert_eq!(F16(0x0200).to_f32(), 2.0f32.powi(-15));
+        assert_eq!(F16(0x03ff).to_f32(), 2.0f32.powi(-24) * 1023.0);
+    }
+
+    #[test]
+    fn round_to_nearest_even_ties() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and 1+2^-10; RNE keeps
+        // the even mantissa (1.0).
+        let tie = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(tie).0, 0x3c00);
+        // 1 + 3*2^-11 is halfway between odd and even; rounds up to even.
+        let tie2 = 1.0 + 3.0 * 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(tie2).0, 0x3c02);
+    }
+
+    #[test]
+    fn mantissa_carry_rolls_to_next_binade() {
+        // Largest f16 below 2.0 is 1.9990234; anything closer to 2.0 than
+        // the midpoint must round to exactly 2.0.
+        assert_eq!(F16::from_f32(1.9998).0, 0x4000);
+    }
+
+    #[test]
+    fn exhaustive_roundtrip_all_finite_f16() {
+        // Every finite f16 must survive f16 -> f32 -> f16 exactly.
+        for bits in 0..=0xffffu16 {
+            let h = F16(bits);
+            if h.is_nan() {
+                continue;
+            }
+            let back = F16::from_f32(h.to_f32());
+            assert_eq!(back.0, bits, "bits {bits:#06x} -> {} -> {:#06x}", h.to_f32(), back.0);
+        }
+    }
+
+    #[test]
+    fn rounding_error_is_bounded() {
+        // Relative error of RNE to f16 is at most 2^-11 for normal values.
+        let mut v = 1.0e-4f32;
+        while v < 6.0e4 {
+            let r = F16::round_f32(v);
+            let rel = ((r - v) / v).abs();
+            assert!(rel <= 2.0f32.powi(-11) + 1e-9, "v={v} r={r} rel={rel}");
+            v *= 1.37;
+        }
+    }
+
+    #[test]
+    fn ordering_preserved() {
+        // Monotonic: a <= b implies f16(a) <= f16(b).
+        let mut prev = F16::from_f32(-70000.0).to_f32();
+        let mut v = -70000.0f32;
+        while v < 70000.0 {
+            let r = F16::round_f32(v);
+            assert!(r >= prev, "monotonicity broken at {v}");
+            prev = r;
+            v += 173.31;
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # spaden-gpusim
+//!
+//! A functional SIMT + tensor-core simulator, built as the hardware
+//! substitute for the Spaden reproduction (see DESIGN.md §1).
+//!
+//! The simulator is *functional* (it computes real results, so every kernel
+//! is testable against the CPU reference SpMV) and *counting* (every global
+//! memory access passes through a warp coalescer and a set-associative L2
+//! model; arithmetic, MMA and atomic instructions are tallied). An analytic
+//! roofline model ([`timing`]) turns the counters into simulated time for
+//! the two GPUs of the paper's evaluation ([`GpuConfig::l40`],
+//! [`GpuConfig::v100`]).
+//!
+//! The centrepiece is [`fragment`]: a model of the WMMA 16×16 fragment with
+//! the register↔lane↔element mapping the paper reverse-engineers in
+//! Section 3 (Figures 1–2). Spaden's kernels drive it through direct
+//! register access, exactly as on real hardware.
+
+// Kernels are written in warp-lockstep style: explicit `for lane in
+// 0..32` loops indexing parallel per-lane arrays, mirroring the CUDA
+// code they model. The range-loop lint fights that idiom.
+#![allow(clippy::needless_range_loop)]
+
+pub mod config;
+pub mod counters;
+pub mod exec;
+pub mod fragment;
+pub mod half;
+pub mod memory;
+pub mod mma;
+pub mod timing;
+
+pub use config::GpuConfig;
+pub use counters::KernelCounters;
+pub use exec::{Gpu, WarpCtx, WARP_SIZE};
+pub use fragment::{FragKind, Fragment, FRAG_DIM, REGS_PER_LANE};
+pub use half::F16;
+pub use memory::{DeviceBuffer, DeviceOutput, DeviceScalar};
+pub use timing::{estimate_time, SimTime};

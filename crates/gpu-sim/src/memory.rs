@@ -1,0 +1,352 @@
+//! Device memory model: virtually-addressed buffers, the warp coalescer
+//! and a sectored, set-associative L2 cache.
+//!
+//! Every simulated global-memory access is translated to a byte address,
+//! coalesced warp-wide into unique 32-byte sectors (the transaction
+//! granularity of NVIDIA GPUs), and looked up in the L2 model. This is what
+//! makes the paper's Section 5.3 observable in the simulator: CSR Warp16's
+//! per-thread row walks shatter into many sectors per instruction, while
+//! block-granular kernels touch few.
+
+use crate::half::F16;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Bytes per memory transaction sector.
+pub const SECTOR_BYTES: u64 = 32;
+/// Bytes per L2 cache line (4 sectors).
+pub const LINE_BYTES: u64 = 128;
+
+/// Scalar types that can live in simulated device memory.
+pub trait DeviceScalar: Copy + Default + Send + Sync + 'static {
+    /// Size in device memory, in bytes.
+    const BYTES: u64;
+}
+
+impl DeviceScalar for f32 {
+    const BYTES: u64 = 4;
+}
+impl DeviceScalar for u32 {
+    const BYTES: u64 = 4;
+}
+impl DeviceScalar for i32 {
+    const BYTES: u64 = 4;
+}
+impl DeviceScalar for u64 {
+    const BYTES: u64 = 8;
+}
+impl DeviceScalar for F16 {
+    const BYTES: u64 = 2;
+}
+impl DeviceScalar for u8 {
+    const BYTES: u64 = 1;
+}
+
+/// A read-only device buffer with a virtual base address.
+///
+/// Created through [`crate::exec::Gpu::alloc`], which assigns
+/// non-overlapping addresses so the coalescer and cache see a realistic
+/// address space.
+#[derive(Debug, Clone)]
+pub struct DeviceBuffer<T: DeviceScalar> {
+    base: u64,
+    data: Vec<T>,
+}
+
+impl<T: DeviceScalar> DeviceBuffer<T> {
+    /// Wraps host data at a fixed device address (use
+    /// [`crate::exec::Gpu::alloc`] in normal code).
+    pub fn with_base(base: u64, data: Vec<T>) -> Self {
+        DeviceBuffer { base, data }
+    }
+
+    /// Virtual byte address of element `i`.
+    #[inline]
+    pub fn addr(&self, i: usize) -> u64 {
+        debug_assert!(i < self.data.len(), "device OOB: {i} >= {}", self.data.len());
+        self.base + i as u64 * T::BYTES
+    }
+
+    /// Element value (functional read; traffic accounting happens in
+    /// [`crate::exec::WarpCtx`]).
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        self.data[i]
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Device bytes occupied.
+    pub fn bytes(&self) -> u64 {
+        self.data.len() as u64 * T::BYTES
+    }
+
+    /// Host view of the contents.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+}
+
+/// A writable f32 output vector: atomically updatable so row-parallel warps
+/// (disjoint writers) and edge-parallel kernels (Gunrock's atomic adds) can
+/// share one abstraction.
+#[derive(Debug)]
+pub struct DeviceOutput {
+    base: u64,
+    data: Vec<AtomicU32>,
+}
+
+impl DeviceOutput {
+    /// Zero-initialised output of `len` elements at `base`.
+    pub fn with_base(base: u64, len: usize) -> Self {
+        let mut data = Vec::with_capacity(len);
+        data.resize_with(len, || AtomicU32::new(0));
+        DeviceOutput { base, data }
+    }
+
+    /// Virtual byte address of element `i`.
+    #[inline]
+    pub fn addr(&self, i: usize) -> u64 {
+        self.base + i as u64 * 4
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Plain store (relaxed; each element has exactly one writer in
+    /// row-parallel kernels).
+    #[inline]
+    pub fn store(&self, i: usize, v: f32) {
+        self.data[i].store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Atomic float add via compare-exchange, the semantics of CUDA's
+    /// `atomicAdd(float*)`.
+    #[inline]
+    pub fn fetch_add(&self, i: usize, v: f32) {
+        let cell = &self.data[i];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let new = (f32::from_bits(cur) + v).to_bits();
+            match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Reads element `i`.
+    #[inline]
+    pub fn load(&self, i: usize) -> f32 {
+        f32::from_bits(self.data[i].load(Ordering::Relaxed))
+    }
+
+    /// Copies the result back to the host.
+    pub fn to_vec(&self) -> Vec<f32> {
+        self.data.iter().map(|a| f32::from_bits(a.load(Ordering::Relaxed))).collect()
+    }
+}
+
+/// Sectored, 16-way set-associative LRU cache model.
+///
+/// Lines are 128 bytes with 4 independently-fillable 32-byte sectors,
+/// matching NVIDIA's L2 behaviour: a miss fetches only the missing sector
+/// from DRAM.
+#[derive(Debug)]
+pub struct L2Cache {
+    sets: Vec<Vec<LineEntry>>,
+    set_mask: u64,
+    ways: usize,
+    clock: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LineEntry {
+    line: u64,
+    sector_mask: u8,
+    last_use: u64,
+}
+
+impl L2Cache {
+    /// Builds a cache of approximately `capacity_bytes` (rounded down to a
+    /// power-of-two set count) with 16 ways.
+    pub fn new(capacity_bytes: usize) -> Self {
+        let ways = 16usize;
+        let lines = (capacity_bytes as u64 / LINE_BYTES).max(ways as u64);
+        let nsets = (lines / ways as u64).next_power_of_two() / 2;
+        let nsets = nsets.max(1);
+        L2Cache {
+            sets: vec![Vec::with_capacity(ways); nsets as usize],
+            set_mask: nsets - 1,
+            ways,
+            clock: 0,
+        }
+    }
+
+    /// Looks up one 32-byte sector (identified by `addr >> 5`); returns
+    /// `true` on hit. On miss the sector is installed.
+    pub fn access_sector(&mut self, sector: u64) -> bool {
+        self.clock += 1;
+        let line = sector >> 2;
+        let sector_bit = 1u8 << (sector & 3);
+        let set = &mut self.sets[(line & self.set_mask) as usize];
+
+        if let Some(e) = set.iter_mut().find(|e| e.line == line) {
+            e.last_use = self.clock;
+            if e.sector_mask & sector_bit != 0 {
+                return true;
+            }
+            e.sector_mask |= sector_bit;
+            return false;
+        }
+        if set.len() == self.ways {
+            let victim = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(i, _)| i)
+                .expect("full set is non-empty");
+            set.swap_remove(victim);
+        }
+        set.push(LineEntry { line, sector_mask: sector_bit, last_use: self.clock });
+        false
+    }
+}
+
+/// Deduplicates a warp's byte addresses into unique 32-byte sectors
+/// (the coalescer). `scratch` is reused across calls to avoid allocation.
+pub fn coalesce_into(addrs: impl Iterator<Item = u64>, scratch: &mut Vec<u64>) {
+    scratch.clear();
+    for a in addrs {
+        scratch.push(a / SECTOR_BYTES);
+    }
+    scratch.sort_unstable();
+    scratch.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_addressing() {
+        let b = DeviceBuffer::with_base(0x1000, vec![1.0f32, 2.0, 3.0]);
+        assert_eq!(b.addr(0), 0x1000);
+        assert_eq!(b.addr(2), 0x1008);
+        assert_eq!(b.get(1), 2.0);
+        assert_eq!(b.bytes(), 12);
+    }
+
+    #[test]
+    fn f16_buffer_is_two_bytes_per_element() {
+        let b = DeviceBuffer::with_base(0, vec![F16::ONE; 10]);
+        assert_eq!(b.bytes(), 20);
+        assert_eq!(b.addr(5), 10);
+    }
+
+    #[test]
+    fn output_store_and_read_back() {
+        let o = DeviceOutput::with_base(0, 4);
+        o.store(2, 1.5);
+        o.fetch_add(2, 2.0);
+        o.fetch_add(0, -1.0);
+        assert_eq!(o.to_vec(), vec![-1.0, 0.0, 3.5, 0.0]);
+    }
+
+    #[test]
+    fn atomic_add_from_threads_is_exact_for_integers() {
+        let o = std::sync::Arc::new(DeviceOutput::with_base(0, 1));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let o = o.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        o.fetch_add(0, 1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(o.load(0), 8000.0);
+    }
+
+    #[test]
+    fn coalesce_unit_stride_warp() {
+        // 32 lanes reading consecutive f32s: 128 bytes = 4 sectors.
+        let mut s = Vec::new();
+        coalesce_into((0..32u64).map(|i| i * 4), &mut s);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn coalesce_strided_warp_is_uncoalesced() {
+        // 32 lanes striding 128 bytes apart: 32 separate sectors.
+        let mut s = Vec::new();
+        coalesce_into((0..32u64).map(|i| i * 128), &mut s);
+        assert_eq!(s.len(), 32);
+    }
+
+    #[test]
+    fn coalesce_broadcast_is_one_sector() {
+        let mut s = Vec::new();
+        coalesce_into((0..32u64).map(|_| 0x40), &mut s);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn cache_hits_after_fill() {
+        let mut c = L2Cache::new(1 << 20);
+        assert!(!c.access_sector(100), "cold miss");
+        assert!(c.access_sector(100), "hit after fill");
+    }
+
+    #[test]
+    fn sectored_fill_misses_neighbour_sector() {
+        let mut c = L2Cache::new(1 << 20);
+        assert!(!c.access_sector(4)); // line 1, sector 0
+        assert!(!c.access_sector(5), "neighbour sector must miss (sectored)");
+        assert!(c.access_sector(4));
+        assert!(c.access_sector(5));
+    }
+
+    #[test]
+    fn lru_eviction() {
+        // Tiny cache: 16 ways * 1 set (capacity 2 KiB -> 16 lines).
+        let mut c = L2Cache::new(2048);
+        assert_eq!(c.sets.len(), 1);
+        for line in 0..16u64 {
+            assert!(!c.access_sector(line * 4));
+        }
+        // All 16 resident.
+        assert!(c.access_sector(0));
+        // A 17th line evicts the least recently used (line 1: line 0 was
+        // just touched).
+        assert!(!c.access_sector(16 * 4));
+        assert!(!c.access_sector(4), "line 1 was evicted");
+        assert!(c.access_sector(0), "line 0 survived");
+    }
+
+    #[test]
+    fn working_set_within_capacity_all_hits() {
+        let mut c = L2Cache::new(1 << 20); // 1 MiB = 8192 lines
+        let sectors: Vec<u64> = (0..2000u64).collect();
+        for &s in &sectors {
+            c.access_sector(s);
+        }
+        let hits = sectors.iter().filter(|&&s| c.access_sector(s)).count();
+        assert_eq!(hits, sectors.len(), "resident set must fully hit");
+    }
+}

@@ -1,0 +1,199 @@
+//! Analytic roofline timing: turns [`KernelCounters`] into simulated time.
+//!
+//! The model takes the maximum over independent hardware pipes, each fed by
+//! the counted events:
+//!
+//! * **DRAM**: total bytes over effective bandwidth — the binding limit for
+//!   well-coalesced SpMV, and where bitBSR's traffic reduction shows up.
+//! * **L2**: all sectors over L2 bandwidth.
+//! * **Issue**: warp-instruction slots over aggregate scheduler
+//!   throughput. Memory instructions cost one slot *per transaction*
+//!   (sector), which models the transaction replays that make the paper's
+//!   uncoalesced "CSR Warp16" strawman collapse (Section 5.3).
+//! * **CUDA lanes**: arithmetic lane-operations over FP32 core throughput.
+//! * **Tensor cores**: MMA count over per-shape MMA throughput; `m8n8k4`
+//!   is fast on the V100 and crippled on the L40 (the DASP contrast).
+//! * **Atomics**: global atomic throughput (the Gunrock limiter).
+//! * **Shared memory**: staged bytes over shared-memory bandwidth (only
+//!   the conventional-WMMA ablation exercises this).
+
+use crate::config::GpuConfig;
+use crate::counters::KernelCounters;
+
+/// Issue-slot cost of one `m16n16k16` MMA (pipeline occupancy per warp).
+const MMA16_ISSUE_CYCLES: u64 = 4;
+/// Issue-slot cost of one `m8n8k4` MMA.
+const MMA4_ISSUE_CYCLES: u64 = 1;
+/// Issue-slot cost of one atomic operation.
+const ATOMIC_ISSUE_CYCLES: u64 = 2;
+/// Effective warp-instructions per SM per cycle. SMs have 4 schedulers,
+/// but dependence-chained SpMV kernels sustain nowhere near 4 IPC; 2 is a
+/// representative achieved rate for memory-heavy kernels.
+const SCHEDULERS_PER_SM: f64 = 2.0;
+
+/// Simulated execution time with a per-pipe breakdown.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimTime {
+    /// Total simulated seconds (launch overhead + slowest pipe).
+    pub seconds: f64,
+    /// DRAM pipe seconds.
+    pub t_dram: f64,
+    /// L2 pipe seconds.
+    pub t_l2: f64,
+    /// Instruction-issue pipe seconds.
+    pub t_issue: f64,
+    /// CUDA-core arithmetic pipe seconds.
+    pub t_cuda: f64,
+    /// Tensor-core pipe seconds.
+    pub t_tensor: f64,
+    /// Atomic pipe seconds.
+    pub t_atomic: f64,
+    /// Shared-memory pipe seconds.
+    pub t_smem: f64,
+}
+
+impl SimTime {
+    /// Name of the pipe that bounds this kernel (diagnostics).
+    pub fn bottleneck(&self) -> &'static str {
+        let pipes = [
+            (self.t_dram, "dram"),
+            (self.t_l2, "l2"),
+            (self.t_issue, "issue"),
+            (self.t_cuda, "cuda"),
+            (self.t_tensor, "tensor"),
+            (self.t_atomic, "atomic"),
+            (self.t_smem, "smem"),
+        ];
+        pipes
+            .iter()
+            .max_by(|a, b| a.0.partial_cmp(&b.0).expect("times are finite"))
+            .expect("non-empty")
+            .1
+    }
+
+    /// Throughput in GFLOP/s counting the paper's convention of
+    /// `2 * nnz` useful FLOPs per SpMV.
+    pub fn gflops(&self, nnz: usize) -> f64 {
+        2.0 * nnz as f64 / self.seconds / 1e9
+    }
+}
+
+/// Estimates kernel time from counters under `config`.
+pub fn estimate_time(c: &KernelCounters, config: &GpuConfig) -> SimTime {
+    let t_dram = c.dram_bytes() as f64 / config.effective_dram_bw();
+    let t_l2 = ((c.sectors_read + c.sectors_written) * 32) as f64 / config.l2_bw;
+
+    // Every warp instruction occupies an issue slot; memory instructions
+    // are replayed once per transaction, so we charge max(inst, sectors).
+    let mem_issue = c.sectors_read.max(c.load_insts) + c.sectors_written.max(c.store_insts);
+    let issue_cycles = c.cuda_ops
+        + mem_issue
+        + c.mma_m16n16k16 * MMA16_ISSUE_CYCLES
+        + c.mma_m8n8k4 * MMA4_ISSUE_CYCLES
+        + c.atomic_ops * ATOMIC_ISSUE_CYCLES;
+    let issue_rate = config.num_sms as f64 * SCHEDULERS_PER_SM * config.clock_hz;
+    let t_issue = issue_cycles as f64 / issue_rate;
+
+    let t_cuda = (c.cuda_ops * 32) as f64 / config.cuda_lane_ops_per_s();
+    let t_tensor = c.mma_m16n16k16 as f64 / config.mma_m16n16k16_per_s
+        + c.mma_m8n8k4 as f64 / config.mma_m8n8k4_per_s;
+    let t_atomic = c.atomic_ops as f64 / config.atomic_ops_per_s;
+    let t_smem = c.smem_bytes as f64 / config.smem_bw;
+
+    let body = t_dram
+        .max(t_l2)
+        .max(t_issue)
+        .max(t_cuda)
+        .max(t_tensor)
+        .max(t_atomic)
+        .max(t_smem);
+    SimTime {
+        seconds: config.launch_overhead_s + body,
+        t_dram,
+        t_l2,
+        t_issue,
+        t_cuda,
+        t_tensor,
+        t_atomic,
+        t_smem,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l40() -> GpuConfig {
+        GpuConfig::l40()
+    }
+
+    #[test]
+    fn empty_kernel_costs_launch_overhead() {
+        let t = estimate_time(&KernelCounters::default(), &l40());
+        assert_eq!(t.seconds, l40().launch_overhead_s);
+    }
+
+    #[test]
+    fn dram_bound_kernel() {
+        let c = KernelCounters { dram_read_bytes: 864_000_000, ..Default::default() };
+        let t = estimate_time(&c, &l40());
+        // 864 MB at 864 GB/s * 0.8 efficiency = 1.25 ms.
+        assert!((t.t_dram - 1.25e-3).abs() < 1e-6);
+        assert_eq!(t.bottleneck(), "dram");
+        assert!(t.seconds > 1.2e-3);
+    }
+
+    #[test]
+    fn uncoalesced_loads_inflate_issue_time() {
+        // Same instruction count, 32x the sectors: issue time must grow.
+        let coalesced = KernelCounters {
+            load_insts: 1_000_000,
+            sectors_read: 4_000_000,
+            ..Default::default()
+        };
+        let shattered = KernelCounters {
+            load_insts: 1_000_000,
+            sectors_read: 32_000_000,
+            ..Default::default()
+        };
+        let tc = estimate_time(&coalesced, &l40());
+        let ts = estimate_time(&shattered, &l40());
+        assert!(ts.t_issue > 7.0 * tc.t_issue);
+    }
+
+    #[test]
+    fn m8n8k4_fast_on_v100_slow_on_l40() {
+        let c = KernelCounters { mma_m8n8k4: 10_000_000, ..Default::default() };
+        let l40 = estimate_time(&c, &GpuConfig::l40());
+        let v100 = estimate_time(&c, &GpuConfig::v100());
+        assert!(
+            l40.t_tensor > 5.0 * v100.t_tensor,
+            "l40 {} vs v100 {}",
+            l40.t_tensor,
+            v100.t_tensor
+        );
+    }
+
+    #[test]
+    fn atomic_heavy_kernel_is_atomic_bound() {
+        let c = KernelCounters { atomic_ops: 1_000_000_000, ..Default::default() };
+        let t = estimate_time(&c, &l40());
+        assert_eq!(t.bottleneck(), "atomic");
+    }
+
+    #[test]
+    fn gflops_inverts_time() {
+        let c = KernelCounters { dram_read_bytes: 6_912_000_000, ..Default::default() };
+        let t = estimate_time(&c, &l40());
+        let nnz = 10_000_000usize;
+        let g = t.gflops(nnz);
+        assert!((g - 2.0 * nnz as f64 / t.seconds / 1e9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_pipes_contribute_to_max() {
+        let c = KernelCounters { smem_bytes: u64::MAX / 2, ..Default::default() };
+        let t = estimate_time(&c, &l40());
+        assert_eq!(t.bottleneck(), "smem");
+    }
+}

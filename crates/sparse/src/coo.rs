@@ -1,0 +1,222 @@
+//! Coordinate (COO) format: the simplest sparse representation, and the
+//! interchange format every generator and parser produces first.
+
+use crate::csr::Csr;
+use crate::types::{SparseError, SparseResult};
+
+/// A sparse matrix as unsorted (row, col, value) triplets.
+///
+/// The paper uses COO as the memory-cost yardstick for bitBSR's compression
+/// argument (Section 4.2: "Assuming the element positions are conventionally
+/// represented as row and column indices (i.e., COO)...").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coo {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// Row index of each entry.
+    pub rows: Vec<u32>,
+    /// Column index of each entry.
+    pub cols: Vec<u32>,
+    /// Value of each entry.
+    pub values: Vec<f32>,
+}
+
+impl Coo {
+    /// Creates an empty matrix of the given shape.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        Coo { nrows, ncols, rows: Vec::new(), cols: Vec::new(), values: Vec::new() }
+    }
+
+    /// Builds from triplet arrays, validating bounds and lengths.
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        rows: Vec<u32>,
+        cols: Vec<u32>,
+        values: Vec<f32>,
+    ) -> SparseResult<Self> {
+        if rows.len() != cols.len() || rows.len() != values.len() {
+            return Err(SparseError::LengthMismatch {
+                what: format!(
+                    "rows ({}), cols ({}), values ({})",
+                    rows.len(),
+                    cols.len(),
+                    values.len()
+                ),
+            });
+        }
+        for i in 0..rows.len() {
+            let (r, c) = (rows[i] as usize, cols[i] as usize);
+            if r >= nrows || c >= ncols {
+                return Err(SparseError::IndexOutOfBounds { row: r, col: c, nrows, ncols });
+            }
+        }
+        Ok(Coo { nrows, ncols, rows, cols, values })
+    }
+
+    /// Number of stored entries (duplicates, if any, count separately).
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Appends one entry (bounds-checked in debug builds only; use
+    /// [`Coo::from_triplets`] for untrusted input).
+    #[inline]
+    pub fn push(&mut self, row: u32, col: u32, value: f32) {
+        debug_assert!((row as usize) < self.nrows && (col as usize) < self.ncols);
+        self.rows.push(row);
+        self.cols.push(col);
+        self.values.push(value);
+    }
+
+    /// Sorts entries by (row, col) and sums duplicates in place.
+    pub fn sort_and_combine(&mut self) {
+        let n = self.nnz();
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.sort_unstable_by_key(|&i| {
+            let i = i as usize;
+            ((self.rows[i] as u64) << 32) | self.cols[i] as u64
+        });
+
+        let mut rows = Vec::with_capacity(n);
+        let mut cols = Vec::with_capacity(n);
+        let mut values = Vec::with_capacity(n);
+        for &pi in &perm {
+            let i = pi as usize;
+            let (r, c, v) = (self.rows[i], self.cols[i], self.values[i]);
+            if let (Some(&lr), Some(&lc)) = (rows.last(), cols.last()) {
+                if lr == r && lc == c {
+                    *values.last_mut().expect("values non-empty with rows") += v;
+                    continue;
+                }
+            }
+            rows.push(r);
+            cols.push(c);
+            values.push(v);
+        }
+        self.rows = rows;
+        self.cols = cols;
+        self.values = values;
+    }
+
+    /// Converts to CSR (sorts and combines duplicates first).
+    pub fn to_csr(&self) -> Csr {
+        let mut sorted = self.clone();
+        sorted.sort_and_combine();
+        let mut counts = vec![0u32; sorted.nrows];
+        for &r in &sorted.rows {
+            counts[r as usize] += 1;
+        }
+        let row_ptr = crate::scan::exclusive_scan(&counts);
+        Csr {
+            nrows: sorted.nrows,
+            ncols: sorted.ncols,
+            row_ptr,
+            col_idx: sorted.cols,
+            values: sorted.values,
+        }
+    }
+
+    /// Reference SpMV: `y = A * x`. Accumulates in `f64` for use as a
+    /// high-precision oracle.
+    pub fn spmv_f64(&self, x: &[f32]) -> SparseResult<Vec<f64>> {
+        if x.len() != self.ncols {
+            return Err(SparseError::ShapeMismatch {
+                what: format!("x.len() = {}, ncols = {}", x.len(), self.ncols),
+            });
+        }
+        let mut y = vec![0.0f64; self.nrows];
+        for i in 0..self.nnz() {
+            y[self.rows[i] as usize] += self.values[i] as f64 * x[self.cols[i] as usize] as f64;
+        }
+        Ok(y)
+    }
+
+    /// Reference SpMV in `f32`.
+    pub fn spmv(&self, x: &[f32]) -> SparseResult<Vec<f32>> {
+        Ok(self.spmv_f64(x)?.into_iter().map(|v| v as f32).collect())
+    }
+
+    /// Host-side memory footprint in bytes: two `u32` indices plus one
+    /// `f32` value per entry. This is the "sizeof(COO)" of the paper's
+    /// compression-rate formula.
+    pub fn bytes(&self) -> usize {
+        self.nnz() * (4 + 4 + 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Coo {
+        // [1 0 2]
+        // [0 0 0]
+        // [3 4 0]
+        Coo::from_triplets(
+            3,
+            3,
+            vec![0, 0, 2, 2],
+            vec![0, 2, 0, 1],
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn from_triplets_validates_bounds() {
+        let e = Coo::from_triplets(2, 2, vec![2], vec![0], vec![1.0]).unwrap_err();
+        assert!(matches!(e, SparseError::IndexOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn from_triplets_validates_lengths() {
+        let e = Coo::from_triplets(2, 2, vec![0], vec![0, 1], vec![1.0]).unwrap_err();
+        assert!(matches!(e, SparseError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let m = small();
+        let y = m.spmv(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(y, vec![7.0, 0.0, 11.0]);
+    }
+
+    #[test]
+    fn spmv_rejects_bad_shape() {
+        let m = small();
+        assert!(m.spmv(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn sort_and_combine_sums_duplicates() {
+        let mut m =
+            Coo::from_triplets(2, 2, vec![1, 0, 1], vec![1, 0, 1], vec![1.0, 5.0, 2.0]).unwrap();
+        m.sort_and_combine();
+        assert_eq!(m.rows, vec![0, 1]);
+        assert_eq!(m.cols, vec![0, 1]);
+        assert_eq!(m.values, vec![5.0, 3.0]);
+    }
+
+    #[test]
+    fn to_csr_roundtrip_values() {
+        let m = small();
+        let csr = m.to_csr();
+        assert_eq!(csr.row_ptr, vec![0, 2, 2, 4]);
+        assert_eq!(csr.col_idx, vec![0, 2, 0, 1]);
+        assert_eq!(csr.values, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn bytes_is_12_per_nnz() {
+        assert_eq!(small().bytes(), 4 * 12);
+    }
+
+    #[test]
+    fn empty_matrix_spmv() {
+        let m = Coo::new(4, 4);
+        assert_eq!(m.spmv(&[1.0; 4]).unwrap(), vec![0.0; 4]);
+    }
+}

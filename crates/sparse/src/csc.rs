@@ -1,0 +1,164 @@
+//! Compressed Sparse Column (CSC): the column-major dual of CSR.
+//!
+//! Pull-style graph kernels (Gunrock's "each node pulls the data from its
+//! in-neighbors") and the SpGEMM extension's right-hand operand both want
+//! column access; CSC provides it without transposing on the fly.
+
+use crate::csr::Csr;
+use crate::types::{validate_indices, validate_offsets, SparseError, SparseResult};
+
+/// CSC sparse matrix with `u32` indices and `f32` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csc {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// `ncols + 1` offsets into `row_idx` / `values`.
+    pub col_ptr: Vec<u32>,
+    /// Row index per nonzero, sorted within each column.
+    pub row_idx: Vec<u32>,
+    /// Value per nonzero.
+    pub values: Vec<f32>,
+}
+
+impl Csc {
+    /// Builds a CSC matrix, validating structural invariants.
+    pub fn new(
+        nrows: usize,
+        ncols: usize,
+        col_ptr: Vec<u32>,
+        row_idx: Vec<u32>,
+        values: Vec<f32>,
+    ) -> SparseResult<Self> {
+        if col_ptr.len() != ncols + 1 {
+            return Err(SparseError::LengthMismatch {
+                what: format!("col_ptr.len() = {}, expected {}", col_ptr.len(), ncols + 1),
+            });
+        }
+        if row_idx.len() != values.len() {
+            return Err(SparseError::LengthMismatch {
+                what: format!("row_idx ({}) vs values ({})", row_idx.len(), values.len()),
+            });
+        }
+        validate_offsets(&col_ptr, values.len(), "col_ptr")?;
+        validate_indices(&row_idx, nrows, "row_idx")?;
+        Ok(Csc { nrows, ncols, col_ptr, row_idx, values })
+    }
+
+    /// Converts from CSR. The CSC of `A` has the same arrays as the CSR of
+    /// `Aᵀ` with rows/cols swapped back.
+    pub fn from_csr(csr: &Csr) -> Self {
+        let t = csr.transpose();
+        Csc {
+            nrows: csr.nrows,
+            ncols: csr.ncols,
+            col_ptr: t.row_ptr,
+            row_idx: t.col_idx,
+            values: t.values,
+        }
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// (row indices, values) of column `c`.
+    #[inline]
+    pub fn column(&self, c: usize) -> (&[u32], &[f32]) {
+        let lo = self.col_ptr[c] as usize;
+        let hi = self.col_ptr[c + 1] as usize;
+        (&self.row_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Converts back to CSR.
+    pub fn to_csr(&self) -> Csr {
+        let mut coo = crate::coo::Coo::new(self.nrows, self.ncols);
+        for c in 0..self.ncols {
+            let (rows, vals) = self.column(c);
+            for (r, v) in rows.iter().zip(vals) {
+                coo.push(*r, c as u32, *v);
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// SpMV by column scatter: `y += x[c] * A[:, c]` — the push
+    /// formulation.
+    pub fn spmv(&self, x: &[f32]) -> SparseResult<Vec<f32>> {
+        if x.len() != self.ncols {
+            return Err(SparseError::ShapeMismatch {
+                what: format!("x.len() = {}, ncols = {}", x.len(), self.ncols),
+            });
+        }
+        let mut y = vec![0.0f32; self.nrows];
+        for c in 0..self.ncols {
+            let xc = x[c];
+            if xc == 0.0 {
+                continue; // push formulation skips zero sources for free
+            }
+            let (rows, vals) = self.column(c);
+            for (r, v) in rows.iter().zip(vals) {
+                y[*r as usize] += v * xc;
+            }
+        }
+        Ok(y)
+    }
+
+    /// Host memory footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        self.col_ptr.len() * 4 + self.row_idx.len() * 4 + self.values.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_csr_roundtrip() {
+        let m = crate::gen::random_uniform(90, 70, 800, 141);
+        assert_eq!(Csc::from_csr(&m).to_csr(), m);
+    }
+
+    #[test]
+    fn spmv_matches_csr() {
+        let m = crate::gen::scale_free(150, 1200, 1.2, 143);
+        let x: Vec<f32> = (0..150).map(|i| (i as f32 * 0.031).sin()).collect();
+        let yc = Csc::from_csr(&m).spmv(&x).unwrap();
+        let yr = m.spmv(&x).unwrap();
+        for (a, b) in yc.iter().zip(&yr) {
+            assert!((a - b).abs() <= 1e-4 * b.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn column_access() {
+        // [1 0]
+        // [2 3]
+        let m = Csr::new(2, 2, vec![0, 1, 3], vec![0, 0, 1], vec![1.0, 2.0, 3.0]).unwrap();
+        let c = Csc::from_csr(&m);
+        assert_eq!(c.column(0), (&[0u32, 1][..], &[1.0f32, 2.0][..]));
+        assert_eq!(c.column(1), (&[1u32][..], &[3.0f32][..]));
+        assert_eq!(c.nnz(), 3);
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Csc::new(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err(), "short col_ptr");
+        assert!(Csc::new(2, 2, vec![0, 1, 1], vec![5], vec![1.0]).is_err(), "row oob");
+        assert!(Csc::new(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).is_err(), "non-monotone");
+    }
+
+    #[test]
+    fn sparse_x_skips_work() {
+        // Push SpMV with a one-hot x touches exactly one column.
+        let m = crate::gen::random_uniform(50, 50, 400, 145);
+        let mut x = vec![0.0f32; 50];
+        x[7] = 2.0;
+        let y = Csc::from_csr(&m).spmv(&x).unwrap();
+        let want = m.spmv(&x).unwrap();
+        assert_eq!(y, want);
+    }
+}

@@ -1,0 +1,203 @@
+//! Dense row-major matrices — the right-hand sides and outputs of SpMM and
+//! the factor matrices of SDDMM (the paper's future-work operations).
+
+use crate::csr::Csr;
+use crate::types::{SparseError, SparseResult};
+
+/// A dense row-major `rows x cols` matrix of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dense {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row-major storage, `rows * cols` values.
+    pub data: Vec<f32>,
+}
+
+impl Dense {
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Dense { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds from row-major data, checking the length.
+    pub fn from_data(rows: usize, cols: usize, data: Vec<f32>) -> SparseResult<Self> {
+        if data.len() != rows * cols {
+            return Err(SparseError::LengthMismatch {
+                what: format!("dense data {} != {rows} x {cols}", data.len()),
+            });
+        }
+        Ok(Dense { rows, cols, data })
+    }
+
+    /// Builds from a function of (row, col).
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Dense { rows, cols, data }
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// One column copied out.
+    pub fn column(&self, c: usize) -> Vec<f32> {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Dense {
+        Dense::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Dense GEMM in f64 accumulation (testing oracle): `self * other`.
+    pub fn matmul(&self, other: &Dense) -> SparseResult<Dense> {
+        if self.cols != other.rows {
+            return Err(SparseError::ShapeMismatch {
+                what: format!("{}x{} * {}x{}", self.rows, self.cols, other.rows, other.cols),
+            });
+        }
+        let mut out = Dense::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for c in 0..other.cols {
+                let mut acc = 0.0f64;
+                for k in 0..self.cols {
+                    acc += self.get(r, k) as f64 * other.get(k, c) as f64;
+                }
+                out.set(r, c, acc as f32);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Reference SpMM oracle: `C = A * B` with f64 accumulation.
+pub fn spmm_reference(a: &Csr, b: &Dense) -> SparseResult<Dense> {
+    if a.ncols != b.rows {
+        return Err(SparseError::ShapeMismatch {
+            what: format!("A is {}x{}, B is {}x{}", a.nrows, a.ncols, b.rows, b.cols),
+        });
+    }
+    let mut c = Dense::zeros(a.nrows, b.cols);
+    for r in 0..a.nrows {
+        let (cols, vals) = a.row(r);
+        for n in 0..b.cols {
+            let mut acc = 0.0f64;
+            for (k, v) in cols.iter().zip(vals) {
+                acc += *v as f64 * b.get(*k as usize, n) as f64;
+            }
+            c.set(r, n, acc as f32);
+        }
+    }
+    Ok(c)
+}
+
+/// Reference SDDMM oracle: for every stored position `(i, j)` of `pattern`,
+/// `out_ij = pattern_ij * dot(X[i, :], Y[j, :])`. Returns the results in
+/// the pattern's CSR value order.
+pub fn sddmm_reference(pattern: &Csr, x: &Dense, y: &Dense) -> SparseResult<Vec<f32>> {
+    if x.rows != pattern.nrows || y.rows != pattern.ncols || x.cols != y.cols {
+        return Err(SparseError::ShapeMismatch {
+            what: format!(
+                "pattern {}x{}, X {}x{}, Y {}x{}",
+                pattern.nrows, pattern.ncols, x.rows, x.cols, y.rows, y.cols
+            ),
+        });
+    }
+    let mut out = Vec::with_capacity(pattern.nnz());
+    for i in 0..pattern.nrows {
+        let (cols, vals) = pattern.row(i);
+        for (j, v) in cols.iter().zip(vals) {
+            let mut acc = 0.0f64;
+            for k in 0..x.cols {
+                acc += x.get(i, k) as f64 * y.get(*j as usize, k) as f64;
+            }
+            out.push(*v as f64 as f32 * acc as f32);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let d = Dense::from_fn(3, 2, |r, c| (r * 10 + c) as f32);
+        assert_eq!(d.get(2, 1), 21.0);
+        assert_eq!(d.row(1), &[10.0, 11.0]);
+        assert_eq!(d.column(0), vec![0.0, 10.0, 20.0]);
+        assert!(Dense::from_data(2, 2, vec![0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let d = Dense::from_fn(4, 7, |r, c| (r * 7 + c) as f32);
+        assert_eq!(d.transpose().transpose(), d);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let i3 = Dense::from_fn(3, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+        let d = Dense::from_fn(3, 3, |r, c| (r + c) as f32);
+        assert_eq!(i3.matmul(&d).unwrap(), d);
+        assert!(d.matmul(&Dense::zeros(4, 4)).is_err());
+    }
+
+    #[test]
+    fn spmm_reference_matches_column_spmv() {
+        let a = crate::gen::random_uniform(30, 25, 200, 31);
+        let b = Dense::from_fn(25, 4, |r, c| ((r + 2 * c) % 7) as f32 - 3.0);
+        let c = spmm_reference(&a, &b).unwrap();
+        for n in 0..4 {
+            let col = b.column(n);
+            let y = a.spmv(&col).unwrap();
+            for r in 0..30 {
+                assert!((c.get(r, n) - y[r]).abs() <= 1e-4 * y[r].abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn sddmm_reference_spot_check() {
+        // 2x2 pattern with entry (0, 1): out = pattern * <X0, Y1>.
+        let p = Csr::new(2, 2, vec![0, 1, 1], vec![1], vec![2.0]).unwrap();
+        let x = Dense::from_data(2, 2, vec![1.0, 2.0, 0.0, 0.0]).unwrap();
+        let y = Dense::from_data(2, 2, vec![5.0, 6.0, 3.0, 4.0]).unwrap();
+        // <X[0], Y[1]> = 1*3 + 2*4 = 11; times pattern value 2 = 22.
+        assert_eq!(sddmm_reference(&p, &x, &y).unwrap(), vec![22.0]);
+    }
+
+    #[test]
+    fn sddmm_shape_validation() {
+        let p = Csr::new(2, 3, vec![0, 0, 0], vec![], vec![]).unwrap();
+        let x = Dense::zeros(2, 4);
+        let y_bad = Dense::zeros(3, 5);
+        assert!(sddmm_reference(&p, &x, &y_bad).is_err());
+        let y_ok = Dense::zeros(3, 4);
+        assert_eq!(sddmm_reference(&p, &x, &y_ok).unwrap(), Vec::<f32>::new());
+    }
+}

@@ -1,0 +1,146 @@
+//! ELLPACK (ELL) format: fixed number of entries per row, padded with
+//! zeros — "ELL for its fixed number of non-zero entries per row"
+//! (Section 2.1). Column-major storage so GPU threads mapped one-per-row
+//! access memory coalesced.
+
+use crate::csr::Csr;
+use crate::types::{SparseError, SparseResult};
+
+/// Sentinel column index marking a padding slot.
+pub const ELL_PAD: u32 = u32::MAX;
+
+/// ELL matrix: `width` slots per row, column-major `nrows * width` arrays.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ell {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// Slots per row (the maximum row degree at construction).
+    pub width: usize,
+    /// Column indices, column-major: slot `k` of row `r` is `[k * nrows + r]`.
+    /// Padding slots hold [`ELL_PAD`].
+    pub col_idx: Vec<u32>,
+    /// Values, same layout; padding slots hold `0.0`.
+    pub values: Vec<f32>,
+}
+
+impl Ell {
+    /// Converts from CSR. `width` is the maximum row degree; matrices with a
+    /// long-degree tail explode here, which is exactly why HYB exists.
+    pub fn from_csr(csr: &Csr) -> Self {
+        let width = (0..csr.nrows).map(|r| csr.row_nnz(r)).max().unwrap_or(0);
+        let mut col_idx = vec![ELL_PAD; csr.nrows * width];
+        let mut values = vec![0.0f32; csr.nrows * width];
+        for r in 0..csr.nrows {
+            let (cols, vals) = csr.row(r);
+            for (k, (c, v)) in cols.iter().zip(vals).enumerate() {
+                col_idx[k * csr.nrows + r] = *c;
+                values[k * csr.nrows + r] = *v;
+            }
+        }
+        Ell { nrows: csr.nrows, ncols: csr.ncols, width, col_idx, values }
+    }
+
+    /// Stored (non-padding) entries.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.iter().filter(|&&c| c != ELL_PAD).count()
+    }
+
+    /// SpMV over the padded layout.
+    pub fn spmv(&self, x: &[f32]) -> SparseResult<Vec<f32>> {
+        if x.len() != self.ncols {
+            return Err(SparseError::ShapeMismatch {
+                what: format!("x.len() = {}, ncols = {}", x.len(), self.ncols),
+            });
+        }
+        let mut y = vec![0.0f32; self.nrows];
+        for k in 0..self.width {
+            let base = k * self.nrows;
+            for r in 0..self.nrows {
+                let c = self.col_idx[base + r];
+                if c != ELL_PAD {
+                    y[r] += self.values[base + r] * x[c as usize];
+                }
+            }
+        }
+        Ok(y)
+    }
+
+    /// Converts back to CSR (drops padding).
+    pub fn to_csr(&self) -> Csr {
+        let mut coo = crate::coo::Coo::new(self.nrows, self.ncols);
+        for r in 0..self.nrows {
+            for k in 0..self.width {
+                let c = self.col_idx[k * self.nrows + r];
+                if c != ELL_PAD {
+                    coo.push(r as u32, c, self.values[k * self.nrows + r]);
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Memory footprint, padding included — ELL's weakness.
+    pub fn bytes(&self) -> usize {
+        self.col_idx.len() * 4 + self.values.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn csr() -> Csr {
+        Csr::new(3, 4, vec![0, 2, 2, 5], vec![0, 3, 1, 2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0])
+            .unwrap()
+    }
+
+    #[test]
+    fn width_is_max_degree() {
+        let e = Ell::from_csr(&csr());
+        assert_eq!(e.width, 3);
+        assert_eq!(e.nnz(), 5);
+    }
+
+    #[test]
+    fn spmv_matches_csr() {
+        let c = csr();
+        let e = Ell::from_csr(&c);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(e.spmv(&x).unwrap(), c.spmv(&x).unwrap());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let c = csr();
+        assert_eq!(Ell::from_csr(&c).to_csr(), c);
+    }
+
+    #[test]
+    fn roundtrip_random() {
+        let c = crate::gen::random_uniform(60, 60, 400, 21);
+        assert_eq!(Ell::from_csr(&c).to_csr(), c);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let c = Csr::empty(3, 3);
+        let e = Ell::from_csr(&c);
+        assert_eq!(e.width, 0);
+        assert_eq!(e.spmv(&[0.0; 3]).unwrap(), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn padding_blowup_visible_in_bytes() {
+        // One dense row forces width = ncols for everyone.
+        let mut coo = crate::coo::Coo::new(64, 64);
+        for c in 0..64 {
+            coo.push(0, c, 1.0);
+        }
+        coo.push(1, 0, 1.0);
+        let c = coo.to_csr();
+        let e = Ell::from_csr(&c);
+        assert!(e.bytes() > 8 * c.bytes(), "ELL should pad heavily here");
+    }
+}

@@ -1,0 +1,130 @@
+//! HYB format — "HYB to combine the advantages of CSR and ELL"
+//! (Section 2.1). Rows up to a width threshold go to an ELL part; the
+//! overflow entries go to a COO part.
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::ell::{Ell, ELL_PAD};
+use crate::types::SparseResult;
+
+/// Hybrid ELL + COO matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hyb {
+    /// Regular part: at most `ell.width` entries per row.
+    pub ell: Ell,
+    /// Overflow entries beyond the ELL width.
+    pub coo: Coo,
+}
+
+impl Hyb {
+    /// Converts from CSR with an explicit ELL width.
+    pub fn from_csr_with_width(csr: &Csr, width: usize) -> Self {
+        let mut col_idx = vec![ELL_PAD; csr.nrows * width];
+        let mut values = vec![0.0f32; csr.nrows * width];
+        let mut coo = Coo::new(csr.nrows, csr.ncols);
+        for r in 0..csr.nrows {
+            let (cols, vals) = csr.row(r);
+            for (k, (c, v)) in cols.iter().zip(vals).enumerate() {
+                if k < width {
+                    col_idx[k * csr.nrows + r] = *c;
+                    values[k * csr.nrows + r] = *v;
+                } else {
+                    coo.push(r as u32, *c, *v);
+                }
+            }
+        }
+        Hyb {
+            ell: Ell { nrows: csr.nrows, ncols: csr.ncols, width, col_idx, values },
+            coo,
+        }
+    }
+
+    /// Converts from CSR with the cuSPARSE-style heuristic width: the mean
+    /// degree rounded up, which bounds ELL padding to roughly one slot per
+    /// row while keeping the COO part small for regular matrices.
+    pub fn from_csr(csr: &Csr) -> Self {
+        let width = (csr.mean_degree().ceil() as usize).max(1);
+        Self::from_csr_with_width(csr, width)
+    }
+
+    /// Total stored entries.
+    pub fn nnz(&self) -> usize {
+        self.ell.nnz() + self.coo.nnz()
+    }
+
+    /// SpMV: ELL part plus COO scatter.
+    pub fn spmv(&self, x: &[f32]) -> SparseResult<Vec<f32>> {
+        let mut y = self.ell.spmv(x)?;
+        for i in 0..self.coo.nnz() {
+            y[self.coo.rows[i] as usize] +=
+                self.coo.values[i] * x[self.coo.cols[i] as usize];
+        }
+        Ok(y)
+    }
+
+    /// Converts back to CSR.
+    pub fn to_csr(&self) -> Csr {
+        let mut coo = self.ell.to_csr().to_coo();
+        coo.rows.extend_from_slice(&self.coo.rows);
+        coo.cols.extend_from_slice(&self.coo.cols);
+        coo.values.extend_from_slice(&self.coo.values);
+        coo.to_csr()
+    }
+
+    /// Memory footprint of both parts.
+    pub fn bytes(&self) -> usize {
+        self.ell.bytes() + self.coo.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_overflow_to_coo() {
+        let mut coo = Coo::new(4, 8);
+        for c in 0..8 {
+            coo.push(0, c, (c + 1) as f32);
+        }
+        coo.push(1, 0, 1.0);
+        let csr = coo.to_csr();
+        let h = Hyb::from_csr_with_width(&csr, 2);
+        assert_eq!(h.ell.nnz(), 3); // 2 from the fat row, 1 from row 1
+        assert_eq!(h.coo.nnz(), 6);
+        assert_eq!(h.nnz(), csr.nnz());
+    }
+
+    #[test]
+    fn spmv_matches_csr() {
+        let m = crate::gen::scale_free(500, 4000, 1.2, 41);
+        let h = Hyb::from_csr(&m);
+        let x: Vec<f32> = (0..500).map(|i| (i as f32 * 0.03).cos()).collect();
+        let yh = h.spmv(&x).unwrap();
+        let yc = m.spmv(&x).unwrap();
+        for (a, b) in yh.iter().zip(&yc) {
+            assert!((a - b).abs() <= 1e-4 * b.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = crate::gen::scale_free(200, 1500, 1.3, 43);
+        assert_eq!(Hyb::from_csr(&m).to_csr(), m);
+    }
+
+    #[test]
+    fn heuristic_width_is_mean_degree() {
+        let m = crate::gen::random_uniform(100, 100, 550, 45);
+        let h = Hyb::from_csr(&m);
+        assert_eq!(h.ell.width, (m.mean_degree().ceil() as usize).max(1));
+    }
+
+    #[test]
+    fn zero_width_clamped() {
+        let m = Csr::empty(4, 4);
+        let h = Hyb::from_csr(&m);
+        assert_eq!(h.ell.width, 1);
+        assert_eq!(h.spmv(&[0.0; 4]).unwrap(), vec![0.0; 4]);
+    }
+}

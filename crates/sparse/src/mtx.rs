@@ -1,0 +1,279 @@
+//! MatrixMarket (`.mtx`) I/O.
+//!
+//! The paper evaluates on SuiteSparse matrices, which are distributed in
+//! MatrixMarket coordinate format. This parser supports the subset those
+//! files use: `matrix coordinate {real|integer|pattern}
+//! {general|symmetric|skew-symmetric}`. When real SuiteSparse files are
+//! available they can be dropped into the bench harness with
+//! `--mtx <path>`; otherwise the synthetic [`crate::datasets`] stand-ins
+//! are used.
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::types::{SparseError, SparseResult};
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Field {
+    Real,
+    Integer,
+    Pattern,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Symmetry {
+    General,
+    Symmetric,
+    SkewSymmetric,
+}
+
+/// Reads a MatrixMarket coordinate file into CSR.
+pub fn read_mtx(path: &Path) -> SparseResult<Csr> {
+    let file = std::fs::File::open(path)?;
+    read_mtx_from(std::io::BufReader::new(file))
+}
+
+/// Reads MatrixMarket from any buffered reader (testable without files).
+pub fn read_mtx_from<R: BufRead>(mut reader: R) -> SparseResult<Csr> {
+    let mut line = String::new();
+    let mut lineno = 0usize;
+
+    // Header.
+    lineno += 1;
+    if reader.read_line(&mut line)? == 0 {
+        return Err(SparseError::Parse { line: lineno, what: "empty file".into() });
+    }
+    let header: Vec<String> = line.split_whitespace().map(str::to_lowercase).collect();
+    if header.len() < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
+        return Err(SparseError::Parse {
+            line: lineno,
+            what: format!("bad header: {}", line.trim()),
+        });
+    }
+    if header[2] != "coordinate" {
+        return Err(SparseError::Parse {
+            line: lineno,
+            what: format!("only coordinate format supported, got {}", header[2]),
+        });
+    }
+    let field = match header[3].as_str() {
+        "real" => Field::Real,
+        "integer" => Field::Integer,
+        "pattern" => Field::Pattern,
+        other => {
+            return Err(SparseError::Parse {
+                line: lineno,
+                what: format!("unsupported field type {other}"),
+            })
+        }
+    };
+    let symmetry = match header[4].as_str() {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        "skew-symmetric" => Symmetry::SkewSymmetric,
+        other => {
+            return Err(SparseError::Parse {
+                line: lineno,
+                what: format!("unsupported symmetry {other}"),
+            })
+        }
+    };
+
+    // Skip comments, read the size line.
+    let (nrows, ncols, nnz_decl) = loop {
+        line.clear();
+        lineno += 1;
+        if reader.read_line(&mut line)? == 0 {
+            return Err(SparseError::Parse { line: lineno, what: "missing size line".into() });
+        }
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let parse = |s: Option<&str>, what: &str| -> SparseResult<usize> {
+            s.ok_or_else(|| SparseError::Parse { line: lineno, what: format!("missing {what}") })?
+                .parse()
+                .map_err(|_| SparseError::Parse { line: lineno, what: format!("bad {what}") })
+        };
+        break (
+            parse(it.next(), "nrows")?,
+            parse(it.next(), "ncols")?,
+            parse(it.next(), "nnz")?,
+        );
+    };
+
+    let mut coo = Coo::new(nrows, ncols);
+    let mut seen = 0usize;
+    while seen < nnz_decl {
+        line.clear();
+        lineno += 1;
+        if reader.read_line(&mut line)? == 0 {
+            return Err(SparseError::Parse {
+                line: lineno,
+                what: format!("expected {nnz_decl} entries, found {seen}"),
+            });
+        }
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let r: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| SparseError::Parse { line: lineno, what: "bad row".into() })?;
+        let c: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| SparseError::Parse { line: lineno, what: "bad col".into() })?;
+        if r == 0 || c == 0 || r > nrows || c > ncols {
+            return Err(SparseError::Parse {
+                line: lineno,
+                what: format!("entry ({r},{c}) outside 1..={nrows} x 1..={ncols}"),
+            });
+        }
+        let v: f32 = match field {
+            Field::Pattern => 1.0,
+            Field::Real | Field::Integer => it
+                .next()
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(|v| v as f32)
+                .ok_or_else(|| SparseError::Parse { line: lineno, what: "bad value".into() })?,
+        };
+        let (r0, c0) = (r - 1, c - 1);
+        coo.push(r0 as u32, c0 as u32, v);
+        match symmetry {
+            Symmetry::General => {}
+            Symmetry::Symmetric if r0 != c0 => coo.push(c0 as u32, r0 as u32, v),
+            Symmetry::SkewSymmetric if r0 != c0 => coo.push(c0 as u32, r0 as u32, -v),
+            _ => {}
+        }
+        seen += 1;
+    }
+    Ok(coo.to_csr())
+}
+
+/// Writes a CSR matrix as `matrix coordinate real general`.
+pub fn write_mtx(path: &Path, csr: &Csr) -> SparseResult<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by spaden-sparse")?;
+    writeln!(w, "{} {} {}", csr.nrows, csr.ncols, csr.nnz())?;
+    for r in 0..csr.nrows {
+        let (cols, vals) = csr.row(r);
+        for (c, v) in cols.iter().zip(vals) {
+            writeln!(w, "{} {} {}", r + 1, c + 1, v)?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(s: &str) -> SparseResult<Csr> {
+        read_mtx_from(Cursor::new(s.as_bytes()))
+    }
+
+    #[test]
+    fn parses_general_real() {
+        let m = parse(
+            "%%MatrixMarket matrix coordinate real general\n\
+             % a comment\n\
+             3 3 3\n\
+             1 1 1.5\n\
+             2 3 -2.0\n\
+             3 1 4\n",
+        )
+        .unwrap();
+        assert_eq!((m.nrows, m.ncols, m.nnz()), (3, 3, 3));
+        assert_eq!(m.to_dense(), vec![1.5, 0.0, 0.0, 0.0, 0.0, -2.0, 4.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn parses_symmetric_and_mirrors() {
+        let m = parse(
+            "%%MatrixMarket matrix coordinate real symmetric\n\
+             2 2 2\n\
+             1 1 5\n\
+             2 1 3\n",
+        )
+        .unwrap();
+        assert_eq!(m.nnz(), 3); // diagonal not mirrored
+        assert_eq!(m.to_dense(), vec![5.0, 3.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn parses_skew_symmetric() {
+        let m = parse(
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+             2 2 1\n\
+             2 1 3\n",
+        )
+        .unwrap();
+        assert_eq!(m.to_dense(), vec![0.0, -3.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn parses_pattern_as_ones() {
+        let m = parse(
+            "%%MatrixMarket matrix coordinate pattern general\n\
+             2 2 2\n\
+             1 2\n\
+             2 1\n",
+        )
+        .unwrap();
+        assert_eq!(m.values, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(parse("%%NotMM\n1 1 0\n"), Err(SparseError::Parse { .. })));
+        assert!(parse("%%MatrixMarket matrix array real general\n1 1 1\n1\n").is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_entry() {
+        let e = parse(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n",
+        )
+        .unwrap_err();
+        assert!(matches!(e, SparseError::Parse { line: 3, .. }));
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let e = parse("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n")
+            .unwrap_err();
+        assert!(matches!(e, SparseError::Parse { .. }));
+    }
+
+    #[test]
+    fn rejects_one_based_violations() {
+        assert!(parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n").is_err());
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let m = crate::gen::random_uniform(40, 30, 200, 81);
+        let dir = std::env::temp_dir().join("spaden_mtx_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.mtx");
+        write_mtx(&path, &m).unwrap();
+        let back = read_mtx(&path).unwrap();
+        assert_eq!(back.nrows, m.nrows);
+        assert_eq!(back.ncols, m.ncols);
+        assert_eq!(back.nnz(), m.nnz());
+        assert_eq!(back.col_idx, m.col_idx);
+        for (a, b) in back.values.iter().zip(&m.values) {
+            assert!((a - b).abs() <= 1e-6 * b.abs().max(1e-6), "{a} vs {b}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

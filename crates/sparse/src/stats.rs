@@ -1,0 +1,225 @@
+//! Block-structure analytics backing Section 5.4 (Figure 9).
+//!
+//! The paper classifies 8×8 blocks by their nonzero count: *sparse*
+//! (nnz ≤ 32), *medium* (33–48) and *dense* (> 48), and shows that Spaden's
+//! advantage over cuSPARSE BSR grows with the sparse-block ratio.
+
+use crate::csr::Csr;
+use crate::gen::BLOCK_DIM;
+use rayon::prelude::*;
+
+/// The paper's three block classes (Section 5.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockClass {
+    /// `nnz <= 32`.
+    Sparse,
+    /// `33 <= nnz <= 48`.
+    Medium,
+    /// `nnz > 48`.
+    Dense,
+}
+
+impl BlockClass {
+    /// Classifies a block by its nonzero count.
+    pub fn of(nnz_in_block: usize) -> BlockClass {
+        match nnz_in_block {
+            0..=32 => BlockClass::Sparse,
+            33..=48 => BlockClass::Medium,
+            _ => BlockClass::Dense,
+        }
+    }
+}
+
+/// Distribution of block classes for one matrix (Figure 9a).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BlockProfile {
+    /// Number of non-empty blocks with `nnz <= 32`.
+    pub sparse: usize,
+    /// Number with `33 <= nnz <= 48`.
+    pub medium: usize,
+    /// Number with `nnz > 48`.
+    pub dense: usize,
+    /// Total nonzeros across all blocks.
+    pub nnz: usize,
+}
+
+impl BlockProfile {
+    /// Total non-empty blocks (`Bnnz`).
+    pub fn total(&self) -> usize {
+        self.sparse + self.medium + self.dense
+    }
+
+    /// Fraction of sparse blocks (the x-axis of Figure 9b).
+    pub fn sparse_ratio(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.sparse as f64 / self.total() as f64
+        }
+    }
+
+    /// Fraction of medium blocks.
+    pub fn medium_ratio(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.medium as f64 / self.total() as f64
+        }
+    }
+
+    /// Fraction of dense blocks.
+    pub fn dense_ratio(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.dense as f64 / self.total() as f64
+        }
+    }
+
+    /// Mean nonzeros per non-empty block (`nnz / Bnnz`).
+    pub fn mean_fill(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.nnz as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Computes the block profile of a CSR matrix for 8×8 blocking, in parallel
+/// over block-rows.
+pub fn block_profile(csr: &Csr) -> BlockProfile {
+    let block_rows = csr.nrows.div_ceil(BLOCK_DIM);
+    (0..block_rows)
+        .into_par_iter()
+        .map(|br| {
+            // Count nnz per non-empty block column within this block-row.
+            let mut cols: Vec<(u32, u32)> = Vec::new(); // (block col, count)
+            let r_end = ((br + 1) * BLOCK_DIM).min(csr.nrows);
+            for r in br * BLOCK_DIM..r_end {
+                let (ci, _) = csr.row(r);
+                for &c in ci {
+                    let bc = c / BLOCK_DIM as u32;
+                    match cols.binary_search_by_key(&bc, |e| e.0) {
+                        Ok(i) => cols[i].1 += 1,
+                        Err(i) => cols.insert(i, (bc, 1)),
+                    }
+                }
+            }
+            let mut p = BlockProfile::default();
+            for &(_, count) in &cols {
+                p.nnz += count as usize;
+                match BlockClass::of(count as usize) {
+                    BlockClass::Sparse => p.sparse += 1,
+                    BlockClass::Medium => p.medium += 1,
+                    BlockClass::Dense => p.dense += 1,
+                }
+            }
+            p
+        })
+        .reduce(BlockProfile::default, |a, b| BlockProfile {
+            sparse: a.sparse + b.sparse,
+            medium: a.medium + b.medium,
+            dense: a.dense + b.dense,
+            nnz: a.nnz + b.nnz,
+        })
+}
+
+/// Row-degree histogram with power-of-two buckets; used by the DASP
+/// baseline's long/medium/short row bucketing and by dataset diagnostics.
+pub fn degree_histogram(csr: &Csr) -> Vec<(usize, usize)> {
+    let mut hist: Vec<usize> = vec![0; 33];
+    for r in 0..csr.nrows {
+        let d = csr.row_nnz(r);
+        let bucket = if d == 0 { 0 } else { (usize::BITS - d.leading_zeros()) as usize };
+        hist[bucket.min(32)] += 1;
+    }
+    hist.into_iter()
+        .enumerate()
+        .filter(|&(_, n)| n > 0)
+        .map(|(b, n)| (if b == 0 { 0 } else { 1usize << (b - 1) }, n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate_blocked, FillDist, Placement};
+
+    #[test]
+    fn class_boundaries() {
+        assert_eq!(BlockClass::of(1), BlockClass::Sparse);
+        assert_eq!(BlockClass::of(32), BlockClass::Sparse);
+        assert_eq!(BlockClass::of(33), BlockClass::Medium);
+        assert_eq!(BlockClass::of(48), BlockClass::Medium);
+        assert_eq!(BlockClass::of(49), BlockClass::Dense);
+        assert_eq!(BlockClass::of(64), BlockClass::Dense);
+    }
+
+    #[test]
+    fn profile_of_dense_block_matrix() {
+        let m = generate_blocked(256, 64, Placement::Scattered, &FillDist::Dense, 71);
+        let p = block_profile(&m);
+        assert_eq!(p.total(), 64);
+        assert_eq!(p.dense, 64);
+        assert_eq!(p.sparse + p.medium, 0);
+        assert_eq!(p.nnz, m.nnz());
+        assert_eq!(p.mean_fill(), 64.0);
+    }
+
+    #[test]
+    fn profile_matches_bsr_block_count() {
+        let m = generate_blocked(
+            512,
+            200,
+            Placement::Banded { bandwidth: 6 },
+            &FillDist::Uniform { lo: 1, hi: 64 },
+            73,
+        );
+        let b = crate::bsr::Bsr::from_csr(&m);
+        let p = block_profile(&m);
+        assert_eq!(p.total(), b.bnnz());
+        assert_eq!(p.nnz, m.nnz());
+    }
+
+    #[test]
+    fn uniform_fill_spreads_over_classes() {
+        let m = generate_blocked(
+            2048,
+            2000,
+            Placement::Scattered,
+            &FillDist::Uniform { lo: 1, hi: 64 },
+            75,
+        );
+        let p = block_profile(&m);
+        // Uniform 1..=64 fill: ~50% sparse, ~25% medium, ~25% dense.
+        assert!((p.sparse_ratio() - 0.5).abs() < 0.1, "sparse {}", p.sparse_ratio());
+        assert!((p.medium_ratio() - 0.25).abs() < 0.1, "medium {}", p.medium_ratio());
+        assert!((p.dense_ratio() - 0.25).abs() < 0.1, "dense {}", p.dense_ratio());
+    }
+
+    #[test]
+    fn ratios_sum_to_one() {
+        let m = crate::gen::random_uniform(300, 300, 2000, 77);
+        let p = block_profile(&m);
+        let s = p.sparse_ratio() + p.medium_ratio() + p.dense_ratio();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_profile() {
+        let p = block_profile(&crate::csr::Csr::empty(64, 64));
+        assert_eq!(p.total(), 0);
+        assert_eq!(p.sparse_ratio(), 0.0);
+        assert_eq!(p.mean_fill(), 0.0);
+    }
+
+    #[test]
+    fn degree_histogram_buckets() {
+        let m = crate::gen::banded(100, 3, 4, 79);
+        let h = degree_histogram(&m);
+        let total: usize = h.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 100);
+        assert!(h.iter().all(|&(b, _)| b <= 8), "banded degree ~4, got {h:?}");
+    }
+}

@@ -1,0 +1,154 @@
+//! Shared scalar types and error handling for the sparse substrate.
+
+use std::fmt;
+
+/// Errors produced by format construction, conversion and I/O.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SparseError {
+    /// An index was outside the declared matrix dimensions.
+    IndexOutOfBounds {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+        /// Declared number of rows.
+        nrows: usize,
+        /// Declared number of columns.
+        ncols: usize,
+    },
+    /// Structural arrays have inconsistent lengths.
+    LengthMismatch {
+        /// Human-readable description of which arrays disagree.
+        what: String,
+    },
+    /// A row-pointer (or similar offset) array is not monotonically
+    /// non-decreasing or does not start at zero / end at nnz.
+    MalformedOffsets {
+        /// Description of the violated invariant.
+        what: String,
+    },
+    /// An operand shape does not match (e.g. `x.len() != ncols`).
+    ShapeMismatch {
+        /// Description of the mismatch.
+        what: String,
+    },
+    /// MatrixMarket parsing failed.
+    Parse {
+        /// 1-based line number where parsing failed, if known.
+        line: usize,
+        /// What went wrong.
+        what: String,
+    },
+    /// Underlying I/O failure (message only, to keep the error `Clone`).
+    Io(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => write!(
+                f,
+                "entry ({row}, {col}) outside {nrows}x{ncols} matrix"
+            ),
+            SparseError::LengthMismatch { what } => write!(f, "length mismatch: {what}"),
+            SparseError::MalformedOffsets { what } => write!(f, "malformed offsets: {what}"),
+            SparseError::ShapeMismatch { what } => write!(f, "shape mismatch: {what}"),
+            SparseError::Parse { line, what } => write!(f, "parse error at line {line}: {what}"),
+            SparseError::Io(what) => write!(f, "io error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e.to_string())
+    }
+}
+
+/// Convenience result alias used throughout the substrate.
+pub type SparseResult<T> = Result<T, SparseError>;
+
+/// Checks that a CSR-style offset array is well-formed:
+/// starts at 0, is non-decreasing, and ends at `nnz`.
+pub fn validate_offsets(ptr: &[u32], nnz: usize, name: &str) -> SparseResult<()> {
+    if ptr.is_empty() {
+        return Err(SparseError::MalformedOffsets {
+            what: format!("{name} is empty"),
+        });
+    }
+    if ptr[0] != 0 {
+        return Err(SparseError::MalformedOffsets {
+            what: format!("{name}[0] = {} != 0", ptr[0]),
+        });
+    }
+    for w in ptr.windows(2) {
+        if w[1] < w[0] {
+            return Err(SparseError::MalformedOffsets {
+                what: format!("{name} decreases: {} -> {}", w[0], w[1]),
+            });
+        }
+    }
+    let last = *ptr.last().expect("non-empty") as usize;
+    if last != nnz {
+        return Err(SparseError::MalformedOffsets {
+            what: format!("{name} ends at {last}, expected nnz = {nnz}"),
+        });
+    }
+    Ok(())
+}
+
+/// Checks that every index in `idx` is `< bound`.
+pub fn validate_indices(idx: &[u32], bound: usize, name: &str) -> SparseResult<()> {
+    if let Some(&bad) = idx.iter().find(|&&i| (i as usize) >= bound) {
+        return Err(SparseError::LengthMismatch {
+            what: format!("{name} contains index {bad} >= bound {bound}"),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_ok() {
+        assert!(validate_offsets(&[0, 2, 2, 5], 5, "p").is_ok());
+        assert!(validate_offsets(&[0], 0, "p").is_ok());
+    }
+
+    #[test]
+    fn offsets_must_start_at_zero() {
+        let e = validate_offsets(&[1, 2], 2, "p").unwrap_err();
+        assert!(matches!(e, SparseError::MalformedOffsets { .. }));
+    }
+
+    #[test]
+    fn offsets_must_be_monotone() {
+        assert!(validate_offsets(&[0, 3, 2], 2, "p").is_err());
+    }
+
+    #[test]
+    fn offsets_must_end_at_nnz() {
+        assert!(validate_offsets(&[0, 2], 3, "p").is_err());
+    }
+
+    #[test]
+    fn empty_offsets_rejected() {
+        assert!(validate_offsets(&[], 0, "p").is_err());
+    }
+
+    #[test]
+    fn indices_bound_checked() {
+        assert!(validate_indices(&[0, 1, 2], 3, "c").is_ok());
+        assert!(validate_indices(&[0, 3], 3, "c").is_err());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = SparseError::IndexOutOfBounds { row: 5, col: 7, nrows: 4, ncols: 4 };
+        assert_eq!(e.to_string(), "entry (5, 7) outside 4x4 matrix");
+    }
+}

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Splices the `repro` harness outputs into EXPERIMENTS.md.
+
+Usage: python3 scripts/fill_experiments.py \
+           /tmp/table1_full.txt /tmp/repro_all_025.txt \
+           /tmp/abl_025.txt /tmp/ext_025.txt
+"""
+import re
+import sys
+
+table1_path, all_path, abl_path, ext_path = sys.argv[1:5]
+
+
+def read(path):
+    with open(path) as f:
+        return f.read()
+
+
+def section(text, title, nth=0):
+    """Extracts the table under the nth occurrence of `## <title>...`."""
+    blocks = re.split(r"\n(?=## )", text)
+    hits = [b for b in blocks if b.startswith(f"## {title}")]
+    if nth >= len(hits):
+        raise SystemExit(f"section not found: {title} #{nth}")
+    return hits[nth].strip()
+
+
+t1 = read(table1_path)
+full = read(all_path)
+abl = read(abl_path)
+ext = read(ext_path)
+
+# Headline rows for the summary speedup table.
+def headline(text, gpu):
+    m = re.search(
+        rf"Headline geomean speedups of Spaden on {gpu}.*?\n((?:  over .*\n)+)", text
+    )
+    vals = re.findall(r"([0-9.]+)x", m.group(1))
+    return " | ".join(vals)
+
+
+md = read("EXPERIMENTS.md")
+md = md.replace("PLACEHOLDER_TABLE1", section(t1, "Table 1"))
+md = md.replace(
+    "PLACEHOLDER_L40 |", headline(full, "L40") + " |"
+)
+md = md.replace(
+    "PLACEHOLDER_V100 |", headline(full, "V100") + " |"
+)
+fig67 = "\n\n".join(
+    [
+        section(full, "Figure 6: SpMV throughput in GFLOPS (L40)"),
+        section(full, "Figure 7: speedup over cuSPARSE CSR (L40)"),
+        section(full, "Figure 6: SpMV throughput in GFLOPS (V100)"),
+        section(full, "Figure 7: speedup over cuSPARSE CSR (V100)"),
+    ]
+)
+md = md.replace("PLACEHOLDER_FIG67", fig67)
+md = md.replace("PLACEHOLDER_FIG8", section(full, "Figure 8"))
+md = md.replace(
+    "PLACEHOLDER_FIG9",
+    section(full, "Figure 9a") + "\n\n" + section(full, "Figure 9b"),
+)
+md = md.replace("PLACEHOLDER_FIG10A", section(full, "Figure 10a"))
+md = md.replace("PLACEHOLDER_FIG10B", section(full, "Figure 10b"))
+md = md.replace(
+    "PLACEHOLDER_ABLATIONS_SUMMARY",
+    "\n\n".join(
+        section(abl, t)
+        for t in [
+            "Ablation: bitmap block size",
+            "Ablation: value precision",
+            "Ablation: fragment packing",
+            "Ablation: fragment I/O path",
+        ]
+    ),
+)
+md = md.replace(
+    "PLACEHOLDER_EXTENSIONS_SUMMARY",
+    "\n\n".join(
+        section(ext, t)
+        for t in ["Extension: SpMM", "Extension: SDDMM", "Extension: bitCOO"]
+    ),
+)
+md = md.replace(
+    "PLACEHOLDER_VERIFICATION",
+    section(full, "Verification: max relative error vs f64 oracle (L40)")
+    + "\n\n"
+    + section(full, "Verification: max relative error vs f64 oracle (V100)"),
+)
+
+assert "PLACEHOLDER" not in md, "unreplaced placeholder remains"
+with open("EXPERIMENTS.md", "w") as f:
+    f.write(md)
+print("EXPERIMENTS.md filled")

@@ -1,0 +1,21 @@
+//! # spaden-repro
+//!
+//! Umbrella crate for the Spaden reproduction (*Bitmap-Based Sparse
+//! Matrix-Vector Multiplication with Tensor Cores*, ICPP '24): re-exports
+//! the core library and substrates, and hosts the runnable examples and
+//! the cross-crate integration tests.
+//!
+//! * [`spaden`] — bitBSR format + the Spaden kernels (the paper's
+//!   contribution).
+//! * [`sparse`] — classic sparse formats, generators, Table-1 datasets.
+//! * [`gpusim`] — the simulated SIMT/tensor-core substrate.
+//! * [`baselines`] — cuSPARSE CSR/BSR, LightSpMV, Gunrock, DASP.
+//!
+//! See `examples/quickstart.rs` for the 30-second tour and the
+//! `spaden-bench` crate's `repro` binary for regenerating the paper's
+//! figures.
+
+pub use spaden;
+pub use spaden_baselines as baselines;
+pub use spaden_gpusim as gpusim;
+pub use spaden_sparse as sparse;

@@ -1,0 +1,120 @@
+//! Failure injection: malformed inputs must produce typed errors (or, for
+//! API-contract violations, clean panics) — never wrong answers.
+
+use spaden::gpusim::{Gpu, GpuConfig};
+use spaden::{SpadenEngine, SpmvEngine};
+use spaden_sparse::csr::Csr;
+use spaden_sparse::mtx::read_mtx_from;
+use spaden_sparse::types::SparseError;
+use std::io::Cursor;
+
+#[test]
+fn csr_rejects_structural_corruption() {
+    // Non-monotone row pointers.
+    assert!(matches!(
+        Csr::new(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]),
+        Err(SparseError::MalformedOffsets { .. })
+    ));
+    // Column out of bounds.
+    assert!(Csr::new(2, 2, vec![0, 1, 1], vec![7], vec![1.0]).is_err());
+    // row_ptr length mismatch.
+    assert!(matches!(
+        Csr::new(3, 3, vec![0, 0], vec![], vec![]),
+        Err(SparseError::LengthMismatch { .. })
+    ));
+    // values/col_idx mismatch.
+    assert!(Csr::new(1, 3, vec![0, 2], vec![0, 1], vec![1.0]).is_err());
+    // row_ptr not ending at nnz.
+    assert!(Csr::new(1, 3, vec![0, 1], vec![0, 1], vec![1.0, 1.0]).is_err());
+}
+
+#[test]
+fn spmv_rejects_wrong_vector_length() {
+    let m = spaden_sparse::gen::random_uniform(10, 20, 50, 1);
+    assert!(matches!(m.spmv(&[0.0; 10]), Err(SparseError::ShapeMismatch { .. })));
+    assert!(m.spmv(&[0.0; 20]).is_ok());
+}
+
+#[test]
+fn engine_panics_cleanly_on_wrong_x_length() {
+    let m = spaden_sparse::gen::random_uniform(32, 32, 100, 2);
+    let gpu = Gpu::new(GpuConfig::l40());
+    let eng = SpadenEngine::prepare(&gpu, &m);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        eng.run(&gpu, &[0.0f32; 31])
+    }));
+    assert!(result.is_err(), "must reject mismatched x");
+}
+
+#[test]
+fn mtx_parser_rejects_garbage() {
+    let cases: &[(&str, &str)] = &[
+        ("empty", ""),
+        ("not mm", "hello world\n1 1 1\n"),
+        ("array format", "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n"),
+        ("complex field", "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n"),
+        ("hermitian", "%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1\n"),
+        ("missing size", "%%MatrixMarket matrix coordinate real general\n"),
+        ("bad size", "%%MatrixMarket matrix coordinate real general\nx y z\n"),
+        ("zero-based entry", "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n"),
+        ("row too large", "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n"),
+        ("truncated entries", "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n"),
+        ("non-numeric value", "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 abc\n"),
+        ("missing value", "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1\n"),
+    ];
+    for (name, text) in cases {
+        let got = read_mtx_from(Cursor::new(text.as_bytes()));
+        assert!(got.is_err(), "{name}: parser accepted garbage");
+    }
+}
+
+#[test]
+fn mtx_errors_carry_line_numbers() {
+    let bad = "%%MatrixMarket matrix coordinate real general\n2 2 1\n9 9 1.0\n";
+    match read_mtx_from(Cursor::new(bad.as_bytes())) {
+        Err(SparseError::Parse { line, .. }) => assert_eq!(line, 3),
+        other => panic!("expected parse error with line, got {other:?}"),
+    }
+}
+
+#[test]
+fn validators_catch_hand_corrupted_bitbsr() {
+    let m = spaden_sparse::gen::random_uniform(64, 64, 500, 3);
+    let mut b = spaden::BitBsr::from_csr(&m);
+    assert!(b.validate().is_ok());
+    // Flip a bitmap bit: popcount no longer matches the offsets.
+    b.bitmaps[0] ^= 1 << 17;
+    assert!(b.validate().is_err());
+}
+
+#[test]
+fn nan_and_inf_values_flow_through_not_crash() {
+    // f16 conversion must carry NaN/Inf without panicking, and SpMV must
+    // propagate them.
+    let m = Csr::new(2, 2, vec![0, 1, 2], vec![0, 1], vec![f32::NAN, f32::INFINITY]).unwrap();
+    let gpu = Gpu::new(GpuConfig::l40());
+    let eng = SpadenEngine::prepare(&gpu, &m);
+    let run = eng.run(&gpu, &[1.0, 1.0]);
+    assert!(run.y[0].is_nan());
+    assert!(run.y[1].is_infinite());
+}
+
+#[test]
+fn huge_values_saturate_to_f16_infinity_documented() {
+    // bitBSR stores f16: values beyond 65504 become infinity. This is the
+    // format's documented precision contract.
+    let m = Csr::new(1, 1, vec![0, 1], vec![0], vec![1e6]).unwrap();
+    let gpu = Gpu::new(GpuConfig::l40());
+    let run = SpadenEngine::prepare(&gpu, &m).run(&gpu, &[1.0]);
+    assert!(run.y[0].is_infinite());
+}
+
+#[test]
+fn zero_sized_and_degenerate_matrices() {
+    let gpu = Gpu::new(GpuConfig::l40());
+    for (nr, nc) in [(1usize, 1usize), (8, 8), (1, 64), (64, 1), (9, 17)] {
+        let m = Csr::empty(nr, nc);
+        let run = SpadenEngine::prepare(&gpu, &m).run(&gpu, &vec![1.0f32; nc]);
+        assert_eq!(run.y, vec![0.0; nr], "{nr}x{nc}");
+    }
+}

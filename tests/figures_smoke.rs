@@ -1,0 +1,152 @@
+//! Figure smoke tests: the headline qualitative claims of the paper's
+//! evaluation must hold on the harness at a reduced scale. These pin the
+//! *shape* of every figure so a regression in any engine or in the timing
+//! model fails loudly.
+
+use spaden_bench::{load_datasets, run_sweep, EngineKind, FIG6_ENGINES, FIG8_ENGINES};
+use spaden_gpusim::GpuConfig;
+
+const SCALE: f64 = 0.04;
+
+fn full_sweep(cfg: GpuConfig) -> spaden_bench::Sweep {
+    let mut kinds = FIG6_ENGINES.to_vec();
+    kinds.extend(FIG8_ENGINES);
+    kinds.dedup();
+    let datasets = load_datasets(SCALE, true);
+    run_sweep(cfg, &datasets, &kinds)
+}
+
+#[test]
+fn spaden_wins_in_scope_on_both_gpus() {
+    // §5.2: Spaden outperforms every competing method in geometric mean
+    // over the 12 selection-criteria matrices, on both GPUs.
+    for cfg in [GpuConfig::l40(), GpuConfig::v100()] {
+        let sweep = full_sweep(cfg);
+        for base in ["cuSPARSE CSR", "cuSPARSE BSR", "LightSpMV", "Gunrock", "DASP"] {
+            let s = sweep.geomean_speedup("Spaden", base);
+            assert!(s > 1.0, "{}: Spaden vs {base} = {s:.2}", sweep.gpu);
+        }
+    }
+}
+
+#[test]
+fn cusparse_csr_is_second_best_on_average() {
+    // §5.2: "cuSPARSE's CSR SpMV ranks as the second fastest SpMV method
+    // on average."
+    let sweep = full_sweep(GpuConfig::l40());
+    for other in ["cuSPARSE BSR", "LightSpMV", "Gunrock"] {
+        let s = sweep.geomean_speedup("cuSPARSE CSR", other);
+        assert!(s > 1.0, "cuSPARSE CSR vs {other} = {s:.2}");
+    }
+}
+
+#[test]
+fn spaden_loses_on_low_degree_matrices() {
+    // §5.2: on scircuit/webbase-1M (nnz/nrow < 6) Spaden reaches only a
+    // fraction of cuSPARSE CSR's throughput. At reduced scale the effect
+    // is muted by launch overhead; require it to at least not win big.
+    let sweep = full_sweep(GpuConfig::l40());
+    for ds in ["scircuit", "webbase1M"] {
+        let spaden = sweep.get("Spaden", ds).expect("cell").gflops;
+        let csr = sweep.get("cuSPARSE CSR", ds).expect("cell").gflops;
+        let in_scope_adv = sweep.geomean_speedup("Spaden", "cuSPARSE CSR");
+        assert!(
+            spaden / csr < in_scope_adv * 0.85,
+            "{ds}: Spaden advantage {:.2} should collapse vs in-scope {:.2}",
+            spaden / csr,
+            in_scope_adv
+        );
+    }
+}
+
+#[test]
+fn dasp_architecture_contrast() {
+    // §5.2: DASP is relatively stronger on the V100 (native m8n8k4) than
+    // on the L40.
+    let l40 = full_sweep(GpuConfig::l40());
+    let v100 = full_sweep(GpuConfig::v100());
+    let l40_gap = l40.geomean_speedup("Spaden", "DASP");
+    let v100_gap = v100.geomean_speedup("Spaden", "DASP");
+    assert!(
+        l40_gap > v100_gap,
+        "Spaden-over-DASP must be larger on L40 ({l40_gap:.2}) than V100 ({v100_gap:.2})"
+    );
+}
+
+#[test]
+fn fig8_breakdown_ordering() {
+    // §5.3: Spaden > Spaden w/o TC > cuSPARSE BSR > CSR Warp16.
+    let sweep = full_sweep(GpuConfig::l40());
+    let over_notc = sweep.geomean_speedup("Spaden", "Spaden w/o TC");
+    let over_bsr = sweep.geomean_speedup("Spaden", "cuSPARSE BSR");
+    let over_w16 = sweep.geomean_speedup("Spaden", "CSR Warp16");
+    assert!(over_notc > 1.0, "w/o TC {over_notc:.2}");
+    assert!(over_bsr > over_notc, "BSR {over_bsr:.2} vs w/o TC {over_notc:.2}");
+    assert!(over_w16 > over_bsr, "Warp16 {over_w16:.2} vs BSR {over_bsr:.2}");
+}
+
+#[test]
+fn fig9b_correlation_sparse_blocks_help_spaden() {
+    // §5.4: the higher the sparse-block ratio, the larger Spaden's win
+    // over BSR. Check rank correlation over the in-scope matrices.
+    let sweep = run_sweep(
+        GpuConfig::l40(),
+        &load_datasets(SCALE, false),
+        &[EngineKind::Spaden, EngineKind::CusparseBsr],
+    );
+    let mut points: Vec<(f64, f64)> = sweep
+        .datasets()
+        .into_iter()
+        .map(|d| {
+            let s = sweep.get("Spaden", d).expect("spaden");
+            let b = sweep.get("cuSPARSE BSR", d).expect("bsr");
+            (s.sparse_ratio, b.seconds / s.seconds)
+        })
+        .collect();
+    points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    // Dense-block extreme (raefsky3) must show the smallest speedup; the
+    // sparse-block extreme (DFT matrices) the largest.
+    let first = points.first().expect("non-empty").1;
+    let last = points.last().expect("non-empty").1;
+    assert!(last > 2.0 * first, "no correlation: first {first:.2} last {last:.2}");
+}
+
+#[test]
+fn fig10_memory_ordering_matches_paper() {
+    // §5.5: Spaden smallest footprint, BSR largest; Spaden ~2.85 B/nnz,
+    // CSR ~8.06 B/nnz.
+    let kinds = [
+        EngineKind::CusparseCsr,
+        EngineKind::CusparseBsr,
+        EngineKind::Spaden,
+        EngineKind::Dasp,
+    ];
+    let sweep = run_sweep(GpuConfig::l40(), &load_datasets(SCALE, false), &kinds);
+    let mean = |eng: &str| {
+        let v: Vec<f64> = sweep
+            .cells
+            .iter()
+            .filter(|c| c.engine == eng)
+            .map(|c| c.prep_bytes_per_nnz)
+            .collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    let (csr, bsr, spaden, dasp) = (
+        mean("cuSPARSE CSR"),
+        mean("cuSPARSE BSR"),
+        mean("Spaden"),
+        mean("DASP"),
+    );
+    assert!(spaden < dasp && spaden < csr && spaden < bsr, "spaden {spaden:.2} not smallest");
+    assert!(bsr > csr, "bsr {bsr:.2} <= csr {csr:.2}");
+    assert!((2.3..3.6).contains(&spaden), "spaden B/nnz {spaden:.2} (paper: 2.85)");
+    assert!((7.5..9.0).contains(&csr), "csr B/nnz {csr:.2} (paper: 8.06)");
+}
+
+#[test]
+fn verification_errors_are_small_everywhere() {
+    let sweep = full_sweep(GpuConfig::v100());
+    for c in &sweep.cells {
+        assert!(c.max_err < 0.05, "{}/{}: {}", c.engine, c.dataset, c.max_err);
+    }
+}

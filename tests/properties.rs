@@ -1,0 +1,242 @@
+#![allow(clippy::needless_range_loop)] // warp-lockstep indexing idiom
+//! Property-based tests (proptest) over the core data structures and the
+//! end-to-end kernel stack: arbitrary matrices in, invariants out.
+
+use proptest::prelude::*;
+use spaden::gpusim::fragment::{FragKind, Fragment};
+use spaden::gpusim::half::F16;
+use spaden::gpusim::{Gpu, GpuConfig};
+use spaden::{BitBsr, SpadenEngine, SpmvEngine};
+use spaden_sparse::coo::Coo;
+use spaden_sparse::csr::Csr;
+use spaden_sparse::scan::{exclusive_scan, exclusive_scan_par};
+
+/// Strategy: a small arbitrary sparse matrix as (nrows, ncols, triplets).
+fn arb_csr() -> impl Strategy<Value = Csr> {
+    (1usize..60, 1usize..60).prop_flat_map(|(nr, nc)| {
+        let entry = (0..nr as u32, 0..nc as u32, -4.0f32..4.0);
+        proptest::collection::vec(entry, 0..200).prop_map(move |trips| {
+            let mut coo = Coo::new(nr, nc);
+            for (r, c, v) in trips {
+                // Quantise values to f16 so kernel comparisons are exact-ish
+                // and degenerate duplicate-cancellation stays bounded.
+                coo.push(r, c, F16::round_f32(v));
+            }
+            coo.to_csr()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bitbsr_roundtrip_arbitrary(csr in arb_csr()) {
+        let b = BitBsr::from_csr(&csr);
+        prop_assert!(b.validate().is_ok());
+        prop_assert_eq!(b.nnz(), csr.nnz());
+        let back = b.to_csr();
+        prop_assert_eq!(&back.row_ptr, &csr.row_ptr);
+        prop_assert_eq!(&back.col_idx, &csr.col_idx);
+        for (a, v) in back.values.iter().zip(&csr.values) {
+            prop_assert_eq!(*a, F16::round_f32(*v));
+        }
+    }
+
+    #[test]
+    fn bitbsr_bitmap_invariants(csr in arb_csr()) {
+        let b = BitBsr::from_csr(&csr);
+        // Popcounts sum to nnz; offsets are their exclusive scan; no empty
+        // blocks are stored.
+        let total: u32 = b.bitmaps.iter().map(|m| m.count_ones()).sum();
+        prop_assert_eq!(total as usize, csr.nnz());
+        for (k, bmp) in b.bitmaps.iter().enumerate() {
+            prop_assert!(*bmp != 0);
+            prop_assert_eq!(
+                bmp.count_ones(),
+                b.block_offsets[k + 1] - b.block_offsets[k]
+            );
+        }
+    }
+
+    #[test]
+    fn spaden_kernel_matches_oracle_arbitrary(csr in arb_csr(), seed in 0u64..1000) {
+        let gpu = Gpu::new(GpuConfig::l40());
+        let engine = SpadenEngine::prepare(&gpu, &csr);
+        let mut rng = spaden_sparse::rng::Pcg64::new(seed, 0);
+        let x: Vec<f32> =
+            (0..csr.ncols).map(|_| F16::round_f32(rng.range_f32(-2.0, 2.0))).collect();
+        let run = engine.run(&gpu, &x);
+        let oracle = csr.spmv_f64(&x).expect("oracle");
+        for (r, (a, o)) in run.y.iter().zip(&oracle).enumerate() {
+            // Duplicate triplets are summed by to_csr, so stored values can
+            // be f16-inexact; bound by one rounding step per product:
+            // |val| <= 8 (duplicate pileup), |x| <= 2, eps = 2^-10.
+            let tol = csr.row_nnz(r) as f64 * 16.0 * 2.0f64.powi(-10) + 1e-4;
+            prop_assert!(
+                ((*a as f64) - o).abs() <= tol,
+                "row {}: {} vs {}", r, a, o
+            );
+        }
+    }
+
+    #[test]
+    fn csr_transpose_involution_arbitrary(csr in arb_csr()) {
+        prop_assert_eq!(csr.transpose().transpose(), csr);
+    }
+
+    #[test]
+    fn spmv_linearity(csr in arb_csr(), alpha in -2.0f32..2.0) {
+        // A(alpha * x) == alpha * A(x), exactly in f64 within f32 noise.
+        let x: Vec<f32> = (0..csr.ncols).map(|i| ((i % 11) as f32) / 4.0 - 1.0).collect();
+        let ax: Vec<f32> = x.iter().map(|v| alpha * v).collect();
+        let y1 = csr.spmv_f64(&ax).unwrap();
+        let y2 = csr.spmv_f64(&x).unwrap();
+        for (a, b) in y1.iter().zip(&y2) {
+            let want = alpha as f64 * b;
+            prop_assert!((a - want).abs() <= 1e-4 * want.abs().max(1.0) + 1e-5);
+        }
+    }
+
+    #[test]
+    fn f16_roundtrip_arbitrary_bits(bits in any::<u16>()) {
+        let h = F16(bits);
+        if !h.is_nan() {
+            prop_assert_eq!(F16::from_f32(h.to_f32()).0, bits);
+        } else {
+            prop_assert!(F16::from_f32(h.to_f32()).is_nan());
+        }
+    }
+
+    #[test]
+    fn f16_rounding_is_nearest(v in -70000.0f32..70000.0) {
+        // |round(v) - v| must not exceed the distance to either f16
+        // neighbour of round(v).
+        let r = F16::round_f32(v);
+        if r.is_finite() {
+            let bits = F16::from_f32(v).0;
+            let up = F16(bits.wrapping_add(1));
+            let down = F16(bits.wrapping_sub(1));
+            let d = (r - v).abs();
+            if up.to_f32().is_finite() && !up.is_nan() {
+                prop_assert!(d <= (up.to_f32() - v).abs() + 1e-12);
+            }
+            if down.to_f32().is_finite() && !down.is_nan() {
+                prop_assert!(d <= (down.to_f32() - v).abs() + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn fragment_mapping_bijection_random_probe(lane in 0usize..32, reg in 0usize..8) {
+        for kind in [FragKind::MatrixA, FragKind::MatrixB, FragKind::Accumulator] {
+            let (r, c) = Fragment::element_of(kind, lane, reg);
+            prop_assert_eq!(Fragment::lane_reg(kind, r, c), (lane, reg));
+        }
+    }
+
+    #[test]
+    fn scan_parallel_equals_serial(counts in proptest::collection::vec(0u32..1000, 0..500)) {
+        prop_assert_eq!(exclusive_scan_par(&counts), exclusive_scan(&counts));
+    }
+
+    #[test]
+    fn decode_indices_partition_the_block(bitmap in any::<u64>()) {
+        let mut collected: Vec<u32> = Vec::new();
+        for lid in 0..32 {
+            let (a, b) = spaden::decode::lane_value_indices(bitmap, lid);
+            collected.extend(a);
+            collected.extend(b);
+        }
+        collected.sort_unstable();
+        let expect: Vec<u32> = (0..bitmap.count_ones()).collect();
+        prop_assert_eq!(collected, expect);
+    }
+
+    #[test]
+    fn sell_roundtrip_arbitrary(csr in arb_csr(), chunk_pow in 1u32..6, sigma_mult in 1usize..8) {
+        let chunk = 1usize << chunk_pow;
+        let sell = spaden_sparse::sell::Sell::from_csr(&csr, chunk, chunk * sigma_mult);
+        prop_assert_eq!(sell.nnz(), csr.nnz());
+        prop_assert_eq!(sell.to_csr(), csr);
+    }
+
+    #[test]
+    fn csc_roundtrip_and_spmv_arbitrary(csr in arb_csr()) {
+        let csc = spaden_sparse::csc::Csc::from_csr(&csr);
+        prop_assert_eq!(csc.to_csr(), csr.clone());
+        let x: Vec<f32> = (0..csr.ncols).map(|i| ((i % 9) as f32) / 4.0 - 1.0).collect();
+        let ya = csc.spmv(&x).unwrap();
+        let yb = csr.spmv(&x).unwrap();
+        for (a, b) in ya.iter().zip(&yb) {
+            prop_assert!((a - b).abs() <= 1e-4 * b.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn merge_csr_engine_matches_oracle_arbitrary(csr in arb_csr()) {
+        let gpu = Gpu::new(GpuConfig::l40());
+        let engine = spaden_baselines::MergeCsrEngine::prepare(&gpu, &csr);
+        let x: Vec<f32> = (0..csr.ncols).map(|i| ((i % 7) as f32) / 3.5 - 1.0).collect();
+        let run = spaden::SpmvEngine::run(&engine, &gpu, &x);
+        let oracle = csr.spmv_f64(&x).expect("oracle");
+        for (r, (a, o)) in run.y.iter().zip(&oracle).enumerate() {
+            prop_assert!(
+                ((*a as f64) - o).abs() <= 1e-3 * o.abs().max(1.0) + 1e-4,
+                "row {}: {} vs {}", r, a, o
+            );
+        }
+    }
+
+    #[test]
+    fn spgemm_identity_property(csr in arb_csr()) {
+        // A x I == f16(A) for any square-compatible identity.
+        let mut eye = Coo::new(csr.ncols, csr.ncols);
+        for i in 0..csr.ncols as u32 {
+            eye.push(i, i, 1.0);
+        }
+        let gpu = Gpu::new(GpuConfig::l40());
+        let eng = spaden::SpadenSpgemmEngine::prepare(&gpu, &csr, &eye.to_csr());
+        let run = eng.run(&gpu);
+        let got = run.c.to_csr();
+        // Duplicate triplets can cancel to an explicit 0.0 in the CSR,
+        // which SpGEMM legitimately drops from the output bitmap — compare
+        // against the zero-stripped f16 rounding of A.
+        let mut want = Coo::new(csr.nrows, csr.ncols);
+        for r in 0..csr.nrows {
+            let (cols, vals) = csr.row(r);
+            for (c, v) in cols.iter().zip(vals) {
+                let v16 = F16::from_f32(*v);
+                if !v16.is_zero() {
+                    want.push(r as u32, *c, v16.to_f32());
+                }
+            }
+        }
+        prop_assert_eq!(got, want.to_csr());
+    }
+
+    #[test]
+    fn mma_identity_property(diag in -3.0f32..3.0) {
+        // (d*I) * B scales every element of B by f16(d).
+        let d16 = F16::round_f32(diag);
+        let mut a = Fragment::new(FragKind::MatrixA);
+        for i in 0..16 {
+            a.set(i, i, diag);
+        }
+        let mut b = Fragment::new(FragKind::MatrixB);
+        for r in 0..16 {
+            for c in 0..16 {
+                b.set(r, c, ((r * 16 + c) % 13) as f32);
+            }
+        }
+        let cfrag = Fragment::new(FragKind::Accumulator);
+        let mut out = Fragment::new(FragKind::Accumulator);
+        spaden::gpusim::mma::mma_sync(&mut out, &a, &b, &cfrag);
+        for r in 0..16 {
+            for c in 0..16 {
+                let want = d16 * b.get(r, c);
+                prop_assert!((out.get(r, c) - want).abs() <= 1e-5 * want.abs().max(1.0));
+            }
+        }
+    }
+}
