@@ -124,6 +124,10 @@ impl SpmvEngine for CusparseBsrEngine {
         self.format.nrows
     }
 
+    fn ncols(&self) -> usize {
+        self.format.ncols
+    }
+
     fn run(&self, gpu: &Gpu, x: &[f32]) -> SpmvRun {
         assert_eq!(x.len(), self.format.ncols, "x length mismatch");
         let d_x = gpu.alloc(x.to_vec());

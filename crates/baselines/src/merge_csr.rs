@@ -156,6 +156,10 @@ impl SpmvEngine for MergeCsrEngine {
         self.nrows
     }
 
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+
     fn run(&self, gpu: &Gpu, x: &[f32]) -> SpmvRun {
         assert_eq!(x.len(), self.ncols, "x length mismatch");
         let d_x = gpu.alloc(x.to_vec());

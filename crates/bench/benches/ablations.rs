@@ -4,20 +4,18 @@
 //! functional simulation; the *modelled* GPU times for the same ablations
 //! come from `repro ablations`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use spaden::bitbsr::analyze_block_size;
 use spaden::{FragmentIo, Packing, SpadenConfig, SpadenEngine, SpmvEngine};
-use spaden_bench::make_x;
+use spaden_bench::{make_x, BenchGroup};
 use spaden_gpusim::{Gpu, GpuConfig};
 use spaden_sparse::datasets::by_name;
 
-fn ablations(c: &mut Criterion) {
+fn main() {
     let ds = by_name("cant").expect("dataset").generate(0.02);
     let x = make_x(ds.csr.ncols);
 
-    let mut g = c.benchmark_group("ablation_packing");
-    g.throughput(Throughput::Elements(ds.csr.nnz() as u64));
-    g.sample_size(10);
+    let mut g = BenchGroup::new("ablation_packing");
+    g.throughput(ds.csr.nnz() as u64);
     for (label, packing) in [("diagonal_2blocks", Packing::Diagonal), ("single_block", Packing::Single)] {
         let gpu = Gpu::new(GpuConfig::l40());
         let engine = SpadenEngine::prepare_with(
@@ -25,13 +23,11 @@ fn ablations(c: &mut Criterion) {
             &ds.csr,
             SpadenConfig { packing, ..Default::default() },
         );
-        g.bench_function(label, |b| b.iter(|| engine.run(&gpu, std::hint::black_box(&x))));
+        g.bench(label, || engine.run(&gpu, std::hint::black_box(&x)));
     }
-    g.finish();
 
-    let mut g = c.benchmark_group("ablation_fragment_io");
-    g.throughput(Throughput::Elements(ds.csr.nnz() as u64));
-    g.sample_size(10);
+    let mut g = BenchGroup::new("ablation_fragment_io");
+    g.throughput(ds.csr.nnz() as u64);
     for (label, io) in [
         ("direct_registers", FragmentIo::Direct),
         ("smem_staged", FragmentIo::SharedMemoryStaged),
@@ -42,19 +38,14 @@ fn ablations(c: &mut Criterion) {
             &ds.csr,
             SpadenConfig { fragment_io: io, ..Default::default() },
         );
-        g.bench_function(label, |b| b.iter(|| engine.run(&gpu, std::hint::black_box(&x))));
+        g.bench(label, || engine.run(&gpu, std::hint::black_box(&x)));
     }
-    g.finish();
 
-    let mut g = c.benchmark_group("ablation_block_size");
-    g.throughput(Throughput::Elements(ds.csr.nnz() as u64));
+    let mut g = BenchGroup::new("ablation_block_size");
+    g.throughput(ds.csr.nnz() as u64);
     for dim in [4usize, 8, 16] {
-        g.bench_function(format!("analyze_{dim}x{dim}"), |b| {
-            b.iter(|| analyze_block_size(std::hint::black_box(&ds.csr), dim))
+        g.bench(&format!("analyze_{dim}x{dim}"), || {
+            analyze_block_size(std::hint::black_box(&ds.csr), dim)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, ablations);
-criterion_main!(benches);

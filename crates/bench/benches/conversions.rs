@@ -1,51 +1,36 @@
-//! Criterion benches for the host-side format conversions — the real-time
+//! Benches for the host-side format conversions — the real-time
 //! counterpart of Figure 10a (preprocessing time). Each target converts
 //! the same mid-size matrix; throughput is reported per nonzero.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use spaden::BitBsr;
 use spaden_baselines::DaspEngine;
+use spaden_bench::BenchGroup;
 use spaden_gpusim::{Gpu, GpuConfig};
 use spaden_sparse::datasets::by_name;
 use spaden_sparse::{bsr::Bsr, ell::Ell, hyb::Hyb};
 
-fn conversions(c: &mut Criterion) {
+fn main() {
     let csr = by_name("cant").expect("dataset").generate(0.05).csr;
     let nnz = csr.nnz() as u64;
 
-    let mut g = c.benchmark_group("fig10a_conversion");
-    g.throughput(Throughput::Elements(nnz));
-    g.sample_size(20);
-
-    g.bench_function(BenchmarkId::new("bitBSR", nnz), |b| {
-        b.iter(|| BitBsr::from_csr(std::hint::black_box(&csr)))
-    });
-    g.bench_function(BenchmarkId::new("BSR", nnz), |b| {
-        b.iter(|| Bsr::from_csr(std::hint::black_box(&csr)))
-    });
-    g.bench_function(BenchmarkId::new("ELL", nnz), |b| {
-        b.iter(|| Ell::from_csr(std::hint::black_box(&csr)))
-    });
-    g.bench_function(BenchmarkId::new("HYB", nnz), |b| {
-        b.iter(|| Hyb::from_csr(std::hint::black_box(&csr)))
-    });
-    g.bench_function(BenchmarkId::new("DASP", nnz), |b| {
+    let mut g = BenchGroup::new("fig10a_conversion");
+    g.throughput(nnz);
+    g.bench("bitBSR", || BitBsr::from_csr(std::hint::black_box(&csr)));
+    g.bench("BSR", || Bsr::from_csr(std::hint::black_box(&csr)));
+    g.bench("ELL", || Ell::from_csr(std::hint::black_box(&csr)));
+    g.bench("HYB", || Hyb::from_csr(std::hint::black_box(&csr)));
+    {
         let gpu = Gpu::new(GpuConfig::l40());
-        b.iter(|| DaspEngine::prepare(&gpu, std::hint::black_box(&csr)))
-    });
-    g.finish();
+        g.bench("DASP", || DaspEngine::prepare(&gpu, std::hint::black_box(&csr)));
+    }
 
-    let mut g = c.benchmark_group("scan");
+    let mut g = BenchGroup::new("scan");
     let counts: Vec<u32> = (0..1_000_000u32).map(|i| i % 64).collect();
-    g.throughput(Throughput::Elements(counts.len() as u64));
-    g.bench_function("exclusive_serial", |b| {
-        b.iter(|| spaden_sparse::scan::exclusive_scan(std::hint::black_box(&counts)))
+    g.throughput(counts.len() as u64);
+    g.bench("exclusive_serial", || {
+        spaden_sparse::scan::exclusive_scan(std::hint::black_box(&counts))
     });
-    g.bench_function("exclusive_parallel", |b| {
-        b.iter(|| spaden_sparse::scan::exclusive_scan_par(std::hint::black_box(&counts)))
+    g.bench("exclusive_parallel", || {
+        spaden_sparse::scan::exclusive_scan_par(std::hint::black_box(&counts))
     });
-    g.finish();
 }
-
-criterion_group!(benches, conversions);
-criterion_main!(benches);

@@ -1,69 +1,51 @@
-//! Criterion benches for the §7 future-work kernels: SpMM, SDDMM, SpGEMM
-//! and bitCOO simulation throughput.
+//! Benches for the §7 future-work kernels: SpMM, SDDMM, SpGEMM and bitCOO
+//! simulation throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use spaden::sparse::dense::Dense;
 use spaden::{
     BitCooEngine, SpadenSddmmEngine, SpadenSpgemmEngine, SpadenSpmmEngine, SpmvEngine,
 };
-use spaden_bench::make_x;
+use spaden_bench::{make_x, BenchGroup};
 use spaden_gpusim::{Gpu, GpuConfig};
 use spaden_sparse::datasets::by_name;
 
-fn extensions(c: &mut Criterion) {
+fn main() {
     let ds = by_name("cant").expect("dataset").generate(0.02);
     let nnz = ds.csr.nnz() as u64;
 
-    let mut g = c.benchmark_group("ext_spmm");
-    g.throughput(Throughput::Elements(nnz * 8));
-    g.sample_size(10);
+    let mut g = BenchGroup::new("ext_spmm");
+    g.throughput(nnz * 8);
     {
         let gpu = Gpu::new(GpuConfig::l40());
         let engine = SpadenSpmmEngine::prepare(&gpu, &ds.csr);
         let b = Dense::from_fn(ds.csr.ncols, 8, |r, cc| ((r + cc) % 5) as f32);
-        g.bench_function("spaden_spmm_n8", |bch| {
-            bch.iter(|| engine.run(&gpu, std::hint::black_box(&b)))
-        });
+        g.bench("spaden_spmm_n8", || engine.run(&gpu, std::hint::black_box(&b)));
     }
-    g.finish();
 
-    let mut g = c.benchmark_group("ext_sddmm");
-    g.throughput(Throughput::Elements(nnz * 16));
-    g.sample_size(10);
+    let mut g = BenchGroup::new("ext_sddmm");
+    g.throughput(nnz * 16);
     {
         let gpu = Gpu::new(GpuConfig::l40());
         let engine = SpadenSddmmEngine::prepare(&gpu, &ds.csr);
         let x = Dense::from_fn(ds.csr.nrows, 16, |r, k| ((r * 3 + k) % 7) as f32 * 0.25);
         let y = Dense::from_fn(ds.csr.ncols, 16, |r, k| ((r + 2 * k) % 5) as f32 * 0.5);
-        g.bench_function("spaden_sddmm_k16", |bch| {
-            bch.iter(|| engine.run(&gpu, std::hint::black_box(&x), &y))
-        });
+        g.bench("spaden_sddmm_k16", || engine.run(&gpu, std::hint::black_box(&x), &y));
     }
-    g.finish();
 
-    let mut g = c.benchmark_group("ext_spgemm");
-    g.sample_size(10);
+    let g = BenchGroup::new("ext_spgemm");
     {
         let small = by_name("cant").expect("dataset").generate(0.01);
         let gpu = Gpu::new(GpuConfig::l40());
         let engine = SpadenSpgemmEngine::prepare(&gpu, &small.csr, &small.csr);
-        g.bench_function("spaden_spgemm_axa", |bch| bch.iter(|| engine.run(&gpu)));
+        g.bench("spaden_spgemm_axa", || engine.run(&gpu));
     }
-    g.finish();
 
-    let mut g = c.benchmark_group("ext_bitcoo");
-    g.throughput(Throughput::Elements(nnz));
-    g.sample_size(10);
+    let mut g = BenchGroup::new("ext_bitcoo");
+    g.throughput(nnz);
     {
         let gpu = Gpu::new(GpuConfig::l40());
         let engine = BitCooEngine::prepare(&gpu, &ds.csr);
         let x = make_x(ds.csr.ncols);
-        g.bench_function("bitcoo_spmv", |bch| {
-            bch.iter(|| engine.run(&gpu, std::hint::black_box(&x)))
-        });
+        g.bench("bitcoo_spmv", || engine.run(&gpu, std::hint::black_box(&x)));
     }
-    g.finish();
 }
-
-criterion_group!(benches, extensions);
-criterion_main!(benches);

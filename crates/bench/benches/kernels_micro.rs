@@ -2,101 +2,87 @@
 //! emulation, bitmap decode, f16 conversion, coalescer and L2 model.
 //! These bound how fast the functional simulation itself can go.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use spaden::decode::lane_value_indices;
+use spaden_bench::BenchGroup;
 use spaden_gpusim::fragment::{FragKind, Fragment};
 use spaden_gpusim::half::F16;
 use spaden_gpusim::memory::{coalesce_into, L2Cache};
 use spaden_gpusim::mma::mma_sync;
 
-fn micro(c: &mut Criterion) {
+fn main() {
     // Fragment load/store (256 element mappings each).
     let mut m = [0.0f32; 256];
     for (i, v) in m.iter_mut().enumerate() {
         *v = i as f32;
     }
-    c.bench_function("fragment_load_store", |b| {
+    let g = BenchGroup::new("fragment");
+    {
         let mut f = Fragment::new(FragKind::MatrixA);
-        b.iter(|| {
+        g.bench("load_store", move || {
             f.load_matrix(std::hint::black_box(&m));
-            std::hint::black_box(f.store_matrix())
-        })
-    });
+            f.store_matrix()
+        });
+    }
 
     // One emulated m16n16k16 MMA (4096 FMA).
-    let mut g = c.benchmark_group("mma");
-    g.throughput(Throughput::Elements(4096));
-    g.bench_function("m16n16k16_emulated", |b| {
+    let mut g = BenchGroup::new("mma");
+    g.throughput(4096);
+    {
         let mut a = Fragment::new(FragKind::MatrixA);
         let mut bb = Fragment::new(FragKind::MatrixB);
         a.load_matrix(&m);
         bb.load_matrix(&m);
         let cc = Fragment::new(FragKind::Accumulator);
         let mut d = Fragment::new(FragKind::Accumulator);
-        b.iter(|| mma_sync(&mut d, std::hint::black_box(&a), &bb, &cc))
-    });
-    g.finish();
+        g.bench("m16n16k16_emulated", move || {
+            mma_sync(&mut d, std::hint::black_box(&a), &bb, &cc)
+        });
+    }
 
     // Bitmap decode: all 32 lanes of one block.
-    let mut g = c.benchmark_group("decode");
-    g.throughput(Throughput::Elements(64));
-    g.bench_function("lane_value_indices_warp", |b| {
+    let mut g = BenchGroup::new("decode");
+    g.throughput(64);
+    g.bench("lane_value_indices_warp", || {
         let bmp = 0xdead_beef_cafe_f00du64;
-        b.iter(|| {
-            let mut acc = 0u32;
-            for lid in 0..32 {
-                let (v1, v2) = lane_value_indices(std::hint::black_box(bmp), lid);
-                acc = acc.wrapping_add(v1.unwrap_or(0)).wrapping_add(v2.unwrap_or(0));
-            }
-            acc
-        })
+        let mut acc = 0u32;
+        for lid in 0..32 {
+            let (v1, v2) = lane_value_indices(std::hint::black_box(bmp), lid);
+            acc = acc.wrapping_add(v1.unwrap_or(0)).wrapping_add(v2.unwrap_or(0));
+        }
+        acc
     });
-    g.finish();
 
     // f16 conversion round-trip.
-    let mut g = c.benchmark_group("half");
+    let mut g = BenchGroup::new("half");
     let vals: Vec<f32> = (0..4096).map(|i| (i as f32 * 0.37).sin() * 100.0).collect();
-    g.throughput(Throughput::Elements(vals.len() as u64));
-    g.bench_function("f32_to_f16_to_f32", |b| {
-        b.iter(|| {
-            vals.iter()
-                .map(|&v| F16::from_f32(std::hint::black_box(v)).to_f32())
-                .sum::<f32>()
-        })
+    g.throughput(vals.len() as u64);
+    g.bench("f32_to_f16_to_f32", || {
+        vals.iter().map(|&v| F16::from_f32(std::hint::black_box(v)).to_f32()).sum::<f32>()
     });
-    g.finish();
 
     // Coalescer on a strided warp access.
-    let mut g = c.benchmark_group("memory_model");
-    g.bench_function("coalesce_32_strided", |b| {
+    let g = BenchGroup::new("memory_model");
+    {
         let mut scratch = Vec::with_capacity(64);
-        b.iter(|| {
+        g.bench("coalesce_32_strided", move || {
             coalesce_into((0..32u64).map(|i| i * 128), std::hint::black_box(&mut scratch));
             scratch.len()
-        })
-    });
-    g.bench_function("l2_access_stream", |b| {
+        });
+    }
+    {
         let mut l2 = L2Cache::new(1 << 20);
         let mut s = 0u64;
-        b.iter(|| {
+        g.bench("l2_access_stream", move || {
             s = s.wrapping_add(1);
             l2.access_sector(std::hint::black_box(s % 100_000))
-        })
-    });
-    g.finish();
+        });
+    }
 
-    // Reference CSR SpMV serial vs rayon-parallel.
+    // Reference CSR SpMV serial vs thread-parallel.
     let csr = spaden_sparse::gen::random_uniform(20_000, 20_000, 600_000, 5);
     let x: Vec<f32> = (0..20_000).map(|i| (i % 17) as f32).collect();
-    let mut g = c.benchmark_group("reference_spmv");
-    g.throughput(Throughput::Elements(csr.nnz() as u64));
-    g.sample_size(20);
-    g.bench_function("csr_serial", |b| b.iter(|| csr.spmv(std::hint::black_box(&x)).unwrap()));
-    g.bench_function("csr_parallel", |b| {
-        b.iter(|| csr.spmv_par(std::hint::black_box(&x)).unwrap())
-    });
-    g.finish();
+    let mut g = BenchGroup::new("reference_spmv");
+    g.throughput(csr.nnz() as u64);
+    g.bench("csr_serial", || csr.spmv(std::hint::black_box(&x)).unwrap());
+    g.bench("csr_parallel", || csr.spmv_par(std::hint::black_box(&x)).unwrap());
 }
-
-criterion_group!(benches, micro);
-criterion_main!(benches);

@@ -1,46 +1,34 @@
-//! Criterion benches over the simulated SpMV engines — the wall-time
-//! counterpart of Figure 6 (each engine's full functional simulation on
-//! one representative matrix per structural class).
+//! Wall-time benches over the simulated SpMV engines — the counterpart of
+//! Figure 6 (each engine's full functional simulation on one
+//! representative matrix per structural class).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use spaden_bench::{build_engine, make_x, EngineKind, FIG6_ENGINES};
+use spaden_bench::{build_engine, make_x, BenchGroup, EngineKind, FIG6_ENGINES};
 use spaden_gpusim::{Gpu, GpuConfig};
 use spaden_sparse::datasets::by_name;
 
-fn engines(c: &mut Criterion) {
+fn main() {
     // One banded FEM matrix (cant) and one scattered DFT matrix
     // (Si41Ge41H72): the two regimes of Figure 9b.
     for ds_name in ["cant", "Si41Ge41H72"] {
         let ds = by_name(ds_name).expect("dataset").generate(0.02);
         let x = make_x(ds.csr.ncols);
-        let mut g = c.benchmark_group(format!("fig6_sim_{ds_name}"));
-        g.throughput(Throughput::Elements(ds.csr.nnz() as u64));
-        g.sample_size(10);
+        let mut g = BenchGroup::new(format!("fig6_sim_{ds_name}"));
+        g.throughput(ds.csr.nnz() as u64);
         for kind in FIG6_ENGINES {
             let gpu = Gpu::new(GpuConfig::l40());
             let engine = build_engine(kind, &gpu, &ds.csr);
-            g.bench_function(BenchmarkId::new(kind.name(), ds.csr.nnz()), |b| {
-                b.iter(|| engine.run(&gpu, std::hint::black_box(&x)))
-            });
+            g.bench(kind.name(), || engine.run(&gpu, std::hint::black_box(&x)));
         }
-        g.finish();
     }
 
     // The Figure-8 ablation variants on the FEM matrix.
     let ds = by_name("cant").expect("dataset").generate(0.02);
     let x = make_x(ds.csr.ncols);
-    let mut g = c.benchmark_group("fig8_sim_variants");
-    g.throughput(Throughput::Elements(ds.csr.nnz() as u64));
-    g.sample_size(10);
+    let mut g = BenchGroup::new("fig8_sim_variants");
+    g.throughput(ds.csr.nnz() as u64);
     for kind in [EngineKind::Spaden, EngineKind::SpadenNoTc, EngineKind::CsrWarp16] {
         let gpu = Gpu::new(GpuConfig::l40());
         let engine = build_engine(kind, &gpu, &ds.csr);
-        g.bench_function(kind.name(), |b| {
-            b.iter(|| engine.run(&gpu, std::hint::black_box(&x)))
-        });
+        g.bench(kind.name(), || engine.run(&gpu, std::hint::black_box(&x)));
     }
-    g.finish();
 }
-
-criterion_group!(benches, engines);
-criterion_main!(benches);

@@ -4,7 +4,7 @@
 //! repro <experiment> [--scale S] [--gpu l40|v100|both]
 //!
 //! experiments: table1 fig6 fig7 fig8 fig9a fig9b fig10a fig10b
-//!              ablations extensions reordering verify all
+//!              ablations extensions reordering faults verify all
 //! ```
 //!
 //! `--scale` shrinks every dataset proportionally (default 0.05; use 1.0
@@ -81,7 +81,7 @@ fn main() {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: repro <table1|fig6|fig7|fig8|fig9a|fig9b|fig10a|fig10b|ablations|extensions|reordering|verify|all> \
+                "usage: repro <table1|fig6|fig7|fig8|fig9a|fig9b|fig10a|fig10b|ablations|extensions|reordering|faults|verify|all> \
                  [--scale S] [--gpu l40|v100|both]"
             );
             std::process::exit(2);
@@ -155,6 +155,18 @@ fn main() {
             let datasets = load_datasets(scale, false);
             println!("{}", spaden_bench::reordering(GpuConfig::l40(), &datasets));
         }
+        "faults" => {
+            let datasets = load_datasets(scale, false);
+            let rates = [1e-4, 1e-3, 1e-2];
+            for cfg in args.gpus {
+                let (t, s) = spaden_bench::fault_sweep(cfg, &datasets, &rates, 6);
+                println!("{t}");
+                println!(
+                    "detection: {}/{} corrupted runs flagged; correction: {}/{} checked runs verified",
+                    s.detected, s.corrupted, s.corrected, s.checked
+                );
+            }
+        }
         "verify" => {
             for cfg in args.gpus {
                 let s = sweep_for(cfg, scale, &all_engines(), true);
@@ -174,6 +186,9 @@ fn main() {
                     println!("{}", fig9b(&s));
                     println!("{}", fig10a(&s));
                     println!("{}", fig10b(&s));
+                    let (ft, _) =
+                        spaden_bench::fault_sweep(cfg.clone(), &load_datasets(scale, false), &[1e-3], 4);
+                    println!("{ft}");
                 }
                 println!("{}", verification(&s));
             }

@@ -546,6 +546,149 @@ pub fn reordering(config: GpuConfig, datasets: &[Dataset]) -> Table {
     t
 }
 
+/// Aggregate outcome of a fault-injection sweep cell (or whole sweep).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultStats {
+    /// Plain (unchecked) runs executed.
+    pub runs: usize,
+    /// Plain runs with at least one injected fault.
+    pub faulted: usize,
+    /// Plain runs whose output left the f16 equivalence tolerance.
+    pub corrupted: usize,
+    /// Corrupted runs that ABFT verification flagged.
+    pub detected: usize,
+    /// Checked runs attempted.
+    pub checked: usize,
+    /// Checked runs that returned a verified, in-tolerance result.
+    pub corrected: usize,
+    /// Checked runs that gave up with a typed error (honest degradation).
+    pub exhausted: usize,
+    /// Checked runs that returned `Ok` with an out-of-tolerance result —
+    /// silent corruption through the checked path. Must be zero.
+    pub wrong: usize,
+}
+
+impl FaultStats {
+    fn add(&mut self, o: &FaultStats) {
+        self.runs += o.runs;
+        self.faulted += o.faulted;
+        self.corrupted += o.corrupted;
+        self.detected += o.detected;
+        self.checked += o.checked;
+        self.corrected += o.corrected;
+        self.exhausted += o.exhausted;
+        self.wrong += o.wrong;
+    }
+}
+
+/// True if any row of `y` leaves the f16 equivalence tolerance used by the
+/// repo's equivalence suite (scaled by row nnz and magnitude).
+fn out_of_tolerance(y: &[f32], want: &[f32], row_nnz: &[usize]) -> bool {
+    let base = 2.0f32.powi(-10) * 3.0;
+    y.iter().zip(want).zip(row_nnz).any(|((a, w), &nnz)| {
+        let tol = (base * nnz.max(1) as f32 + 1e-4) * w.abs().max(1.0);
+        (a - w).abs() > tol
+    })
+}
+
+/// Robustness study: fault-injection sweep over the ABFT-checked Spaden
+/// engine.
+///
+/// For each (dataset, rate) cell, `trials` independent launches take three
+/// measurements on a GPU with uniform per-kind fault rates: a plain
+/// (unchecked) run compared against the bitBSR reference to find output
+/// corruption, an ABFT verification of that same output (detection), and a
+/// full checked run exercising the detect-and-recompute ladder
+/// (correction). `silent` counts corrupted-but-undetected runs and
+/// `wrong` counts checked runs that returned `Ok` while out of tolerance —
+/// the two quantities ABFT must hold at zero. `exhausted` counts checked
+/// runs that gave up with a typed error instead (expected at fault rates
+/// high enough that the scalar recompute path itself keeps faulting).
+pub fn fault_sweep(
+    config: GpuConfig,
+    datasets: &[Dataset],
+    rates: &[f64],
+    trials: usize,
+) -> (Table, FaultStats) {
+    use spaden::{SpadenEngine, SpmvEngine};
+    use spaden_gpusim::FaultConfig;
+
+    let mut t = Table::new(
+        format!("Robustness: injected faults vs ABFT detection/correction ({})", config.name),
+        &[
+            "Matrix",
+            "rate",
+            "runs",
+            "faulted",
+            "corrupted",
+            "detected",
+            "silent",
+            "corrected",
+            "exhausted",
+            "wrong",
+        ],
+    );
+    let mut total = FaultStats::default();
+    for (di, ds) in datasets.iter().enumerate() {
+        let x = make_x(ds.csr.ncols);
+        let row_nnz: Vec<usize> = (0..ds.csr.nrows).map(|r| ds.csr.row_nnz(r)).collect();
+        for (ri, &rate) in rates.iter().enumerate() {
+            let mut cfg = config.clone();
+            cfg.faults = FaultConfig::uniform(0xFA + (di * 16 + ri) as u64, rate);
+            let gpu = Gpu::new(cfg);
+            let eng = SpadenEngine::prepare(&gpu, &ds.csr);
+            let want = eng.format().spmv_reference(&x).expect("reference SpMV");
+            let mut cell = FaultStats::default();
+            for _ in 0..trials {
+                let plain = eng.run(&gpu, &x);
+                cell.runs += 1;
+                if plain.counters.faults_injected > 0 {
+                    cell.faulted += 1;
+                }
+                let flagged = !eng.abft().verify(&x, &plain.y).is_empty();
+                if out_of_tolerance(&plain.y, &want, &row_nnz) {
+                    cell.corrupted += 1;
+                    if flagged {
+                        cell.detected += 1;
+                    }
+                }
+                cell.checked += 1;
+                match eng.try_run_checked(&gpu, &x) {
+                    Ok(run) if !out_of_tolerance(&run.y, &want, &row_nnz) => cell.corrected += 1,
+                    Ok(_) => cell.wrong += 1,
+                    Err(_) => cell.exhausted += 1,
+                }
+            }
+            t.push_row(vec![
+                ds.spec.name.into(),
+                format!("{rate:.0e}"),
+                cell.runs.to_string(),
+                cell.faulted.to_string(),
+                cell.corrupted.to_string(),
+                cell.detected.to_string(),
+                (cell.corrupted - cell.detected).to_string(),
+                cell.corrected.to_string(),
+                cell.exhausted.to_string(),
+                cell.wrong.to_string(),
+            ]);
+            total.add(&cell);
+        }
+    }
+    t.push_row(vec![
+        "TOTAL".into(),
+        "".into(),
+        total.runs.to_string(),
+        total.faulted.to_string(),
+        total.corrupted.to_string(),
+        total.detected.to_string(),
+        (total.corrupted - total.detected).to_string(),
+        total.corrected.to_string(),
+        total.exhausted.to_string(),
+        total.wrong.to_string(),
+    ]);
+    (t, total)
+}
+
 /// Verification report: max relative error of each engine across datasets.
 pub fn verification(sweep: &Sweep) -> Table {
     let engines = dedup_engines(sweep);
@@ -625,6 +768,23 @@ mod tests {
         assert!(t1.to_string().contains("raefsky3"));
         let t9 = fig9a(&datasets[..3]);
         assert!(t9.to_string().contains("conf5"));
+    }
+
+    #[test]
+    fn fault_sweep_has_no_silent_corruption_and_corrects() {
+        let datasets: Vec<Dataset> =
+            spaden_sparse::datasets::ALL_DATASETS[..2].iter().map(|d| d.generate(0.01)).collect();
+        let (t, s) = fault_sweep(GpuConfig::l40(), &datasets, &[1e-4, 1e-3], 4);
+        assert_eq!(s.runs, 2 * 2 * 4);
+        assert!(s.faulted > 0, "rates up to 1e-3 must inject something");
+        assert_eq!(s.detected, s.corrupted, "silent corruption");
+        assert_eq!(s.wrong, 0, "checked path must never return corrupt Ok");
+        assert_eq!(
+            s.corrected,
+            s.checked,
+            "correction must converge at sparse fault rates"
+        );
+        assert!(t.to_string().contains("TOTAL"));
     }
 
     #[test]

@@ -14,10 +14,12 @@
 //! run.
 
 pub mod experiments;
+pub mod harness;
 pub mod registry;
 pub mod table;
 
 pub use experiments::*;
+pub use harness::BenchGroup;
 pub use registry::{build_engine, EngineKind, FIG6_ENGINES, FIG8_ENGINES};
 pub use table::Table;
 

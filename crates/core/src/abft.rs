@@ -1,0 +1,290 @@
+//! Algorithm-based fault tolerance (ABFT) for bitBSR SpMV.
+//!
+//! Classic Huang–Abraham column-sum checksums, at block-row granularity:
+//! for block-row `R` with the f16-rounded values the kernel actually
+//! multiplies, the identities
+//!
+//! ```text
+//! Σ_{r ∈ R} y[r]      =  Σ_j (Σ_{r ∈ R} A[r, j]) · x̃[j]        (x̃ = f16(x))
+//! Σ_{r ∈ R} w_r y[r]  =  Σ_j (Σ_{r ∈ R} w_r A[r, j]) · x̃[j]    (w_r = 1 + r - min R)
+//! ```
+//!
+//! hold exactly in real arithmetic. Both right-hand sides are precomputed
+//! at `prepare` time (the plain and row-weighted column sums per
+//! block-row, in f64); after a run the left-hand sides are recomputed from
+//! `y` and compared within a floating-point tolerance derived from the
+//! per-block-row value mass. A mismatch localises silent data corruption —
+//! a flipped bit, a dead lane, a corrupted fragment register — to one
+//! block-row of 8 output rows, which the engine then recomputes on the
+//! scalar path.
+//!
+//! The weighted checksum is what makes multi-site faults detectable: a
+//! corrupted `x̃[j]` (stuck load lane) perturbs `Σ y` by `Δx · Σ_r A[r, j]`,
+//! which vanishes when the column sum happens to be ≈0 even though
+//! individual rows are badly wrong. The weighted sum is then perturbed by
+//! `Δx · Σ_r w_r A[r, j]`, which only also vanishes if both moments of the
+//! column are zero. Likewise two faults cancelling in `Σ y` from different
+//! rows `r₁ ≠ r₂` leave a weighted residue proportional to `r₁ - r₂`.
+//!
+//! ## What this scheme cannot catch
+//!
+//! * **Compensating faults**: corruptions within one block-row whose
+//!   effects on *both* `Σ y` and the weighted sum cancel. Requires two
+//!   independent cancellations; vanishingly unlikely for bit flips, but
+//!   not impossible at extreme fault rates.
+//! * **Sub-tolerance faults**: a perturbation below the verification
+//!   tolerance. By construction the tolerance (`O(2⁻²³ · nnz)` relative) is
+//!   orders of magnitude below the f16 accuracy of the result itself
+//!   (`O(2⁻¹⁰ · nnz)`), so an undetected fault is also a harmless one.
+//! * **Structural corruption** (row pointers, bitmaps, block columns):
+//!   checksums protect values, not control flow. The simulator's fault
+//!   model matches this boundary (see `spaden_gpusim::fault`).
+
+use crate::bitbsr::BitBsr;
+use spaden_gpusim::half::F16;
+use spaden_sparse::gen::BLOCK_DIM;
+
+/// Column-sum checksums of a bitBSR matrix, one group per block-row.
+///
+/// CSR-like layout: block-row `br` owns entries `ptr[br] .. ptr[br+1]` of
+/// `cols` / `sums` / `abs`. Within a block-row the block columns are
+/// sorted and unique, so each matrix column appears at most once.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbftChecksums {
+    nrows: usize,
+    ncols: usize,
+    ptr: Vec<u32>,
+    /// Matrix column index per checksum entry.
+    cols: Vec<u32>,
+    /// `Σ_r A[r, col]` over the block-row, from the stored f16 values.
+    sums: Vec<f64>,
+    /// `Σ_r (1 + dr) A[r, col]` — the row-weighted column sum (`dr` is the
+    /// row offset within the block-row).
+    wsums: Vec<f64>,
+    /// `Σ_r |A[r, col]|` — the value mass that scales the tolerance.
+    abs: Vec<f64>,
+    /// Stored nonzeros per block-row (tolerance scaling).
+    nnz_br: Vec<u32>,
+}
+
+impl AbftChecksums {
+    /// Precomputes the checksums for `format` (done once at `prepare`).
+    pub fn build(format: &BitBsr) -> Self {
+        let mut ptr = Vec::with_capacity(format.block_rows + 1);
+        ptr.push(0u32);
+        let mut cols = Vec::new();
+        let mut sums = Vec::new();
+        let mut wsums = Vec::new();
+        let mut abs = Vec::new();
+        let mut nnz_br = Vec::with_capacity(format.block_rows);
+        for br in 0..format.block_rows {
+            let lo = format.block_row_ptr[br] as usize;
+            let hi = format.block_row_ptr[br + 1] as usize;
+            let mut n = 0u32;
+            for k in lo..hi {
+                let bc = format.block_cols[k] as usize;
+                let dense = format.decode_block(k);
+                n += format.block_nnz(k) as u32;
+                for dc in 0..BLOCK_DIM {
+                    let col = bc * BLOCK_DIM + dc;
+                    let mut s = 0.0f64;
+                    let mut w = 0.0f64;
+                    let mut a = 0.0f64;
+                    for dr in 0..BLOCK_DIM {
+                        let v = dense[dr * BLOCK_DIM + dc] as f64;
+                        s += v;
+                        w += (dr + 1) as f64 * v;
+                        a += v.abs();
+                    }
+                    if a != 0.0 {
+                        cols.push(col as u32);
+                        sums.push(s);
+                        wsums.push(w);
+                        abs.push(a);
+                    }
+                }
+            }
+            ptr.push(cols.len() as u32);
+            nnz_br.push(n);
+        }
+        AbftChecksums {
+            nrows: format.nrows,
+            ncols: format.ncols,
+            ptr,
+            cols,
+            sums,
+            wsums,
+            abs,
+            nnz_br,
+        }
+    }
+
+    /// Number of block-rows covered.
+    pub fn block_rows(&self) -> usize {
+        self.nnz_br.len()
+    }
+
+    /// Host memory held by the checksums, in bytes.
+    pub fn bytes(&self) -> usize {
+        self.ptr.len() * 4 + self.cols.len() * (4 + 8 + 8 + 8) + self.nnz_br.len() * 4
+    }
+
+    /// Checks one block-row of `y` against its checksum. `true` = passes.
+    ///
+    /// NaN-safe: a NaN or infinity anywhere in the block-row's outputs
+    /// fails the comparison and is reported as a fault.
+    pub fn check_block_row(&self, br: usize, x: &[f32], y: &[f32]) -> bool {
+        let r_lo = br * BLOCK_DIM;
+        let r_hi = ((br + 1) * BLOCK_DIM).min(self.nrows);
+        let mut got = 0.0f64;
+        let mut got_w = 0.0f64;
+        for r in r_lo..r_hi {
+            let v = y[r] as f64;
+            got += v;
+            got_w += (r - r_lo + 1) as f64 * v;
+        }
+        let mut expect = 0.0f64;
+        let mut expect_w = 0.0f64;
+        let mut scale = 0.0f64;
+        for e in self.ptr[br] as usize..self.ptr[br + 1] as usize {
+            let xt = F16::round_f32(x[self.cols[e] as usize]) as f64;
+            expect += self.sums[e] * xt;
+            expect_w += self.wsums[e] * xt;
+            scale += self.abs[e] * xt.abs();
+        }
+        // The kernel accumulates each y[r] in f32 over f16·f16 products;
+        // summing the 8 rows here is f64 (error-free). Worst-case rounding
+        // is linear in the block-row nonzero count; the constant leaves
+        // headroom for the pairing kernel's accumulation order. Injected
+        // faults flip high-order bits, perturbing Σy proportionally to the
+        // corrupted value — far above this bound. The weighted sum scales
+        // every term by at most BLOCK_DIM, so its tolerance does too.
+        let tol = 2.0 * 2.0f64.powi(-23) * scale * (self.nnz_br[br] as f64 + 16.0) + 1e-7;
+        // Written so NaN comparisons count as failures.
+        (got - expect).abs() <= tol && (got_w - expect_w).abs() <= BLOCK_DIM as f64 * tol
+    }
+
+    /// Verifies all of `y`, returning the failing block-rows (empty = the
+    /// run passes both the global and every per-block-row check).
+    pub fn verify(&self, x: &[f32], y: &[f32]) -> Vec<usize> {
+        (0..self.block_rows()).filter(|&br| !self.check_block_row(br, x, y)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spaden_sparse::gen::{self, FillDist, Placement};
+
+    fn make_x(n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i * 37 + 11) % 64) as f32 / 32.0 - 1.0).collect()
+    }
+
+    fn fixture() -> (BitBsr, Vec<f32>, Vec<f32>) {
+        let csr = gen::generate_blocked(
+            256,
+            160,
+            Placement::Banded { bandwidth: 6 },
+            &FillDist::Uniform { lo: 1, hi: 64 },
+            401,
+        );
+        let b = BitBsr::from_csr(&csr);
+        let x = make_x(256);
+        let y = b.spmv_reference(&x).unwrap();
+        (b, x, y)
+    }
+
+    #[test]
+    fn clean_reference_output_passes() {
+        let (b, x, y) = fixture();
+        let sums = AbftChecksums::build(&b);
+        assert_eq!(sums.block_rows(), b.block_rows);
+        assert!(sums.verify(&x, &y).is_empty());
+    }
+
+    #[test]
+    fn corrupted_row_is_localised() {
+        let (b, x, mut y) = fixture();
+        let sums = AbftChecksums::build(&b);
+        y[37] += 0.75; // rows 32..40 = block-row 4
+        assert_eq!(sums.verify(&x, &y), vec![4]);
+    }
+
+    #[test]
+    fn nan_and_inf_outputs_are_flagged() {
+        let (b, x, y) = fixture();
+        let sums = AbftChecksums::build(&b);
+        let mut ynan = y.clone();
+        ynan[8] = f32::NAN;
+        assert!(sums.verify(&x, &ynan).contains(&1));
+        let mut yinf = y;
+        yinf[200] = f32::INFINITY;
+        assert!(sums.verify(&x, &yinf).contains(&25));
+    }
+
+    #[test]
+    fn every_single_row_corruption_is_caught() {
+        let (b, x, y) = fixture();
+        let sums = AbftChecksums::build(&b);
+        for r in (0..b.nrows).step_by(7) {
+            let mut yc = y.clone();
+            // A perturbation on the scale of a single f16 product.
+            yc[r] += 0.11;
+            let bad = sums.verify(&x, &yc);
+            assert_eq!(bad, vec![r / BLOCK_DIM], "row {r}");
+        }
+    }
+
+    #[test]
+    fn sum_cancelling_corruption_is_caught_by_weighted_checksum() {
+        // Two corruptions in different rows of one block-row whose effects
+        // on Σy cancel exactly — invisible to the plain checksum, caught by
+        // the row-weighted one.
+        let (b, x, mut y) = fixture();
+        let sums = AbftChecksums::build(&b);
+        y[33] += 0.5;
+        y[38] -= 0.5; // both in block-row 4; Σy unchanged
+        assert_eq!(sums.verify(&x, &y), vec![4]);
+    }
+
+    #[test]
+    fn empty_and_padded_matrices() {
+        let b = BitBsr::from_csr(&spaden_sparse::csr::Csr::empty(20, 12));
+        let sums = AbftChecksums::build(&b);
+        assert!(sums.verify(&make_x(12), &[0.0; 20]).is_empty());
+        // Odd dims: last block-row is partial.
+        let csr = gen::random_uniform(101, 77, 600, 403);
+        let bb = BitBsr::from_csr(&csr);
+        let x = make_x(77);
+        let y = bb.spmv_reference(&x).unwrap();
+        assert!(AbftChecksums::build(&bb).verify(&x, &y).is_empty());
+    }
+
+    #[test]
+    fn checksums_are_linear_in_the_matrix() {
+        // The checksum of block-row br must equal 1ᵀ A_br exactly: verify
+        // against a dense recomputation.
+        let (b, _, _) = fixture();
+        let sums = AbftChecksums::build(&b);
+        for br in 0..b.block_rows {
+            let mut dense_sums = vec![0.0f64; b.ncols];
+            let lo = b.block_row_ptr[br] as usize;
+            let hi = b.block_row_ptr[br + 1] as usize;
+            for k in lo..hi {
+                let bc = b.block_cols[k] as usize;
+                let d = b.decode_block(k);
+                for dr in 0..BLOCK_DIM {
+                    for dc in 0..BLOCK_DIM {
+                        let c = bc * BLOCK_DIM + dc;
+                        if c < b.ncols {
+                            dense_sums[c] += d[dr * BLOCK_DIM + dc] as f64;
+                        }
+                    }
+                }
+            }
+            for e in sums.ptr[br] as usize..sums.ptr[br + 1] as usize {
+                assert_eq!(sums.sums[e], dense_sums[sums.cols[e] as usize]);
+            }
+        }
+    }
+}

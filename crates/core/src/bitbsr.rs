@@ -12,10 +12,10 @@
 //!   per-block nonzero counts ("It enables the quick location of the
 //!   starting index of each block in the value array").
 
-use rayon::prelude::*;
 use spaden_gpusim::half::F16;
 use spaden_sparse::csr::Csr;
 use spaden_sparse::gen::BLOCK_DIM;
+use spaden_sparse::par;
 use spaden_sparse::stats::{BlockClass, BlockProfile};
 use spaden_sparse::types::{validate_offsets, SparseError, SparseResult};
 
@@ -54,27 +54,24 @@ impl BitBsr {
         let block_cols_dim = csr.ncols.div_ceil(BLOCK_DIM);
 
         // Pass 1: per block-row, sorted (block col, bitmap) pairs.
-        let per_row: Vec<Vec<(u32, u64)>> = (0..block_rows)
-            .into_par_iter()
-            .map(|br| {
-                let mut blocks: Vec<(u32, u64)> = Vec::new();
-                let r_end = ((br + 1) * BLOCK_DIM).min(csr.nrows);
-                for r in br * BLOCK_DIM..r_end {
-                    let dr = r - br * BLOCK_DIM;
-                    let (cols, _) = csr.row(r);
-                    for &c in cols {
-                        let bc = c / BLOCK_DIM as u32;
-                        let dc = (c as usize) % BLOCK_DIM;
-                        let bit = 1u64 << (dr * BLOCK_DIM + dc);
-                        match blocks.binary_search_by_key(&bc, |e| e.0) {
-                            Ok(i) => blocks[i].1 |= bit,
-                            Err(i) => blocks.insert(i, (bc, bit)),
-                        }
+        let per_row: Vec<Vec<(u32, u64)>> = par::map_indexed(block_rows, |br| {
+            let mut blocks: Vec<(u32, u64)> = Vec::new();
+            let r_end = ((br + 1) * BLOCK_DIM).min(csr.nrows);
+            for r in br * BLOCK_DIM..r_end {
+                let dr = r - br * BLOCK_DIM;
+                let (cols, _) = csr.row(r);
+                for &c in cols {
+                    let bc = c / BLOCK_DIM as u32;
+                    let dc = (c as usize) % BLOCK_DIM;
+                    let bit = 1u64 << (dr * BLOCK_DIM + dc);
+                    match blocks.binary_search_by_key(&bc, |e| e.0) {
+                        Ok(i) => blocks[i].1 |= bit,
+                        Err(i) => blocks.insert(i, (bc, bit)),
                     }
                 }
-                blocks
-            })
-            .collect();
+            }
+            blocks
+        });
 
         let counts: Vec<u32> = per_row.iter().map(|b| b.len() as u32).collect();
         let block_row_ptr = spaden_sparse::scan::exclusive_scan_par(&counts);
@@ -94,7 +91,7 @@ impl BitBsr {
         }
 
         // Exclusive scan over per-block popcounts -> value offsets.
-        let popcounts: Vec<u32> = bitmaps.par_iter().map(|b| b.count_ones()).collect();
+        let popcounts: Vec<u32> = par::map_indexed(bitmaps.len(), |i| bitmaps[i].count_ones());
         let block_offsets = spaden_sparse::scan::exclusive_scan_par(&popcounts);
         let nnz = *block_offsets.last().expect("scan non-empty") as usize;
 
@@ -119,7 +116,7 @@ impl BitBsr {
                 rest = r;
             }
             drop(ranges);
-            slices.into_par_iter().enumerate().for_each(|(br, out)| {
+            par::for_each_item(slices, |br, out| {
                 let blo = block_row_ptr[br] as usize;
                 let base = block_offsets[blo] as usize;
                 let blocks = &per_row[br];
@@ -337,23 +334,22 @@ impl BlockSizeAnalysis {
 pub fn analyze_block_size(csr: &Csr, dim: usize) -> BlockSizeAnalysis {
     assert!(dim.is_power_of_two() && (2..=64).contains(&dim));
     let block_rows = csr.nrows.div_ceil(dim);
-    let blocks: usize = (0..block_rows)
-        .into_par_iter()
-        .map(|br| {
-            let mut cols: Vec<u32> = Vec::new();
-            let r_end = ((br + 1) * dim).min(csr.nrows);
-            for r in br * dim..r_end {
-                let (ci, _) = csr.row(r);
-                for &c in ci {
-                    let bc = c / dim as u32;
-                    if let Err(i) = cols.binary_search(&bc) {
-                        cols.insert(i, bc);
-                    }
+    let blocks: usize = par::map_indexed(block_rows, |br| {
+        let mut cols: Vec<u32> = Vec::new();
+        let r_end = ((br + 1) * dim).min(csr.nrows);
+        for r in br * dim..r_end {
+            let (ci, _) = csr.row(r);
+            for &c in ci {
+                let bc = c / dim as u32;
+                if let Err(i) = cols.binary_search(&bc) {
+                    cols.insert(i, bc);
                 }
             }
-            cols.len()
-        })
-        .sum();
+        }
+        cols.len()
+    })
+    .into_iter()
+    .sum();
     // Bitmaps are whole bytes, minimum one machine-friendly word of
     // dim²/8 bytes (4x4 -> u16, 8x8 -> u64, 16x16 -> 32 bytes).
     let bitmap_bytes = (dim * dim).div_ceil(8);

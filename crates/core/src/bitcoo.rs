@@ -93,6 +93,16 @@ impl BitCoo {
         if self.block_rows_idx.len() != n || self.block_cols_idx.len() != n {
             return Err(SparseError::LengthMismatch { what: "block coordinate arrays".into() });
         }
+        spaden_sparse::types::validate_indices(
+            &self.block_rows_idx,
+            self.nrows.div_ceil(BLOCK_DIM),
+            "block_rows_idx",
+        )?;
+        spaden_sparse::types::validate_indices(
+            &self.block_cols_idx,
+            self.ncols.div_ceil(BLOCK_DIM),
+            "block_cols_idx",
+        )?;
         spaden_sparse::types::validate_offsets(&self.block_offsets, self.nnz(), "block_offsets")?;
         for (k, &bmp) in self.bitmaps.iter().enumerate() {
             if bmp.count_ones() != self.block_offsets[k + 1] - self.block_offsets[k] {
@@ -121,6 +131,8 @@ impl BitCooEngine {
     /// Converts and uploads.
     pub fn prepare(gpu: &Gpu, csr: &Csr) -> Self {
         let (format, seconds) = timed(|| BitCoo::from_csr(csr));
+        #[cfg(debug_assertions)]
+        format.validate().expect("bitCOO conversion produced valid format");
         let prep = PrepStats { seconds, device_bytes: format.bytes() as u64 };
         BitCooEngine {
             d_block_rows: gpu.alloc(format.block_rows_idx.clone()),
@@ -154,6 +166,10 @@ impl SpmvEngine for BitCooEngine {
 
     fn nrows(&self) -> usize {
         self.format.nrows
+    }
+
+    fn ncols(&self) -> usize {
+        self.format.ncols
     }
 
     fn run(&self, gpu: &Gpu, x: &[f32]) -> SpmvRun {

@@ -4,6 +4,50 @@
 
 use spaden_gpusim::{estimate_time, Gpu, KernelCounters, SimTime};
 
+/// Typed failure of the checked engine APIs (`try_run` / `run_checked`).
+///
+/// The legacy panicking entry points (`run`, `prepare`) remain as thin
+/// wrappers for benches and one-off scripts; solvers and anything
+/// long-running should use the `Result` forms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// `x.len()` does not match the matrix column count.
+    ShapeMismatch {
+        /// Matrix column count.
+        expected: usize,
+        /// Supplied vector length.
+        got: usize,
+    },
+    /// The prepared format failed structural validation.
+    Validation(String),
+    /// ABFT verification still failed after the bounded recompute retries
+    /// — faults are arriving faster than the recovery path can clear them.
+    CorrectionExhausted {
+        /// Block-rows still failing verification when retries ran out.
+        block_rows: usize,
+        /// Recompute rounds attempted.
+        retries: usize,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::ShapeMismatch { expected, got } => {
+                write!(f, "x length mismatch: matrix has {expected} columns, x has {got}")
+            }
+            EngineError::Validation(what) => write!(f, "format validation failed: {what}"),
+            EngineError::CorrectionExhausted { block_rows, retries } => write!(
+                f,
+                "ABFT correction exhausted: {block_rows} block-row(s) still failing after \
+                 {retries} recompute round(s)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
 /// Preprocessing cost of an engine: format-conversion time and the device
 /// memory footprint of everything resident during SpMV. These are the two
 /// quantities of Figure 10.
@@ -66,8 +110,31 @@ pub trait SpmvEngine: Send + Sync {
     /// Number of matrix rows (`y.len()`).
     fn nrows(&self) -> usize;
 
+    /// Number of matrix columns (the required `x.len()`).
+    fn ncols(&self) -> usize;
+
     /// Executes `y = A x` on the simulated GPU.
+    ///
+    /// Panics on malformed input (legacy behaviour); prefer
+    /// [`SpmvEngine::try_run`] in code that must not unwind.
     fn run(&self, gpu: &Gpu, x: &[f32]) -> SpmvRun;
+
+    /// Executes `y = A x`, returning a typed error instead of panicking
+    /// when `x` has the wrong length.
+    fn try_run(&self, gpu: &Gpu, x: &[f32]) -> Result<SpmvRun, EngineError> {
+        if x.len() != self.ncols() {
+            return Err(EngineError::ShapeMismatch { expected: self.ncols(), got: x.len() });
+        }
+        Ok(self.run(gpu, x))
+    }
+
+    /// Executes `y = A x` with whatever end-to-end verification the engine
+    /// supports. The default has none — it is [`SpmvEngine::try_run`];
+    /// engines with ABFT (e.g. `SpadenEngine`) override it with
+    /// verify-and-recompute recovery.
+    fn run_checked(&self, gpu: &Gpu, x: &[f32]) -> Result<SpmvRun, EngineError> {
+        self.try_run(gpu, x)
+    }
 }
 
 /// Measures a closure's wall time, returning `(result, seconds)` — used by

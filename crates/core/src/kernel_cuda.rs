@@ -19,7 +19,7 @@ use spaden_sparse::gen::BLOCK_DIM;
 /// Issue cycles charged per 8×8 block for the CUDA-core block-vector
 /// product that replaces the tensor-core MMA (see the comment at the call
 /// site in [`SpadenNoTcEngine::run`]).
-const CUDA_BLOCK_PRODUCT_CYCLES: u64 = 96;
+pub(crate) const CUDA_BLOCK_PRODUCT_CYCLES: u64 = 96;
 
 /// Spaden-without-tensor-cores, prepared for one matrix.
 pub struct SpadenNoTcEngine {
@@ -70,6 +70,10 @@ impl SpmvEngine for SpadenNoTcEngine {
 
     fn nrows(&self) -> usize {
         self.format.nrows
+    }
+
+    fn ncols(&self) -> usize {
+        self.format.ncols
     }
 
     fn run(&self, gpu: &Gpu, x: &[f32]) -> SpmvRun {

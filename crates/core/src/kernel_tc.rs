@@ -13,16 +13,23 @@
 //! diagonal portion (accumulator registers `x[0]` and `x[6]`, lanes with
 //! `lid % 4 == 0`) into the output vector.
 
+use crate::abft::AbftChecksums;
 use crate::bitbsr::BitBsr;
 use crate::decode::{decode_matrix_block, decode_vector_segment};
-use crate::engine::{timed, PrepStats, SpmvEngine, SpmvRun};
+use crate::engine::{timed, EngineError, PrepStats, SpmvEngine, SpmvRun};
+use crate::kernel_cuda::CUDA_BLOCK_PRODUCT_CYCLES;
 use spaden_gpusim::exec::{WarpCtx, WARP_SIZE};
 use spaden_gpusim::fragment::{FragKind, Fragment};
 use spaden_gpusim::half::F16;
 use spaden_gpusim::memory::DeviceBuffer;
-use spaden_gpusim::Gpu;
+use spaden_gpusim::{Gpu, KernelCounters};
 use spaden_sparse::csr::Csr;
 use spaden_sparse::gen::BLOCK_DIM;
+
+/// Upper bound on ABFT verify → scalar-recompute rounds before
+/// [`SpadenEngine::try_run_checked`] gives up with
+/// [`EngineError::CorrectionExhausted`].
+pub const ABFT_MAX_RETRIES: usize = 3;
 
 /// How blocks are packed onto the 16×16 fragment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -65,6 +72,7 @@ pub struct SpadenEngine {
     format: BitBsr,
     prep: PrepStats,
     config: SpadenConfig,
+    abft: AbftChecksums,
     d_block_row_ptr: DeviceBuffer<u32>,
     d_block_cols: DeviceBuffer<u32>,
     d_bitmaps: DeviceBuffer<u64>,
@@ -74,15 +82,34 @@ pub struct SpadenEngine {
 
 impl SpadenEngine {
     /// Converts `csr` to bitBSR (timed — Figure 10a) and uploads it.
+    /// Panics if the conversion produces an invalid format; prefer
+    /// [`SpadenEngine::try_prepare`] in code that must not unwind.
     pub fn prepare(gpu: &Gpu, csr: &Csr) -> Self {
         Self::prepare_with(gpu, csr, SpadenConfig::default())
     }
 
     /// [`SpadenEngine::prepare`] with explicit variant knobs.
     pub fn prepare_with(gpu: &Gpu, csr: &Csr, config: SpadenConfig) -> Self {
+        Self::try_prepare_with(gpu, csr, config).expect("bitBSR conversion produced valid format")
+    }
+
+    /// Fallible [`SpadenEngine::prepare`]: validates the converted format
+    /// and precomputes the ABFT checksums.
+    pub fn try_prepare(gpu: &Gpu, csr: &Csr) -> Result<Self, EngineError> {
+        Self::try_prepare_with(gpu, csr, SpadenConfig::default())
+    }
+
+    /// Fallible [`SpadenEngine::prepare_with`].
+    pub fn try_prepare_with(
+        gpu: &Gpu,
+        csr: &Csr,
+        config: SpadenConfig,
+    ) -> Result<Self, EngineError> {
         let (format, seconds) = timed(|| BitBsr::from_csr(csr));
+        format.validate().map_err(|e| EngineError::Validation(e.to_string()))?;
+        let abft = AbftChecksums::build(&format);
         let prep = PrepStats { seconds, device_bytes: format.bytes() as u64 };
-        SpadenEngine {
+        Ok(SpadenEngine {
             d_block_row_ptr: gpu.alloc(format.block_row_ptr.clone()),
             d_block_cols: gpu.alloc(format.block_cols.clone()),
             d_bitmaps: gpu.alloc(format.bitmaps.clone()),
@@ -91,12 +118,18 @@ impl SpadenEngine {
             format,
             prep,
             config,
-        }
+            abft,
+        })
     }
 
     /// The converted format (inspection / tests).
     pub fn format(&self) -> &BitBsr {
         &self.format
+    }
+
+    /// The precomputed ABFT column-sum checksums.
+    pub fn abft(&self) -> &AbftChecksums {
+        &self.abft
     }
 
     /// Decodes one matrix block and its vector segment into the given
@@ -170,12 +203,121 @@ impl SpmvEngine for SpadenEngine {
         self.format.nrows
     }
 
+    fn ncols(&self) -> usize {
+        self.format.ncols
+    }
+
     fn run(&self, gpu: &Gpu, x: &[f32]) -> SpmvRun {
         assert_eq!(x.len(), self.format.ncols, "x length mismatch");
         match self.config.packing {
             Packing::Diagonal => self.run_paired(gpu, x),
             Packing::Single => self.run_single(gpu, x),
         }
+    }
+
+    fn run_checked(&self, gpu: &Gpu, x: &[f32]) -> Result<SpmvRun, EngineError> {
+        self.try_run_checked(gpu, x)
+    }
+}
+
+impl SpadenEngine {
+    /// ABFT-checked SpMV with graceful degradation.
+    ///
+    /// The ladder: (1) the tensor-core kernel runs; (2) every block-row's
+    /// output is verified against the column-sum checksums; (3) failing
+    /// block-rows — faults localised to 8 output rows — are recomputed on
+    /// the scalar CUDA-core path (itself subject to injection; each retry
+    /// launch draws fresh fault sites); (4) after [`ABFT_MAX_RETRIES`]
+    /// rounds that still fail, [`EngineError::CorrectionExhausted`] is
+    /// returned instead of silently wrong results.
+    ///
+    /// Counters of all recovery launches are merged into the returned
+    /// run, and `faults_observed` records every failed verification, so
+    /// the modelled time includes the cost of recovery.
+    pub fn try_run_checked(&self, gpu: &Gpu, x: &[f32]) -> Result<SpmvRun, EngineError> {
+        let mut run = self.try_run(gpu, x)?;
+        let mut bad = self.abft.verify(x, &run.y);
+        let mut retries = 0;
+        while !bad.is_empty() {
+            run.counters.faults_observed += bad.len() as u64;
+            if retries == ABFT_MAX_RETRIES {
+                return Err(EngineError::CorrectionExhausted {
+                    block_rows: bad.len(),
+                    retries,
+                });
+            }
+            retries += 1;
+            let rows: Vec<u32> = bad.iter().map(|&b| b as u32).collect();
+            let c = self.recompute_block_rows(gpu, x, &rows, &mut run.y);
+            run.counters.merge(&c);
+            bad.retain(|&br| !self.abft.check_block_row(br, x, &run.y));
+        }
+        // Re-derive modelled time from the merged counters.
+        Ok(SpmvRun::new(run.y, run.counters, gpu))
+    }
+
+    /// Recomputes the given block-rows on CUDA cores (the `Spaden w/o TC`
+    /// compute step, one warp per block-row) and splices the refreshed
+    /// rows into `y`. Returns the launch's counters.
+    fn recompute_block_rows(
+        &self,
+        gpu: &Gpu,
+        x: &[f32],
+        rows: &[u32],
+        y: &mut [f32],
+    ) -> KernelCounters {
+        let d_rows = gpu.alloc(rows.to_vec());
+        let d_x = gpu.alloc(x.to_vec());
+        let out = gpu.alloc_output(self.format.nrows);
+        let nrows = self.format.nrows;
+
+        let counters = gpu.launch(rows.len(), |ctx| {
+            let br = ctx.read(&d_rows, ctx.warp_id) as usize;
+            let lo = ctx.read(&self.d_block_row_ptr, br) as usize;
+            let hi = ctx.read(&self.d_block_row_ptr, br + 1) as usize;
+            let mut row_acc = [0.0f32; BLOCK_DIM];
+            ctx.ops(1);
+            for k in lo..hi {
+                ctx.ops(2);
+                let bc = ctx.read(&self.d_block_cols, k) as usize;
+                let a = decode_matrix_block(
+                    ctx,
+                    &self.d_bitmaps,
+                    &self.d_block_offsets,
+                    &self.d_values,
+                    k,
+                );
+                let b = decode_vector_segment(ctx, &d_x, bc, self.format.ncols);
+                ctx.ops(CUDA_BLOCK_PRODUCT_CYCLES);
+                let mut partial = [0.0f32; WARP_SIZE];
+                for lid in 0..WARP_SIZE {
+                    partial[lid] = F16::round_f32(a[lid].0) * F16::round_f32(b[lid].0)
+                        + F16::round_f32(a[lid].1) * F16::round_f32(b[lid].1);
+                }
+                let sums = ctx.segmented_reduce_sum(&partial, 4);
+                ctx.ops(1);
+                for dr in 0..BLOCK_DIM {
+                    row_acc[dr] += sums[4 * dr];
+                }
+            }
+            ctx.ops(2);
+            let mut writes = [None; WARP_SIZE];
+            for dr in 0..BLOCK_DIM {
+                let r = br * BLOCK_DIM + dr;
+                if r < nrows {
+                    writes[dr] = Some((r as u32, row_acc[dr]));
+                }
+            }
+            ctx.scatter(&out, &writes);
+        });
+
+        let fresh = out.to_vec();
+        for &br in rows {
+            let r_lo = br as usize * BLOCK_DIM;
+            let r_hi = (r_lo + BLOCK_DIM).min(nrows);
+            y[r_lo..r_hi].copy_from_slice(&fresh[r_lo..r_hi]);
+        }
+        counters
     }
 }
 
@@ -444,6 +586,85 @@ mod tests {
         assert!(staged.counters.smem_bytes > 0);
         assert!(staged.counters.cuda_ops > direct.counters.cuda_ops);
         assert_eq!(staged.y, direct.y, "staging must not change results");
+    }
+
+    #[test]
+    fn try_run_rejects_wrong_x_length() {
+        let csr = gen::random_uniform(64, 96, 500, 231);
+        let gpu = Gpu::new(GpuConfig::l40());
+        let eng = SpadenEngine::prepare(&gpu, &csr);
+        match eng.try_run(&gpu, &vec![1.0f32; 95]) {
+            Err(EngineError::ShapeMismatch { expected: 96, got: 95 }) => {}
+            other => panic!("expected ShapeMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checked_run_is_bit_identical_without_faults() {
+        let csr = gen::generate_blocked(
+            256,
+            160,
+            Placement::Banded { bandwidth: 6 },
+            &FillDist::Uniform { lo: 1, hi: 64 },
+            233,
+        );
+        let x: Vec<f32> = (0..256).map(|i| ((i % 19) as f32) * 0.25 - 2.0).collect();
+        let gpu = Gpu::new(GpuConfig::l40());
+        let eng = SpadenEngine::prepare(&gpu, &csr);
+        let plain = eng.run(&gpu, &x);
+        let checked = eng.try_run_checked(&gpu, &x).expect("clean gpu must verify");
+        assert_eq!(plain.y, checked.y, "verification must not perturb a clean run");
+        assert_eq!(checked.counters.faults_observed, 0);
+        assert_eq!(checked.counters.faults_injected, 0);
+    }
+
+    #[test]
+    fn checked_run_corrects_fragment_faults() {
+        use spaden_gpusim::FaultConfig;
+        let csr = gen::generate_blocked(
+            512,
+            300,
+            Placement::Scattered,
+            &FillDist::Uniform { lo: 8, hi: 40 },
+            235,
+        );
+        let x: Vec<f32> = (0..512).map(|i| ((i * 37 + 11) % 64) as f32 / 32.0 - 1.0).collect();
+        let mut cfg = GpuConfig::l40();
+        // Most of the 16x16 accumulator tile is never extracted (the kernel
+        // reads one column), so a high per-MMA rate is needed before a flip
+        // lands on an observable entry.
+        cfg.faults =
+            FaultConfig { seed: 99, fragment_corrupt_rate: 0.5, ..FaultConfig::disabled() };
+        let gpu = Gpu::new(cfg);
+        let eng = SpadenEngine::prepare(&gpu, &csr);
+        let run = eng.try_run_checked(&gpu, &x).expect("correction must converge");
+        assert!(run.counters.faults_injected > 0, "rate 0.02 over ~hundreds of MMAs");
+        assert!(run.counters.faults_observed > 0, "high-bit fragment flips are observable");
+        let want = eng.format().spmv_reference(&x).unwrap();
+        for (r, (a, w)) in run.y.iter().zip(&want).enumerate() {
+            let tol = 1e-3_f32.max(w.abs() * 1e-3);
+            assert!((a - w).abs() <= tol, "row {r}: corrected {a} vs reference {w}");
+        }
+    }
+
+    #[test]
+    fn checked_run_exhausts_retries_under_saturating_faults() {
+        use spaden_gpusim::FaultConfig;
+        // Flip every sector of every value load: the scalar recompute path
+        // is corrupted too, so correction can never converge.
+        let csr = gen::random_uniform(128, 128, 2000, 237);
+        let x: Vec<f32> = (0..128).map(|i| (i % 7) as f32 - 3.0).collect();
+        let mut cfg = GpuConfig::l40();
+        cfg.faults = FaultConfig { seed: 7, mem_bit_flip_rate: 1.0, ..FaultConfig::disabled() };
+        let gpu = Gpu::new(cfg);
+        let eng = SpadenEngine::prepare(&gpu, &csr);
+        match eng.try_run_checked(&gpu, &x) {
+            Err(EngineError::CorrectionExhausted { block_rows, retries }) => {
+                assert!(block_rows > 0);
+                assert_eq!(retries, ABFT_MAX_RETRIES);
+            }
+            other => panic!("expected CorrectionExhausted, got {other:?}"),
+        }
     }
 
     #[test]

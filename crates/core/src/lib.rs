@@ -36,6 +36,7 @@
 // code they model. The range-loop lint fights that idiom.
 #![allow(clippy::needless_range_loop)]
 
+pub mod abft;
 pub mod bitbsr;
 pub mod bitcoo;
 pub mod csr_warp16;
@@ -47,12 +48,13 @@ pub mod sddmm;
 pub mod spgemm;
 pub mod spmm;
 
+pub use abft::AbftChecksums;
 pub use bitbsr::BitBsr;
 pub use bitcoo::{BitCoo, BitCooEngine};
 pub use csr_warp16::CsrWarp16Engine;
-pub use engine::{PrepStats, SpmvEngine, SpmvRun};
+pub use engine::{EngineError, PrepStats, SpmvEngine, SpmvRun};
 pub use kernel_cuda::SpadenNoTcEngine;
-pub use kernel_tc::{FragmentIo, Packing, SpadenConfig, SpadenEngine};
+pub use kernel_tc::{FragmentIo, Packing, SpadenConfig, SpadenEngine, ABFT_MAX_RETRIES};
 pub use sddmm::SpadenSddmmEngine;
 pub use spgemm::{spgemm_reference, SpadenSpgemmEngine, SpgemmRun};
 pub use spmm::{CsrSpmmEngine, SpadenSpmmEngine, SpmmRun};

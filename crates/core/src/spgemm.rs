@@ -17,7 +17,6 @@
 use crate::bitbsr::BitBsr;
 use crate::decode::decode_matrix_block;
 use crate::engine::{timed, PrepStats};
-use rayon::prelude::*;
 use spaden_gpusim::exec::WarpCtx;
 use spaden_gpusim::fragment::{FragKind, Fragment};
 use spaden_gpusim::half::F16;
@@ -25,6 +24,7 @@ use spaden_gpusim::memory::DeviceBuffer;
 use spaden_gpusim::{estimate_time, Gpu, KernelCounters, SimTime};
 use spaden_sparse::csr::Csr;
 use spaden_sparse::gen::BLOCK_DIM;
+use spaden_sparse::par;
 
 /// Result of one simulated SpGEMM.
 #[derive(Debug, Clone)]
@@ -94,9 +94,7 @@ impl SpadenSpgemmEngine {
     /// Symbolic phase: C's block structure (parallel over A block-rows).
     /// Returns (block_row_ptr, block_cols) of the product's block grid.
     pub fn symbolic(&self) -> (Vec<u32>, Vec<u32>) {
-        let per_row: Vec<Vec<u32>> = (0..self.a.block_rows)
-            .into_par_iter()
-            .map(|i| {
+        let per_row: Vec<Vec<u32>> = par::map_indexed(self.a.block_rows, |i| {
                 let mut js: Vec<u32> = Vec::new();
                 let lo = self.a.block_row_ptr[i] as usize;
                 let hi = self.a.block_row_ptr[i + 1] as usize;
@@ -115,8 +113,7 @@ impl SpadenSpgemmEngine {
                     }
                 }
                 js
-            })
-            .collect();
+            });
         let counts: Vec<u32> = per_row.iter().map(|j| j.len() as u32).collect();
         let ptr = spaden_sparse::scan::exclusive_scan(&counts);
         let cols = per_row.into_iter().flatten().collect();
@@ -165,9 +162,7 @@ impl SpadenSpgemmEngine {
         let c_cols_ref = &c_cols;
 
         // Functional compute (parallel, disjoint rows).
-        let tiles_out: Vec<Vec<[f32; 64]>> = (0..a.block_rows)
-            .into_par_iter()
-            .map(|i| {
+        let tiles_out: Vec<Vec<[f32; 64]>> = par::map_indexed(a.block_rows, |i| {
                 let lo = c_ptr_ref[i] as usize;
                 let hi = c_ptr_ref[i + 1] as usize;
                 let mut row_tiles = vec![[0.0f32; 64]; hi - lo];
@@ -207,8 +202,7 @@ impl SpadenSpgemmEngine {
                 }
                 flops.fetch_add(local_flops, std::sync::atomic::Ordering::Relaxed);
                 row_tiles
-            })
-            .collect();
+            });
         for (i, row) in tiles_out.into_iter().enumerate() {
             let lo = c_ptr[i] as usize;
             for (t, tile) in row.into_iter().enumerate() {

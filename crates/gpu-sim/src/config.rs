@@ -6,6 +6,8 @@
 //! while the counted memory/compute quantities set the *shape* of every
 //! figure.
 
+use crate::fault::FaultConfig;
+
 /// Architectural parameters of one simulated GPU.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GpuConfig {
@@ -41,6 +43,9 @@ pub struct GpuConfig {
     pub atomic_ops_per_s: f64,
     /// Fixed kernel launch overhead in seconds.
     pub launch_overhead_s: f64,
+    /// Fault-injection rates (all zero on the stock presets: no injection,
+    /// no behaviour change). See [`crate::fault`].
+    pub faults: FaultConfig,
 }
 
 impl GpuConfig {
@@ -66,6 +71,7 @@ impl GpuConfig {
             mma_m8n8k4_per_s: 90.5e12 / 256.0 / 160.0,
             atomic_ops_per_s: 2.0e10,
             launch_overhead_s: 3e-6,
+            faults: FaultConfig::disabled(),
         }
     }
 
@@ -89,6 +95,7 @@ impl GpuConfig {
             mma_m8n8k4_per_s: 56.0e12 / 256.0,
             atomic_ops_per_s: 1.0e10,
             launch_overhead_s: 3e-6,
+            faults: FaultConfig::disabled(),
         }
     }
 

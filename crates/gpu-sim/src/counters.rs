@@ -32,6 +32,12 @@ pub struct KernelCounters {
     pub smem_bytes: u64,
     /// Warps launched.
     pub warps: u64,
+    /// Faults injected by the simulator during this launch (zero unless
+    /// fault injection is enabled in [`crate::fault::FaultConfig`]).
+    pub faults_injected: u64,
+    /// Faults *observed* by software-level checks (e.g. ABFT verification
+    /// in the engine layer); merged into run counters by callers.
+    pub faults_observed: u64,
 }
 
 impl KernelCounters {
@@ -50,6 +56,8 @@ impl KernelCounters {
         self.atomic_ops += other.atomic_ops;
         self.smem_bytes += other.smem_bytes;
         self.warps += other.warps;
+        self.faults_injected += other.faults_injected;
+        self.faults_observed += other.faults_observed;
     }
 
     /// Total DRAM traffic in bytes.

@@ -4,19 +4,21 @@
 //! Kernels are closures invoked once per warp with a [`WarpCtx`], which
 //! provides warp-wide memory operations (gather/scatter/atomics, each
 //! passing through the coalescer and L2 model), tensor-core MMA issue, and
-//! instruction counting. Warps run in parallel via rayon across a fixed
-//! number of L2 *shards* — contiguous warp ranges sharing one slice of the
-//! L2 model — so results and counters are deterministic regardless of the
-//! host thread count (the one exception is the float-accumulation order of
-//! cross-warp atomics, as on real hardware).
+//! instruction counting. Warps run across a fixed number of L2 *shards* —
+//! contiguous warp ranges sharing one slice of the L2 model, executed in
+//! parallel when the `parallel` feature is on — so results and counters
+//! are deterministic regardless of the host thread count (the one
+//! exception is the float-accumulation order of cross-warp atomics, as on
+//! real hardware).
 
 use crate::config::GpuConfig;
 use crate::counters::KernelCounters;
+use crate::fault::FaultInjector;
 use crate::fragment::Fragment;
 use crate::memory::{
     coalesce_into, DeviceBuffer, DeviceOutput, DeviceScalar, L2Cache, SECTOR_BYTES,
 };
-use rayon::prelude::*;
+use spaden_sparse::par;
 
 /// Threads per warp.
 pub const WARP_SIZE: usize = 32;
@@ -32,12 +34,20 @@ pub struct Gpu {
     /// Architectural parameters (timing model inputs).
     pub config: GpuConfig,
     next_addr: std::sync::atomic::AtomicU64,
+    // Monotonic launch counter, used to salt the per-warp fault RNG so
+    // repeated launches (e.g. ABFT recovery retries) draw independent
+    // fault sites. Only advanced when fault injection is enabled.
+    launch_salt: std::sync::atomic::AtomicU64,
 }
 
 impl Gpu {
     /// Creates a GPU with the given configuration.
     pub fn new(config: GpuConfig) -> Self {
-        Gpu { config, next_addr: std::sync::atomic::AtomicU64::new(0x1000_0000) }
+        Gpu {
+            config,
+            next_addr: std::sync::atomic::AtomicU64::new(0x1000_0000),
+            launch_salt: std::sync::atomic::AtomicU64::new(0),
+        }
     }
 
     fn bump(&self, bytes: u64) -> u64 {
@@ -64,28 +74,41 @@ impl Gpu {
         F: Fn(&mut WarpCtx) + Sync,
     {
         let shard_l2 = (self.config.l2_bytes / SHARDS).max(4096);
-        let mut merged = (0..SHARDS)
-            .into_par_iter()
-            .map(|s| {
-                let lo = nwarps * s / SHARDS;
-                let hi = nwarps * (s + 1) / SHARDS;
-                let mut ctx = WarpCtx {
-                    warp_id: 0,
-                    nwarps,
-                    counters: KernelCounters::default(),
-                    l2: L2Cache::new(shard_l2),
-                    scratch: Vec::with_capacity(64),
+        let faults = self.config.faults;
+        let salt = if faults.enabled() {
+            self.launch_salt.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        } else {
+            0
+        };
+        let mut merged = par::map_indexed(SHARDS, |s| {
+            let lo = nwarps * s / SHARDS;
+            let hi = nwarps * (s + 1) / SHARDS;
+            let mut ctx = WarpCtx {
+                warp_id: 0,
+                nwarps,
+                counters: KernelCounters::default(),
+                l2: L2Cache::new(shard_l2),
+                scratch: Vec::with_capacity(64),
+                injector: None,
+            };
+            for w in lo..hi {
+                ctx.warp_id = w;
+                // Seeded per (config seed, launch, warp): independent of
+                // host threading and of the shard partition.
+                ctx.injector = if faults.enabled() {
+                    Some(FaultInjector::for_warp(faults, salt, w as u64))
+                } else {
+                    None
                 };
-                for w in lo..hi {
-                    ctx.warp_id = w;
-                    kernel(&mut ctx);
-                }
-                ctx.counters
-            })
-            .reduce(KernelCounters::default, |mut a, b| {
-                a.merge(&b);
-                a
-            });
+                kernel(&mut ctx);
+            }
+            ctx.counters
+        })
+        .into_iter()
+        .fold(KernelCounters::default(), |mut a, b| {
+            a.merge(&b);
+            a
+        });
         merged.warps = nwarps as u64;
         merged
     }
@@ -102,6 +125,7 @@ pub struct WarpCtx {
     pub counters: KernelCounters,
     l2: L2Cache,
     scratch: Vec<u64>,
+    injector: Option<FaultInjector>,
 }
 
 impl WarpCtx {
@@ -109,6 +133,50 @@ impl WarpCtx {
     #[inline]
     pub fn ops(&mut self, n: u64) {
         self.counters.cuda_ops += n;
+    }
+
+    // Draws load faults for one value-type gather whose coalesced sectors
+    // are currently in `scratch`: one bit-flip trial per sector plus one
+    // stuck-lane trial per instruction. Returns choices as indices into
+    // the *active* lane set (the caller maps them to physical lanes).
+    fn draw_load_faults(&mut self, nactive: usize) -> Option<LoadFaults> {
+        let nsectors = self.scratch.len();
+        let inj = self.injector.as_mut()?;
+        if nactive == 0 {
+            return None;
+        }
+        let flip_rate = inj.config().mem_bit_flip_rate;
+        let stuck_rate = inj.config().stuck_lane_rate;
+        let mut flips = Vec::new();
+        for _ in 0..nsectors {
+            if inj.chance(flip_rate) {
+                flips.push((inj.below(nactive), inj.next_u64()));
+            }
+        }
+        let stuck = if inj.chance(stuck_rate) { Some(inj.below(nactive)) } else { None };
+        if flips.is_empty() && stuck.is_none() {
+            return None;
+        }
+        self.counters.faults_injected += flips.len() as u64 + stuck.is_some() as u64;
+        Some(LoadFaults { flips, stuck })
+    }
+
+    // Applies drawn load faults to a plain gather result.
+    fn corrupt_gather<T: DeviceScalar>(
+        &mut self,
+        out: &mut [T; WARP_SIZE],
+        idx: &[Option<u32>; WARP_SIZE],
+    ) {
+        let (active, n) = active_lanes(idx);
+        if let Some(f) = self.draw_load_faults(n) {
+            for (c, r) in f.flips {
+                let lane = active[c];
+                out[lane] = out[lane].flip_high_bit(r);
+            }
+            if let Some(c) = f.stuck {
+                out[active[c]] = T::default();
+            }
+        }
     }
 
     fn account_read_sectors(&mut self) {
@@ -142,6 +210,9 @@ impl WarpCtx {
                 out[lane] = buf.get(*i as usize);
             }
         }
+        if T::FLIPPABLE && self.injector.is_some() {
+            self.corrupt_gather(&mut out, idx);
+        }
         out
     }
 
@@ -166,6 +237,9 @@ impl WarpCtx {
             if let Some(i) = i {
                 out[lane] = buf.get(*i as usize);
             }
+        }
+        if T::FLIPPABLE && self.injector.is_some() {
+            self.corrupt_gather(&mut out, idx);
         }
         out
     }
@@ -202,6 +276,23 @@ impl WarpCtx {
                 out[lane] = (buf.get(*i as usize), buf.get(*i as usize + 1));
             }
         }
+        if T::FLIPPABLE && self.injector.is_some() {
+            let (active, n) = active_lanes(idx);
+            if let Some(f) = self.draw_load_faults(n) {
+                for (c, r) in f.flips {
+                    // The high bit of `r` picks which half of the pair.
+                    let lane = active[c];
+                    if r >> 63 == 0 {
+                        out[lane].0 = out[lane].0.flip_high_bit(r);
+                    } else {
+                        out[lane].1 = out[lane].1.flip_high_bit(r);
+                    }
+                }
+                if let Some(c) = f.stuck {
+                    out[active[c]] = (T::default(), T::default());
+                }
+            }
+        }
         out
     }
 
@@ -234,7 +325,19 @@ impl WarpCtx {
         self.counters.sectors_written += n;
         self.counters.dram_write_bytes += n * SECTOR_BYTES;
         for w in writes.iter().flatten() {
-            out.fetch_add(w.0 as usize, w.1);
+            let dropped = match self.injector.as_mut() {
+                Some(inj) => {
+                    let rate = inj.config().dropped_atomic_rate;
+                    inj.chance(rate)
+                }
+                None => false,
+            };
+            if dropped {
+                // The op was issued and counted; its effect is lost.
+                self.counters.faults_injected += 1;
+            } else {
+                out.fetch_add(w.0 as usize, w.1);
+            }
         }
     }
 
@@ -242,6 +345,16 @@ impl WarpCtx {
     pub fn mma_16x16x16(&mut self, d: &mut Fragment, a: &Fragment, b: &Fragment, c: &Fragment) {
         self.counters.mma_m16n16k16 += 1;
         crate::mma::mma_sync(d, a, b, c);
+        if let Some(inj) = self.injector.as_mut() {
+            let rate = inj.config().fragment_corrupt_rate;
+            if inj.chance(rate) {
+                let lane = inj.below(WARP_SIZE);
+                let reg = inj.below(crate::fragment::REGS_PER_LANE);
+                let r = inj.next_u64();
+                d.regs[lane][reg] = d.regs[lane][reg].flip_high_bit(r);
+                self.counters.faults_injected += 1;
+            }
+        }
     }
 
     /// Registers `n` issued `m8n8k4` MMAs (DASP's primitive; its kernels
@@ -298,6 +411,26 @@ impl WarpCtx {
         }
         v
     }
+}
+
+// Drawn fault sites for one load instruction: `(active-lane choice, random
+// word)` per bit flip, plus an optional stuck active-lane choice.
+struct LoadFaults {
+    flips: Vec<(usize, u64)>,
+    stuck: Option<usize>,
+}
+
+// Physical lane numbers of the active lanes, plus their count.
+fn active_lanes(idx: &[Option<u32>; WARP_SIZE]) -> ([usize; WARP_SIZE], usize) {
+    let mut active = [0usize; WARP_SIZE];
+    let mut n = 0;
+    for (lane, i) in idx.iter().enumerate() {
+        if i.is_some() {
+            active[n] = lane;
+            n += 1;
+        }
+    }
+    (active, n)
 }
 
 /// Builds a lane-index array from an iterator of at most 32 indices
@@ -488,6 +621,126 @@ mod tests {
         let c = g.launch(1, |ctx| ctx.smem_stage(512));
         assert_eq!(c.smem_bytes, 512);
         assert_eq!(c.cuda_ops, 8);
+    }
+
+    #[test]
+    fn fault_injection_corrupts_values_and_counts() {
+        use crate::fault::FaultConfig;
+        let mut cfg = GpuConfig::l40();
+        cfg.faults = FaultConfig { seed: 7, mem_bit_flip_rate: 1.0, ..FaultConfig::disabled() };
+        let g = Gpu::new(cfg);
+        let buf = g.alloc(vec![1.0f32; 32]);
+        let out = g.alloc_output(32);
+        let c = g.launch(1, |ctx| {
+            let idx = lanes_from(0..32u32);
+            let vals = ctx.gather(&buf, &idx);
+            let mut w = [None; WARP_SIZE];
+            for (l, v) in vals.iter().enumerate() {
+                w[l] = Some((l as u32, *v));
+            }
+            ctx.scatter(&out, &w);
+        });
+        // Rate 1.0 per sector, 4 sectors: exactly 4 flips drawn.
+        assert_eq!(c.faults_injected, 4);
+        assert!(out.to_vec().iter().any(|&v| v != 1.0), "at least one lane corrupted");
+    }
+
+    #[test]
+    fn faults_never_touch_structural_loads() {
+        use crate::fault::FaultConfig;
+        let mut cfg = GpuConfig::l40();
+        cfg.faults = FaultConfig::uniform(3, 1.0);
+        let g = Gpu::new(cfg);
+        let buf = g.alloc((0..32u32).collect::<Vec<_>>());
+        g.launch(1, |ctx| {
+            let idx = lanes_from(0..32u32);
+            let vals = ctx.gather(&buf, &idx);
+            for (i, v) in vals.iter().enumerate() {
+                assert_eq!(*v as usize, i, "u32 loads must be exact");
+            }
+        });
+    }
+
+    #[test]
+    fn dropped_atomics_lose_updates_but_count_ops() {
+        use crate::fault::FaultConfig;
+        let mut cfg = GpuConfig::l40();
+        cfg.faults =
+            FaultConfig { seed: 11, dropped_atomic_rate: 1.0, ..FaultConfig::disabled() };
+        let g = Gpu::new(cfg);
+        let out = g.alloc_output(4);
+        let c = g.launch(8, |ctx| {
+            let mut w = [None; WARP_SIZE];
+            w[0] = Some((0u32, 1.0f32));
+            ctx.atomic_add(&out, &w);
+        });
+        assert_eq!(c.atomic_ops, 8, "ops issue even when their effect is lost");
+        assert_eq!(c.faults_injected, 8);
+        assert_eq!(out.load(0), 0.0);
+    }
+
+    #[test]
+    fn fault_sites_are_deterministic_per_launch_and_differ_across_launches() {
+        use crate::fault::FaultConfig;
+        let mut cfg = GpuConfig::l40();
+        cfg.faults = FaultConfig::uniform(42, 0.05);
+        // Per-warp gathered sums land in an output via scatter (scatter is
+        // not a fault site), exposing exactly which lanes were corrupted.
+        let sums = |g: &Gpu, buf: &DeviceBuffer<f32>| {
+            let out = g.alloc_output(100);
+            let c = g.launch(100, |ctx| {
+                let base = (ctx.warp_id * 93 % 9000) as u32;
+                let vals = ctx.gather(buf, &lanes_from(base..base + 32));
+                let s = ctx.reduce_sum(&vals);
+                let mut w = [None; WARP_SIZE];
+                w[0] = Some((ctx.warp_id as u32, s));
+                ctx.scatter(&out, &w);
+            });
+            let bits: Vec<u32> = out.to_vec().iter().map(|v| v.to_bits()).collect();
+            (c, bits)
+        };
+        let run = || {
+            let g = Gpu::new(cfg.clone());
+            let buf = g.alloc(vec![1.0f32; 10_000]);
+            sums(&g, &buf)
+        };
+        let (c1, s1) = run();
+        let (c2, s2) = run();
+        assert!(c1.faults_injected > 0);
+        assert_eq!(c1, c2);
+        assert_eq!(s1, s2);
+
+        // Same Gpu, second launch: salt advances, fault draws differ.
+        let g = Gpu::new(cfg.clone());
+        let buf = g.alloc(vec![1.0f32; 10_000]);
+        let (_, a) = sums(&g, &buf);
+        let (_, b) = sums(&g, &buf);
+        assert_ne!(a, b, "retries must see fresh fault sites");
+    }
+
+    #[test]
+    fn disabled_faults_leave_everything_bit_identical() {
+        let run = || {
+            let g = gpu(); // stock preset: faults disabled
+            let buf = g.alloc((0..4096u32).map(|i| i as f32 * 0.5).collect::<Vec<_>>());
+            let out = g.alloc_output(64);
+            let c = g.launch(128, |ctx| {
+                let base = (ctx.warp_id * 31 % 4000) as u32;
+                let vals = ctx.gather(&buf, &lanes_from(base..base + 32));
+                let s = ctx.reduce_sum(&vals);
+                let mut w = [None; WARP_SIZE];
+                w[0] = Some(((ctx.warp_id % 64) as u32, s));
+                ctx.atomic_add(&out, &w);
+            });
+            assert_eq!(c.faults_injected, 0);
+            assert_eq!(c.faults_observed, 0);
+            (c, out.to_vec())
+        };
+        let (c1, y1) = run();
+        let (c2, y2) = run();
+        assert_eq!(c1, c2);
+        let bits = |v: &[f32]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&y1), bits(&y2));
     }
 
     #[test]

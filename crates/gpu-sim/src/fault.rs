@@ -1,0 +1,214 @@
+//! Deterministic fault injection for the simulated GPU.
+//!
+//! Real tensor-core SpMV pipelines fail *silently*: a flipped DRAM bit, a
+//! corrupted fragment register or a lost atomic produces a wrong `y`, not a
+//! crash. Hardware can't reproduce such events on demand; the functional
+//! simulator can. This module draws faults from a counter-based RNG seeded
+//! per `(config seed, launch, warp)`, so a whole program run is exactly
+//! reproducible while distinct launches (e.g. ABFT recovery retries) see
+//! independent fault sites.
+//!
+//! ## Fault model
+//!
+//! Four kinds, each with an independent rate in [`FaultConfig`]:
+//!
+//! * **Memory bit flip** — on a value-type sector read (f32 / f16), one
+//!   loaded lane gets a high-order bit flipped. Rate is per coalesced
+//!   sector, modelling DRAM/L2 upsets.
+//! * **Stuck lane** — one lane of a value gather returns zero, modelling a
+//!   dead datapath lane. Rate is per load instruction.
+//! * **Fragment corruption** — after an MMA, one accumulator register of
+//!   one lane gets a high bit flipped. Rate is per MMA issue.
+//! * **Dropped atomic** — an atomic add issues (and is counted) but its
+//!   effect is lost. Rate is per atomic lane-operation.
+//!
+//! Only *value* datapaths are corrupted (see `DeviceScalar::FLIPPABLE`):
+//! flipping structural data — row pointers, bitmaps, block columns — models
+//! control-flow corruption that no arithmetic checksum claims to cover and
+//! that the host-side simulator cannot survive (out-of-bounds indexing).
+//! Bit flips are restricted to high-order bits so an injected fault
+//! perturbs the result above f16 accumulation noise — i.e. every injected
+//! fault is *observable*, which is what the ABFT detection guarantee is
+//! stated over.
+
+/// Per-kind fault rates plus the RNG seed. All rates default to zero
+/// (injection disabled, provably zero behaviour change).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// RNG seed; same seed ⇒ identical fault sites for a fresh [`crate::Gpu`].
+    pub seed: u64,
+    /// Probability of a bit flip per value-type sector read.
+    pub mem_bit_flip_rate: f64,
+    /// Probability that an MMA result fragment loses one register.
+    pub fragment_corrupt_rate: f64,
+    /// Probability per value gather that one lane reads back zero.
+    pub stuck_lane_rate: f64,
+    /// Probability per atomic lane-op that the update is lost.
+    pub dropped_atomic_rate: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::disabled()
+    }
+}
+
+impl FaultConfig {
+    /// No injection: every rate zero.
+    pub fn disabled() -> Self {
+        FaultConfig {
+            seed: 0,
+            mem_bit_flip_rate: 0.0,
+            fragment_corrupt_rate: 0.0,
+            stuck_lane_rate: 0.0,
+            dropped_atomic_rate: 0.0,
+        }
+    }
+
+    /// All four fault kinds at the same `rate`.
+    pub fn uniform(seed: u64, rate: f64) -> Self {
+        FaultConfig {
+            seed,
+            mem_bit_flip_rate: rate,
+            fragment_corrupt_rate: rate,
+            stuck_lane_rate: rate,
+            dropped_atomic_rate: rate,
+        }
+    }
+
+    /// True when any fault kind can fire. When false, the executor creates
+    /// no injector at all — not a single RNG draw happens.
+    pub fn enabled(&self) -> bool {
+        self.mem_bit_flip_rate > 0.0
+            || self.fragment_corrupt_rate > 0.0
+            || self.stuck_lane_rate > 0.0
+            || self.dropped_atomic_rate > 0.0
+    }
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-warp fault RNG. Seeded from `(seed, launch, warp)` so results do not
+/// depend on host threading or shard assignment.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    state: u64,
+    config: FaultConfig,
+}
+
+impl FaultInjector {
+    /// Creates the injector for one warp of one launch.
+    pub fn for_warp(config: FaultConfig, launch: u64, warp: u64) -> Self {
+        let mut s = config.seed;
+        let a = splitmix64(&mut s);
+        let mut s2 = a ^ launch.wrapping_mul(0xA24B_AED4_963E_E407);
+        let b = splitmix64(&mut s2);
+        let mut state = b ^ warp.wrapping_mul(0x9FB2_1C65_1E98_DF25);
+        splitmix64(&mut state); // decorrelate adjacent warps fully
+        FaultInjector { state, config }
+    }
+
+    /// The rates this injector draws against.
+    #[inline]
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Next raw 64-bit draw.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+
+    /// Bernoulli trial.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    /// Uniform integer in `[0, bound)` (multiply-shift; bias is irrelevant
+    /// for fault-site selection).
+    #[inline]
+    pub fn below(&mut self, bound: usize) -> usize {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_config_is_default_and_inert() {
+        let c = FaultConfig::default();
+        assert!(!c.enabled());
+        assert_eq!(c, FaultConfig::disabled());
+        let mut inj = FaultInjector::for_warp(c, 0, 0);
+        for _ in 0..100 {
+            assert!(!inj.chance(c.mem_bit_flip_rate));
+        }
+    }
+
+    #[test]
+    fn uniform_enables_all_kinds() {
+        let c = FaultConfig::uniform(7, 0.25);
+        assert!(c.enabled());
+        assert_eq!(c.mem_bit_flip_rate, 0.25);
+        assert_eq!(c.dropped_atomic_rate, 0.25);
+    }
+
+    #[test]
+    fn same_seed_same_draws() {
+        let c = FaultConfig::uniform(42, 0.5);
+        let mut a = FaultInjector::for_warp(c, 3, 17);
+        let mut b = FaultInjector::for_warp(c, 3, 17);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn launch_and_warp_decorrelate() {
+        let c = FaultConfig::uniform(42, 0.5);
+        let mut base = FaultInjector::for_warp(c, 0, 0);
+        let mut other_launch = FaultInjector::for_warp(c, 1, 0);
+        let mut other_warp = FaultInjector::for_warp(c, 0, 1);
+        let same_l = (0..64).filter(|_| base.next_u64() == other_launch.next_u64()).count();
+        let mut base2 = FaultInjector::for_warp(c, 0, 0);
+        let same_w = (0..64).filter(|_| base2.next_u64() == other_warp.next_u64()).count();
+        assert_eq!(same_l, 0);
+        assert_eq!(same_w, 0);
+    }
+
+    #[test]
+    fn chance_tracks_probability() {
+        let c = FaultConfig::uniform(9, 1.0);
+        let mut inj = FaultInjector::for_warp(c, 0, 0);
+        let hits = (0..10_000).filter(|_| inj.chance(0.3)).count();
+        assert!((2700..3300).contains(&hits), "got {hits}");
+        assert!(!inj.chance(0.0));
+        assert!(inj.chance(1.0));
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut inj = FaultInjector::for_warp(FaultConfig::uniform(1, 1.0), 0, 0);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            let v = inj.below(8);
+            assert!(v < 8);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

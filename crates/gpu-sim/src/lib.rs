@@ -24,6 +24,7 @@
 pub mod config;
 pub mod counters;
 pub mod exec;
+pub mod fault;
 pub mod fragment;
 pub mod half;
 pub mod memory;
@@ -33,6 +34,7 @@ pub mod timing;
 pub use config::GpuConfig;
 pub use counters::KernelCounters;
 pub use exec::{Gpu, WarpCtx, WARP_SIZE};
+pub use fault::{FaultConfig, FaultInjector};
 pub use fragment::{FragKind, Fragment, FRAG_DIM, REGS_PER_LANE};
 pub use half::F16;
 pub use memory::{DeviceBuffer, DeviceOutput, DeviceScalar};

@@ -20,10 +20,30 @@ pub const LINE_BYTES: u64 = 128;
 pub trait DeviceScalar: Copy + Default + Send + Sync + 'static {
     /// Size in device memory, in bytes.
     const BYTES: u64;
+    /// Whether the fault injector may corrupt loads of this type. True only
+    /// for *value* types (`f32`, [`F16`]); structural types (indices,
+    /// bitmaps, offsets) stay false — corrupting them models control-flow
+    /// corruption, which is outside the arithmetic fault model (and would
+    /// crash the host-side simulator instead of producing silent errors).
+    const FLIPPABLE: bool = false;
+    /// Returns the value with one high-order bit flipped, selected by the
+    /// random word `r`. Identity for non-flippable types. High-order bits
+    /// only, so every injected fault perturbs results above f16
+    /// accumulation noise and is therefore observable by ABFT checks.
+    #[must_use]
+    fn flip_high_bit(self, _r: u64) -> Self {
+        self
+    }
 }
 
 impl DeviceScalar for f32 {
     const BYTES: u64 = 4;
+    const FLIPPABLE: bool = true;
+    fn flip_high_bit(self, r: u64) -> Self {
+        // Bits 20..=30: top mantissa bits and the exponent (sign excluded).
+        let bit = 20 + (r % 11) as u32;
+        f32::from_bits(self.to_bits() ^ (1 << bit))
+    }
 }
 impl DeviceScalar for u32 {
     const BYTES: u64 = 4;
@@ -36,6 +56,12 @@ impl DeviceScalar for u64 {
 }
 impl DeviceScalar for F16 {
     const BYTES: u64 = 2;
+    const FLIPPABLE: bool = true;
+    fn flip_high_bit(self, r: u64) -> Self {
+        // Bits 8..=14: top mantissa bits and the exponent (sign excluded).
+        let bit = 8 + (r % 7) as u32;
+        F16(self.0 ^ (1 << bit))
+    }
 }
 impl DeviceScalar for u8 {
     const BYTES: u64 = 1;

@@ -49,6 +49,12 @@ fn norm(a: &[f32]) -> f64 {
 ///
 /// `engine` must wrap an SPD matrix; convergence degrades gracefully (and
 /// is reported via `converged`) if it is not.
+///
+/// Every product runs through [`SpmvEngine::run_checked`], so on an
+/// ABFT-capable engine (e.g. [`spaden::SpadenEngine`]) injected hardware
+/// faults are detected and corrected before they can poison the Krylov
+/// recurrence. If a product fails uncorrectably the solve stops early and
+/// reports `converged: false` rather than iterating on corrupt data.
 pub fn cg(
     gpu: &Gpu,
     engine: &dyn SpmvEngine,
@@ -69,7 +75,10 @@ pub fn cg(
 
     while iterations < max_iters && !converged {
         iterations += 1;
-        let run = engine.run(gpu, &p);
+        let run = match engine.run_checked(gpu, &p) {
+            Ok(r) => r,
+            Err(_) => break, // uncorrectable fault: stop, report honestly
+        };
         gpu_seconds += run.time.seconds;
         let ap = run.y;
         let denom = dot(&p, &ap);
@@ -349,6 +358,27 @@ mod tests {
             .unwrap()
             .0;
         assert_eq!(peak, 100);
+    }
+
+    #[test]
+    fn cg_converges_under_fault_injection() {
+        // Fragment faults corrupt tensor-core products; CG's checked path
+        // must correct them and still reach the f16-operator tolerance.
+        let a = spaden_sparse::gen::spd_banded(1024, 4, 4, 81);
+        let mut cfg = GpuConfig::l40();
+        cfg.faults = spaden_gpusim::FaultConfig {
+            seed: 5,
+            fragment_corrupt_rate: 0.05,
+            ..Default::default()
+        };
+        let g = Gpu::new(cfg);
+        let engine = SpadenEngine::prepare(&g, &a);
+        let z = manufactured(1024);
+        let b = a.spmv(&z).unwrap();
+        let res = cg(&g, &engine, &b, 2e-3, 200);
+        assert!(res.converged, "residual {} after {} iters", res.residual, res.iterations);
+        let err = res.x.iter().zip(&z).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
+        assert!(err < 0.05, "max error {err}");
     }
 
     #[test]

@@ -5,8 +5,8 @@
 
 use crate::csr::Csr;
 use crate::gen::BLOCK_DIM;
+use crate::par;
 use crate::types::{validate_offsets, SparseError, SparseResult};
-use rayon::prelude::*;
 
 /// BSR with square `BLOCK_DIM x BLOCK_DIM` (8×8) dense blocks.
 ///
@@ -31,29 +31,26 @@ pub struct Bsr {
 }
 
 impl Bsr {
-    /// Converts from CSR. Parallelised over block-rows with rayon; each
-    /// block-row scans its 8 CSR rows twice (count pass, fill pass).
+    /// Converts from CSR. Parallelised over block-rows; each block-row
+    /// scans its 8 CSR rows twice (count pass, fill pass).
     pub fn from_csr(csr: &Csr) -> Self {
         let block_rows = csr.nrows.div_ceil(BLOCK_DIM);
         let block_cols_dim = csr.ncols.div_ceil(BLOCK_DIM);
 
         // Pass 1: per block-row, the sorted list of non-empty block columns.
-        let per_row_cols: Vec<Vec<u32>> = (0..block_rows)
-            .into_par_iter()
-            .map(|br| {
-                let mut cols: Vec<u32> = Vec::new();
-                let r_end = ((br + 1) * BLOCK_DIM).min(csr.nrows);
-                for r in br * BLOCK_DIM..r_end {
-                    let (ci, _) = csr.row(r);
-                    for &c in ci {
-                        cols.push(c / BLOCK_DIM as u32);
-                    }
+        let per_row_cols: Vec<Vec<u32>> = par::map_indexed(block_rows, |br| {
+            let mut cols: Vec<u32> = Vec::new();
+            let r_end = ((br + 1) * BLOCK_DIM).min(csr.nrows);
+            for r in br * BLOCK_DIM..r_end {
+                let (ci, _) = csr.row(r);
+                for &c in ci {
+                    cols.push(c / BLOCK_DIM as u32);
                 }
-                cols.sort_unstable();
-                cols.dedup();
-                cols
-            })
-            .collect();
+            }
+            cols.sort_unstable();
+            cols.dedup();
+            cols
+        });
 
         let counts: Vec<u32> = per_row_cols.iter().map(|c| c.len() as u32).collect();
         let block_row_ptr = crate::scan::exclusive_scan_par(&counts);
@@ -79,24 +76,21 @@ impl Bsr {
                 }
                 cs
             };
-            col_slices
-                .into_par_iter()
-                .enumerate()
-                .for_each(|(br, (cols_out, vals_out))| {
-                    let cols = &per_row_cols[br];
-                    cols_out.copy_from_slice(cols);
-                    let r_end = ((br + 1) * BLOCK_DIM).min(csr.nrows);
-                    for r in br * BLOCK_DIM..r_end {
-                        let dr = r - br * BLOCK_DIM;
-                        let (ci, vi) = csr.row(r);
-                        for (c, v) in ci.iter().zip(vi) {
-                            let bc = c / BLOCK_DIM as u32;
-                            let k = cols.binary_search(&bc).expect("block recorded in pass 1");
-                            let dc = (*c as usize) % BLOCK_DIM;
-                            vals_out[k * BLOCK_DIM * BLOCK_DIM + dr * BLOCK_DIM + dc] = *v;
-                        }
+            par::for_each_item(col_slices, |br, (cols_out, vals_out)| {
+                let cols = &per_row_cols[br];
+                cols_out.copy_from_slice(cols);
+                let r_end = ((br + 1) * BLOCK_DIM).min(csr.nrows);
+                for r in br * BLOCK_DIM..r_end {
+                    let dr = r - br * BLOCK_DIM;
+                    let (ci, vi) = csr.row(r);
+                    for (c, v) in ci.iter().zip(vi) {
+                        let bc = c / BLOCK_DIM as u32;
+                        let k = cols.binary_search(&bc).expect("block recorded in pass 1");
+                        let dc = (*c as usize) % BLOCK_DIM;
+                        vals_out[k * BLOCK_DIM * BLOCK_DIM + dr * BLOCK_DIM + dc] = *v;
                     }
-                });
+                }
+            });
         }
 
         Bsr {

@@ -3,7 +3,6 @@
 
 use crate::coo::Coo;
 use crate::types::{validate_indices, validate_offsets, SparseError, SparseResult};
-use rayon::prelude::*;
 
 /// CSR sparse matrix with `u32` indices and `f32` values.
 #[derive(Debug, Clone, PartialEq)]
@@ -99,19 +98,18 @@ impl Csr {
         }
     }
 
-    /// Row-parallel SpMV via rayon — "CSR SpMV can be easily parallelized by
-    /// rows" (Section 2.1). Bit-identical to the serial kernel because each
-    /// row accumulates independently in the same order.
+    /// Row-parallel SpMV — "CSR SpMV can be easily parallelized by rows"
+    /// (Section 2.1). Bit-identical to the serial kernel because each row
+    /// accumulates independently in the same order.
     pub fn spmv_par(&self, x: &[f32]) -> SparseResult<Vec<f32>> {
         self.check_x(x)?;
-        let mut y = vec![0.0f32; self.nrows];
-        y.par_iter_mut().enumerate().for_each(|(i, yi)| {
+        let y = crate::par::map_indexed(self.nrows, |i| {
             let (cols, vals) = self.row(i);
             let mut acc = 0.0f32;
             for (c, v) in cols.iter().zip(vals) {
                 acc += v * x[*c as usize];
             }
-            *yi = acc;
+            acc
         });
         Ok(y)
     }

@@ -9,8 +9,8 @@
 //! * the classic storage formats the paper discusses in Section 2
 //!   ([`Coo`], [`Csr`], [`Ell`], [`Dia`], [`Hyb`], [`Bsr`]), each with
 //!   validated construction, conversions, byte accounting and reference
-//!   (serial and [rayon]-parallel) SpMV kernels that act as correctness
-//!   oracles for every simulated GPU kernel;
+//!   (serial and optionally thread-parallel, see [`par`]) SpMV kernels that
+//!   act as correctness oracles for every simulated GPU kernel;
 //! * MatrixMarket I/O ([`mtx`]) so real SuiteSparse files can be used when
 //!   available;
 //! * deterministic synthetic dataset generators ([`gen`], [`datasets`])
@@ -37,6 +37,7 @@ pub mod ell;
 pub mod gen;
 pub mod hyb;
 pub mod mtx;
+pub mod par;
 pub mod reorder;
 pub mod rng;
 pub mod scan;

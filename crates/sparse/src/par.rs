@@ -1,0 +1,127 @@
+//! Minimal data-parallel helpers shared by every crate in the workspace.
+//!
+//! The workspace must build with no registry access, so instead of rayon
+//! the parallel code paths are hand-rolled on `std::thread::scope` and
+//! gated behind the default-off `parallel` feature. The default build is
+//! fully serial — deterministic and dependency-free — and the feature only
+//! changes *scheduling*, never results: every helper partitions work into
+//! contiguous index ranges and recombines in order.
+
+/// Number of worker threads the `parallel` feature would use (1 when the
+/// feature is off).
+pub fn num_threads() -> usize {
+    #[cfg(feature = "parallel")]
+    {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        1
+    }
+}
+
+/// Maps `f` over `0..n` and collects the results in index order.
+///
+/// With `parallel` enabled the range is split into contiguous chunks, one
+/// per worker thread; output order is identical either way.
+pub fn map_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    #[cfg(feature = "parallel")]
+    {
+        let workers = num_threads().min(n.max(1));
+        if workers > 1 {
+            let f = &f;
+            let mut parts: Vec<Vec<T>> = Vec::with_capacity(workers);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let lo = n * w / workers;
+                        let hi = n * (w + 1) / workers;
+                        s.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
+                    })
+                    .collect();
+                for h in handles {
+                    parts.push(h.join().expect("par worker panicked"));
+                }
+            });
+            return parts.into_iter().flatten().collect();
+        }
+    }
+    (0..n).map(f).collect()
+}
+
+/// Consumes `items`, calling `f(index, item)` for each. The items are
+/// typically disjoint `&mut` slices produced by `split_at_mut`, so the
+/// parallel version is race-free by construction.
+pub fn for_each_item<I, F>(items: Vec<I>, f: F)
+where
+    I: Send,
+    F: Fn(usize, I) + Sync,
+{
+    #[cfg(feature = "parallel")]
+    {
+        let n = items.len();
+        let workers = num_threads().min(n.max(1));
+        if workers > 1 {
+            let f = &f;
+            // Split into contiguous runs, remembering each run's base index.
+            let mut rest = items;
+            let mut runs: Vec<(usize, Vec<I>)> = Vec::with_capacity(workers);
+            for w in (1..workers).rev() {
+                let lo = n * w / workers;
+                runs.push((lo, rest.split_off(lo)));
+            }
+            runs.push((0, rest));
+            std::thread::scope(|s| {
+                for (base, run) in runs {
+                    s.spawn(move || {
+                        for (i, item) in run.into_iter().enumerate() {
+                            f(base + i, item);
+                        }
+                    });
+                }
+            });
+            return;
+        }
+    }
+    for (i, item) in items.into_iter().enumerate() {
+        f(i, item);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_indexed_preserves_order() {
+        let v = map_indexed(1000, |i| i * 3);
+        assert_eq!(v, (0..1000).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_indexed_empty() {
+        let v: Vec<u32> = map_indexed(0, |_| unreachable!());
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn for_each_item_visits_all_with_correct_indices() {
+        let mut data = vec![0u32; 257];
+        {
+            let slices: Vec<&mut u32> = data.iter_mut().collect();
+            for_each_item(slices, |i, slot| *slot = i as u32 + 1);
+        }
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+}

@@ -5,7 +5,7 @@
 //! exclusive scan; this module provides a serial kernel plus a two-pass
 //! parallel one for large inputs.
 
-use rayon::prelude::*;
+use crate::par;
 
 /// Below this length the parallel scan falls back to the serial one;
 /// the split/recombine overhead dominates for small inputs.
@@ -35,13 +35,15 @@ pub fn exclusive_scan_par(counts: &[u32]) -> Vec<u32> {
     if counts.len() < PAR_THRESHOLD {
         return exclusive_scan(counts);
     }
-    let nchunks = rayon::current_num_threads().max(1) * 4;
+    let nchunks = par::num_threads() * 4;
     let chunk = counts.len().div_ceil(nchunks);
+    let nchunks = counts.len().div_ceil(chunk);
 
-    let partials: Vec<u64> = counts
-        .par_chunks(chunk)
-        .map(|c| c.iter().map(|&x| x as u64).sum())
-        .collect();
+    let partials: Vec<u64> = par::map_indexed(nchunks, |ci| {
+        let lo = ci * chunk;
+        let hi = (lo + chunk).min(counts.len());
+        counts[lo..hi].iter().map(|&x| x as u64).sum()
+    });
 
     let mut bases = Vec::with_capacity(partials.len());
     let mut acc: u64 = 0;
@@ -53,17 +55,19 @@ pub fn exclusive_scan_par(counts: &[u32]) -> Vec<u32> {
 
     let mut out = vec![0u32; counts.len() + 1];
     // Fill out[1..] chunk by chunk in parallel; out[0] stays 0.
-    out[1..]
-        .par_chunks_mut(chunk)
-        .zip(counts.par_chunks(chunk))
-        .zip(bases.par_iter())
-        .for_each(|((o, c), &base)| {
-            let mut acc = base;
-            for (oi, &ci) in o.iter_mut().zip(c) {
-                acc += ci as u64;
-                *oi = acc as u32;
-            }
-        });
+    let fill: Vec<(&mut [u32], &[u32], u64)> = out[1..]
+        .chunks_mut(chunk)
+        .zip(counts.chunks(chunk))
+        .zip(bases.iter())
+        .map(|((o, c), &base)| (o, c, base))
+        .collect();
+    par::for_each_item(fill, |_, (o, c, base)| {
+        let mut acc = base;
+        for (oi, &ci) in o.iter_mut().zip(c) {
+            acc += ci as u64;
+            *oi = acc as u32;
+        }
+    });
     out
 }
 

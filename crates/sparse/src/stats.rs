@@ -6,7 +6,7 @@
 
 use crate::csr::Csr;
 use crate::gen::BLOCK_DIM;
-use rayon::prelude::*;
+use crate::par;
 
 /// The paper's three block classes (Section 5.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -90,39 +90,38 @@ impl BlockProfile {
 /// over block-rows.
 pub fn block_profile(csr: &Csr) -> BlockProfile {
     let block_rows = csr.nrows.div_ceil(BLOCK_DIM);
-    (0..block_rows)
-        .into_par_iter()
-        .map(|br| {
-            // Count nnz per non-empty block column within this block-row.
-            let mut cols: Vec<(u32, u32)> = Vec::new(); // (block col, count)
-            let r_end = ((br + 1) * BLOCK_DIM).min(csr.nrows);
-            for r in br * BLOCK_DIM..r_end {
-                let (ci, _) = csr.row(r);
-                for &c in ci {
-                    let bc = c / BLOCK_DIM as u32;
-                    match cols.binary_search_by_key(&bc, |e| e.0) {
-                        Ok(i) => cols[i].1 += 1,
-                        Err(i) => cols.insert(i, (bc, 1)),
-                    }
+    par::map_indexed(block_rows, |br| {
+        // Count nnz per non-empty block column within this block-row.
+        let mut cols: Vec<(u32, u32)> = Vec::new(); // (block col, count)
+        let r_end = ((br + 1) * BLOCK_DIM).min(csr.nrows);
+        for r in br * BLOCK_DIM..r_end {
+            let (ci, _) = csr.row(r);
+            for &c in ci {
+                let bc = c / BLOCK_DIM as u32;
+                match cols.binary_search_by_key(&bc, |e| e.0) {
+                    Ok(i) => cols[i].1 += 1,
+                    Err(i) => cols.insert(i, (bc, 1)),
                 }
             }
-            let mut p = BlockProfile::default();
-            for &(_, count) in &cols {
-                p.nnz += count as usize;
-                match BlockClass::of(count as usize) {
-                    BlockClass::Sparse => p.sparse += 1,
-                    BlockClass::Medium => p.medium += 1,
-                    BlockClass::Dense => p.dense += 1,
-                }
+        }
+        let mut p = BlockProfile::default();
+        for &(_, count) in &cols {
+            p.nnz += count as usize;
+            match BlockClass::of(count as usize) {
+                BlockClass::Sparse => p.sparse += 1,
+                BlockClass::Medium => p.medium += 1,
+                BlockClass::Dense => p.dense += 1,
             }
-            p
-        })
-        .reduce(BlockProfile::default, |a, b| BlockProfile {
-            sparse: a.sparse + b.sparse,
-            medium: a.medium + b.medium,
-            dense: a.dense + b.dense,
-            nnz: a.nnz + b.nnz,
-        })
+        }
+        p
+    })
+    .into_iter()
+    .fold(BlockProfile::default(), |a, b| BlockProfile {
+        sparse: a.sparse + b.sparse,
+        medium: a.medium + b.medium,
+        dense: a.dense + b.dense,
+        nnz: a.nnz + b.nnz,
+    })
 }
 
 /// Row-degree histogram with power-of-two buckets; used by the DASP

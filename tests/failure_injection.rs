@@ -2,7 +2,7 @@
 //! API-contract violations, clean panics) — never wrong answers.
 
 use spaden::gpusim::{Gpu, GpuConfig};
-use spaden::{SpadenEngine, SpmvEngine};
+use spaden::{EngineError, SpadenEngine, SpmvEngine};
 use spaden_sparse::csr::Csr;
 use spaden_sparse::mtx::read_mtx_from;
 use spaden_sparse::types::SparseError;
@@ -40,6 +40,12 @@ fn engine_panics_cleanly_on_wrong_x_length() {
     let m = spaden_sparse::gen::random_uniform(32, 32, 100, 2);
     let gpu = Gpu::new(GpuConfig::l40());
     let eng = SpadenEngine::prepare(&gpu, &m);
+    // The fallible API returns a typed error...
+    match eng.try_run(&gpu, &[0.0f32; 31]) {
+        Err(EngineError::ShapeMismatch { expected: 32, got: 31 }) => {}
+        other => panic!("expected ShapeMismatch, got {other:?}"),
+    }
+    // ...and the legacy panicking API still panics cleanly.
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         eng.run(&gpu, &[0.0f32; 31])
     }));

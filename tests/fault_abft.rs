@@ -1,0 +1,140 @@
+//! Fault injection × ABFT properties, end to end:
+//!
+//! 1. The injector is deterministic — same seed, same faults, bit for bit.
+//! 2. Disabled faults change nothing — the guarded hooks draw no RNG.
+//! 3. Across the generator family, `try_run_checked` under injection never
+//!    panics and never returns a silently corrupt `Ok`, and any plain-run
+//!    corruption beyond the f16 equivalence tolerance coincides with
+//!    observable faults.
+
+use spaden::gpusim::{FaultConfig, Gpu, GpuConfig};
+use spaden::{SpadenEngine, SpmvEngine};
+use spaden_sparse::csr::Csr;
+use spaden_sparse::gen::{self, FillDist, Placement};
+
+fn make_x(n: usize) -> Vec<f32> {
+    (0..n).map(|i| ((i * 37 + 11) % 64) as f32 / 32.0 - 1.0).collect()
+}
+
+fn faulty_gpu(seed: u64, rate: f64) -> Gpu {
+    let mut cfg = GpuConfig::l40();
+    cfg.faults = FaultConfig::uniform(seed, rate);
+    Gpu::new(cfg)
+}
+
+/// The f16 equivalence tolerance used by the repo's equivalence suite.
+fn within_tolerance(y: &[f32], want: &[f32], csr: &Csr) -> bool {
+    let base = 2.0f64.powi(-10) * 3.0;
+    y.iter().zip(want).enumerate().all(|(r, (a, w))| {
+        let tol = (base * csr.row_nnz(r).max(1) as f64 + 1e-4) * (*w as f64).abs().max(1.0);
+        (*a as f64 - *w as f64).abs() <= tol
+    })
+}
+
+/// Matrix family for the property sweeps: every generator, assorted
+/// shapes, fixed seeds.
+fn family() -> Vec<(&'static str, Csr)> {
+    vec![
+        ("random", gen::random_uniform(192, 160, 2500, 11)),
+        ("banded-blocked", {
+            gen::generate_blocked(
+                256,
+                120,
+                Placement::Banded { bandwidth: 5 },
+                &FillDist::Uniform { lo: 1, hi: 64 },
+                13,
+            )
+        }),
+        ("scattered-dense", {
+            gen::generate_blocked(160, 90, Placement::Scattered, &FillDist::Dense, 17)
+        }),
+        ("scale-free", gen::scale_free(300, 4000, 1.1, 19)),
+        ("banded", gen::banded(256, 6, 5, 23)),
+        ("spd", gen::spd_banded(256, 4, 4, 29)),
+        ("odd-dims", gen::random_uniform(101, 77, 900, 31)),
+    ]
+}
+
+#[test]
+fn injector_is_deterministic_per_seed() {
+    let csr = gen::random_uniform(256, 256, 4000, 41);
+    let x = make_x(256);
+    let run_once = || {
+        // Fresh GPU each time: the launch salt restarts at zero.
+        let gpu = faulty_gpu(12345, 1e-2);
+        let eng = SpadenEngine::prepare(&gpu, &csr);
+        eng.run(&gpu, &x)
+    };
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a.counters.faults_injected, b.counters.faults_injected);
+    assert!(a.counters.faults_injected > 0, "rate 1e-2 must fire on 4000 nnz");
+    // Bit-pattern comparison: a flip can legitimately produce NaN, and
+    // NaN != NaN would fail a value comparison of identical outputs.
+    let bits = |y: &[f32]| y.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&a.y), bits(&b.y), "same seed must reproduce outputs bit for bit");
+}
+
+#[test]
+fn disabled_injector_is_bit_identical_to_stock_config() {
+    let csr = gen::random_uniform(200, 180, 3000, 43);
+    let x = make_x(180);
+    let stock = Gpu::new(GpuConfig::l40());
+    let run_stock = SpadenEngine::prepare(&stock, &csr).run(&stock, &x);
+    // Explicitly-disabled faults (all rates zero, nonzero seed).
+    let mut cfg = GpuConfig::l40();
+    cfg.faults = FaultConfig { seed: 777, ..FaultConfig::disabled() };
+    let disabled = Gpu::new(cfg);
+    let run_disabled = SpadenEngine::prepare(&disabled, &csr).run(&disabled, &x);
+    assert_eq!(run_stock.y, run_disabled.y);
+    assert_eq!(run_stock.counters, run_disabled.counters);
+    assert_eq!(run_disabled.counters.faults_injected, 0);
+}
+
+#[test]
+fn checked_run_never_panics_and_never_lies_across_family() {
+    for (name, csr) in family() {
+        let x = make_x(csr.ncols);
+        for rate in [1e-3, 1e-2] {
+            let gpu = faulty_gpu(0xF0 + (rate * 1e4) as u64, rate);
+            let eng = SpadenEngine::prepare(&gpu, &csr);
+            let want = eng.format().spmv_reference(&x).expect("reference");
+            for trial in 0..3 {
+                match eng.try_run_checked(&gpu, &x) {
+                    Ok(run) => assert!(
+                        within_tolerance(&run.y, &want, &csr),
+                        "{name} rate {rate} trial {trial}: checked Ok out of tolerance"
+                    ),
+                    // CorrectionExhausted is honest degradation, not a lie.
+                    Err(e) => {
+                        let msg = e.to_string();
+                        assert!(msg.contains("correction"), "{name}: unexpected error {msg}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn plain_run_corruption_is_always_observable() {
+    // Any plain-run output outside the f16 equivalence tolerance must
+    // coincide with ABFT-observable faults: no silent corruption.
+    for (name, csr) in family() {
+        let x = make_x(csr.ncols);
+        for rate in [1e-4, 1e-3, 1e-2] {
+            let gpu = faulty_gpu(0xAB + (rate * 1e4) as u64, rate);
+            let eng = SpadenEngine::prepare(&gpu, &csr);
+            let want = eng.format().spmv_reference(&x).expect("reference");
+            for trial in 0..3 {
+                let run = eng.run(&gpu, &x);
+                if !within_tolerance(&run.y, &want, &csr) {
+                    assert!(
+                        !eng.abft().verify(&x, &run.y).is_empty(),
+                        "{name} rate {rate} trial {trial}: corrupt output passed ABFT"
+                    );
+                }
+            }
+        }
+    }
+}
