@@ -7,7 +7,7 @@
 //! ranks as the second fastest SpMV method on average" — and the
 //! normaliser of Figure 7.
 
-use spaden::engine::{timed, PrepStats, SpmvEngine, SpmvRun};
+use spaden::engine::{timed, EngineError, PrepStats, SpmvEngine, SpmvRun};
 use spaden_gpusim::exec::{WarpCtx, WARP_SIZE};
 use spaden_gpusim::memory::{DeviceBuffer, DeviceOutput};
 use spaden_gpusim::Gpu;
@@ -37,6 +37,15 @@ pub fn vector_width_for(mean_degree: f64) -> usize {
 }
 
 impl CusparseCsrEngine {
+    /// Fallible [`Self::prepare`]: rejects structurally malformed CSR with
+    /// a typed error instead of corrupting or panicking downstream. The
+    /// serving layer's failover ladder relies on this so every engine can
+    /// be prepared interchangeably from untrusted input.
+    pub fn try_prepare(gpu: &Gpu, csr: &Csr) -> Result<Self, EngineError> {
+        csr.validate().map_err(|e| EngineError::Validation(e.to_string()))?;
+        Ok(Self::prepare(gpu, csr))
+    }
+
     /// "Preprocessing" per the paper's Figure 10: cuSPARSE CSR does no
     /// format conversion but runs partitioning analysis and allocates an
     /// auxiliary buffer (`cusparseSpMV_bufferSize`).

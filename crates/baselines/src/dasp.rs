@@ -15,7 +15,7 @@
 //! slower on later architectures (PTX ISA note) — the timing model's
 //! per-architecture MMA rates reproduce the paper's V100/L40 contrast.
 
-use spaden::engine::{timed, PrepStats, SpmvEngine, SpmvRun};
+use spaden::engine::{timed, EngineError, PrepStats, SpmvEngine, SpmvRun};
 use spaden_gpusim::exec::{WarpCtx, WARP_SIZE};
 use spaden_gpusim::half::F16;
 use spaden_gpusim::memory::{DeviceBuffer, DeviceOutput};
@@ -74,6 +74,15 @@ pub struct DaspEngine {
 }
 
 impl DaspEngine {
+    /// Fallible [`Self::prepare`]: rejects structurally malformed CSR with
+    /// a typed error instead of corrupting or panicking downstream. The
+    /// serving layer's failover ladder relies on this so every engine can
+    /// be prepared interchangeably from untrusted input.
+    pub fn try_prepare(gpu: &Gpu, csr: &Csr) -> Result<Self, EngineError> {
+        csr.validate().map_err(|e| EngineError::Validation(e.to_string()))?;
+        Ok(Self::prepare(gpu, csr))
+    }
+
     /// Converts `csr` into DASP's bucketed tile layout (timed — the
     /// heaviest preprocessing in Figure 10a).
     pub fn prepare(gpu: &Gpu, csr: &Csr) -> Self {

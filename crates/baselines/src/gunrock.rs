@@ -8,7 +8,7 @@
 //! atomic combines are why "its SpMV implementation ... is less performant
 //! than specific sparse matrix libraries".
 
-use spaden::engine::{timed, PrepStats, SpmvEngine, SpmvRun};
+use spaden::engine::{timed, EngineError, PrepStats, SpmvEngine, SpmvRun};
 use spaden_gpusim::exec::{WarpCtx, WARP_SIZE};
 use spaden_gpusim::memory::{DeviceBuffer, DeviceOutput};
 use spaden_gpusim::Gpu;
@@ -27,6 +27,15 @@ pub struct GunrockEngine {
 }
 
 impl GunrockEngine {
+    /// Fallible [`Self::prepare`]: rejects structurally malformed CSR with
+    /// a typed error instead of corrupting or panicking downstream. The
+    /// serving layer's failover ladder relies on this so every engine can
+    /// be prepared interchangeably from untrusted input.
+    pub fn try_prepare(gpu: &Gpu, csr: &Csr) -> Result<Self, EngineError> {
+        csr.validate().map_err(|e| EngineError::Validation(e.to_string()))?;
+        Ok(Self::prepare(gpu, csr))
+    }
+
     /// Expands CSR into the frontier/edge-list form Gunrock's advance
     /// operator consumes (one explicit source per edge).
     pub fn prepare(gpu: &Gpu, csr: &Csr) -> Self {

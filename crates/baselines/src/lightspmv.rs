@@ -7,7 +7,7 @@
 //! width. The paper finds it "surpassed by the modern version of cuSPARSE
 //! CSR from CUDA toolkits v11.6".
 
-use spaden::engine::{timed, PrepStats, SpmvEngine, SpmvRun};
+use spaden::engine::{timed, EngineError, PrepStats, SpmvEngine, SpmvRun};
 use spaden_gpusim::exec::{WarpCtx, WARP_SIZE};
 use spaden_gpusim::memory::{DeviceBuffer, DeviceOutput};
 use spaden_gpusim::Gpu;
@@ -28,6 +28,15 @@ pub struct LightSpmvEngine {
 }
 
 impl LightSpmvEngine {
+    /// Fallible [`Self::prepare`]: rejects structurally malformed CSR with
+    /// a typed error instead of corrupting or panicking downstream. The
+    /// serving layer's failover ladder relies on this so every engine can
+    /// be prepared interchangeably from untrusted input.
+    pub fn try_prepare(gpu: &Gpu, csr: &Csr) -> Result<Self, EngineError> {
+        csr.validate().map_err(|e| EngineError::Validation(e.to_string()))?;
+        Ok(Self::prepare(gpu, csr))
+    }
+
     /// Uploads CSR; LightSpMV needs no conversion, only the row counter.
     pub fn prepare(gpu: &Gpu, csr: &Csr) -> Self {
         let ((row_ptr, col_idx, values), seconds) =

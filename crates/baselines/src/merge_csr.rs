@@ -11,7 +11,7 @@
 //! paper's LightSpMV approximates dynamically and CSR Warp16 lacks
 //! entirely.
 
-use spaden::engine::{timed, PrepStats, SpmvEngine, SpmvRun};
+use spaden::engine::{timed, EngineError, PrepStats, SpmvEngine, SpmvRun};
 use spaden_gpusim::exec::{WarpCtx, WARP_SIZE};
 use spaden_gpusim::memory::{DeviceBuffer, DeviceOutput};
 use spaden_gpusim::Gpu;
@@ -51,6 +51,15 @@ fn merge_path_search(row_ptr: &[u32], nrows: usize, diagonal: usize) -> (usize, 
 }
 
 impl MergeCsrEngine {
+    /// Fallible [`Self::prepare`]: rejects structurally malformed CSR with
+    /// a typed error instead of corrupting or panicking downstream. The
+    /// serving layer's failover ladder relies on this so every engine can
+    /// be prepared interchangeably from untrusted input.
+    pub fn try_prepare(gpu: &Gpu, csr: &Csr) -> Result<Self, EngineError> {
+        csr.validate().map_err(|e| EngineError::Validation(e.to_string()))?;
+        Ok(Self::prepare(gpu, csr))
+    }
+
     /// Uploads the CSR arrays (no conversion).
     pub fn prepare(gpu: &Gpu, csr: &Csr) -> Self {
         let ((rp, ci, v), seconds) =

@@ -4,7 +4,7 @@
 //! repro <experiment> [--scale S] [--gpu l40|v100|both]
 //!
 //! experiments: table1 fig6 fig7 fig8 fig9a fig9b fig10a fig10b
-//!              ablations extensions reordering faults verify all
+//!              ablations extensions reordering faults serve verify all
 //! ```
 //!
 //! `--scale` shrinks every dataset proportionally (default 0.05; use 1.0
@@ -82,7 +82,7 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: repro <table1|fig6|fig7|fig8|fig9a|fig9b|fig10a|fig10b|ablations|extensions|reordering|faults|verify|all> \
-                 [--scale S] [--gpu l40|v100|both]"
+                 [--scale S] [--gpu l40|v100|both]   (also: serve)"
             );
             std::process::exit(2);
         }
@@ -165,6 +165,37 @@ fn main() {
                     "detection: {}/{} corrupted runs flagged; correction: {}/{} checked runs verified",
                     s.detected, s.corrupted, s.corrected, s.checked
                 );
+            }
+        }
+        "serve" => {
+            // Fixed seeds: the sweep (and CI's chaos smoke job) must be
+            // reproducible run to run. Two profiles: uniform faults hit
+            // every rung (breaker trips, shedding, recovery once the burst
+            // passes), tensor-core-only faults spare the scalar/CSR rungs
+            // (failover keeps serving one rung down the ladder).
+            let uniform = spaden_serve::ChaosConfig {
+                rates: vec![0.0, 1e-2, 5e-2, 2e-1],
+                profile: spaden_serve::FaultProfile::Uniform,
+                seeds: vec![11, 23],
+                requests_per_cell: 32,
+                ..spaden_serve::ChaosConfig::default()
+            };
+            let tc_only = spaden_serve::ChaosConfig {
+                rates: vec![2e-1, 1.0],
+                profile: spaden_serve::FaultProfile::TensorCoreOnly,
+                seeds: vec![11, 23],
+                requests_per_cell: 32,
+                ..spaden_serve::ChaosConfig::default()
+            };
+            for gpu in &args.gpus {
+                for (label, cfg) in [("uniform", &uniform), ("tensor-core-only", &tc_only)] {
+                    println!("\n### Fault profile: {label}");
+                    let (tables, verdict, _) = spaden_bench::serve_report(gpu, cfg);
+                    for t in tables {
+                        println!("{t}");
+                    }
+                    println!("{verdict}");
+                }
             }
         }
         "verify" => {

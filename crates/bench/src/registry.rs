@@ -1,6 +1,6 @@
 //! Engine registry: uniform construction of every SpMV method.
 
-use spaden::{CsrWarp16Engine, SpadenEngine, SpadenNoTcEngine, SpmvEngine};
+use spaden::{CsrWarp16Engine, EngineError, SpadenEngine, SpadenNoTcEngine, SpmvEngine};
 use spaden_baselines::{
     CusparseBsrEngine, CusparseCsrEngine, DaspEngine, GunrockEngine, LightSpmvEngine,
 };
@@ -101,6 +101,34 @@ pub fn build_engine(kind: EngineKind, gpu: &Gpu, csr: &Csr) -> Box<dyn SpmvEngin
     }
 }
 
+/// Fallible [`build_engine`]: validates the CSR at ingress and returns a
+/// typed error instead of panicking on malformed input, so callers that
+/// accept untrusted matrices (the serving layer, the CLI) can degrade
+/// gracefully.
+pub fn try_build_engine(
+    kind: EngineKind,
+    gpu: &Gpu,
+    csr: &Csr,
+) -> Result<Box<dyn SpmvEngine>, EngineError> {
+    csr.validate().map_err(|e| EngineError::Validation(e.to_string()))?;
+    Ok(match kind {
+        EngineKind::CusparseCsr => Box::new(CusparseCsrEngine::try_prepare(gpu, csr)?),
+        EngineKind::CusparseBsr => Box::new(CusparseBsrEngine::try_prepare(gpu, csr)?),
+        EngineKind::LightSpmv => Box::new(LightSpmvEngine::try_prepare(gpu, csr)?),
+        EngineKind::Gunrock => Box::new(GunrockEngine::try_prepare(gpu, csr)?),
+        EngineKind::Dasp => Box::new(DaspEngine::try_prepare(gpu, csr)?),
+        EngineKind::Spaden => Box::new(SpadenEngine::try_prepare(gpu, csr)?),
+        EngineKind::MergeCsr => {
+            Box::new(spaden_baselines::MergeCsrEngine::try_prepare(gpu, csr)?)
+        }
+        // Ablation engines have no fallible constructor of their own; the
+        // ingress validation above is the part that can fail.
+        EngineKind::SpadenNoTc => Box::new(SpadenNoTcEngine::prepare(gpu, csr)),
+        EngineKind::CsrWarp16 => Box::new(CsrWarp16Engine::prepare(gpu, csr)),
+        EngineKind::BitCoo => Box::new(spaden::BitCooEngine::prepare(gpu, csr)),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,6 +157,33 @@ mod tests {
             let run = eng.run(&gpu, &x);
             let err = crate::max_rel_error(&run.y, &oracle);
             assert!(err < 0.05, "{}: error {err}", kind.name());
+        }
+    }
+
+    #[test]
+    fn try_build_rejects_malformed_and_accepts_valid() {
+        let gpu = Gpu::new(GpuConfig::l40());
+        let good = spaden_sparse::gen::random_uniform(64, 64, 500, 1003);
+        // Unsorted columns in row 0: every kind must reject with Validation.
+        let mut bad = good.clone();
+        bad.col_idx[..2].reverse();
+        for kind in [
+            EngineKind::CusparseCsr,
+            EngineKind::CusparseBsr,
+            EngineKind::LightSpmv,
+            EngineKind::Gunrock,
+            EngineKind::Dasp,
+            EngineKind::Spaden,
+            EngineKind::SpadenNoTc,
+            EngineKind::CsrWarp16,
+            EngineKind::MergeCsr,
+            EngineKind::BitCoo,
+        ] {
+            match try_build_engine(kind, &gpu, &bad) {
+                Err(EngineError::Validation(_)) => {}
+                other => panic!("{}: expected Validation error, got {:?}", kind.name(), other.map(|e| e.name())),
+            }
+            assert!(try_build_engine(kind, &gpu, &good).is_ok(), "{}", kind.name());
         }
     }
 

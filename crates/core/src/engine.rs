@@ -28,6 +28,14 @@ pub enum EngineError {
         /// Recompute rounds attempted.
         retries: usize,
     },
+    /// An external checksum verification of an engine's output failed and
+    /// no recovery path was attempted — the result must not be used. The
+    /// serving layer raises this when a non-ABFT ladder rung produces
+    /// output that fails its block-row checksums.
+    VerificationFailed {
+        /// Block-rows whose checksums did not match.
+        block_rows: usize,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -42,6 +50,24 @@ impl std::fmt::Display for EngineError {
                 "ABFT correction exhausted: {block_rows} block-row(s) still failing after \
                  {retries} recompute round(s)"
             ),
+            EngineError::VerificationFailed { block_rows } => {
+                write!(f, "output verification failed on {block_rows} block-row(s)")
+            }
+        }
+    }
+}
+
+impl EngineError {
+    /// True for failures that a retry (a fresh launch drawing fresh fault
+    /// sites) or a different engine might clear; false for failures of the
+    /// request itself (wrong shape, malformed format), which no amount of
+    /// retrying fixes. Retry/failover policies branch on this.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            EngineError::ShapeMismatch { .. } | EngineError::Validation(_) => false,
+            EngineError::CorrectionExhausted { .. } | EngineError::VerificationFailed { .. } => {
+                true
+            }
         }
     }
 }
@@ -156,6 +182,20 @@ mod tests {
         assert!((p.bytes_per_nnz(1000) - 2.85).abs() < 1e-12);
         // Degenerate nnz=0 must not divide by zero.
         assert!(p.ns_per_nnz(0).is_finite());
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(!EngineError::ShapeMismatch { expected: 4, got: 3 }.is_transient());
+        assert!(!EngineError::Validation("bad".into()).is_transient());
+        assert!(EngineError::CorrectionExhausted { block_rows: 1, retries: 3 }.is_transient());
+        assert!(EngineError::VerificationFailed { block_rows: 2 }.is_transient());
+    }
+
+    #[test]
+    fn verification_failed_displays() {
+        let e = EngineError::VerificationFailed { block_rows: 5 };
+        assert!(e.to_string().contains("5 block-row"));
     }
 
     #[test]

@@ -1,0 +1,261 @@
+//! Per-engine circuit breaker.
+//!
+//! Classic three-state breaker over a *simulated* clock (the server's
+//! accumulated kernel time plus request inter-arrival ticks — no wall
+//! clock, so every trip and recovery is exactly reproducible):
+//!
+//! ```text
+//!          K consecutive failures
+//! Closed ──────────────────────────▶ Open
+//!    ▲                                 │ cooldown elapses
+//!    │ probe successes                 ▼
+//!    └────────────────────────── HalfOpen ──▶ Open  (probe fails)
+//! ```
+//!
+//! While `Open`, [`CircuitBreaker::allow`] returns `false` and the server
+//! skips the rung entirely — a misbehaving engine stops burning deadline
+//! budget on runs that will fail verification anyway. After
+//! [`BreakerConfig::cooldown_s`] of simulated time the breaker lets one
+//! probe request through (`HalfOpen`); enough consecutive probe successes
+//! close it again and count as a *recovery*.
+//!
+//! Besides the trip counter the breaker keeps an exponentially weighted
+//! health score in `[0, 1]` (1 = every recent run verified) for dashboards
+//! and the `repro serve` report; the trip decision itself uses the
+//! consecutive-failure count so a single fault burst cannot be diluted by
+//! a long success history.
+
+/// Breaker thresholds. All times are simulated seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Consecutive verification failures that trip the breaker open.
+    pub trip_after: u32,
+    /// Simulated time the breaker stays open before probing.
+    pub cooldown_s: f64,
+    /// Consecutive half-open probe successes required to close.
+    pub close_after: u32,
+    /// EWMA weight of the newest outcome in the health score.
+    pub health_alpha: f64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        // Cooldown sized to the server's default 3 us arrival tick: an open
+        // breaker probes again after ~10 shed requests, so trip → shed →
+        // recover all happen within a modest request stream.
+        BreakerConfig { trip_after: 3, cooldown_s: 30e-6, close_after: 1, health_alpha: 0.2 }
+    }
+}
+
+/// Breaker state, exposed for diagnostics and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Traffic flows; failures are being counted.
+    Closed,
+    /// Rung disabled until the cooldown elapses.
+    Open,
+    /// Probe traffic allowed; next outcome decides open vs closed.
+    HalfOpen,
+}
+
+/// Circuit breaker for one ladder rung.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    probe_successes: u32,
+    /// Simulated timestamp of the most recent trip.
+    open_since: f64,
+    health: f64,
+    /// Times the breaker tripped Closed/HalfOpen → Open.
+    pub trips: u64,
+    /// Times the breaker recovered HalfOpen → Closed.
+    pub recoveries: u64,
+    /// Total outcomes recorded, successes and failures.
+    pub successes: u64,
+    /// Total failures recorded.
+    pub failures: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with full health.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            probe_successes: 0,
+            open_since: 0.0,
+            health: 1.0,
+            trips: 0,
+            recoveries: 0,
+            successes: 0,
+            failures: 0,
+        }
+    }
+
+    /// Current state (after any cooldown transition applied by `allow`).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// EWMA health score in `[0, 1]`.
+    pub fn health(&self) -> f64 {
+        self.health
+    }
+
+    /// Whether a request may use this rung at simulated time `now`.
+    /// Transitions `Open → HalfOpen` once the cooldown has elapsed.
+    pub fn allow(&mut self, now: f64) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if now - self.open_since >= self.config.cooldown_s {
+                    self.state = BreakerState::HalfOpen;
+                    self.probe_successes = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a verified run on this rung.
+    pub fn record_success(&mut self) {
+        self.successes += 1;
+        self.health += self.config.health_alpha * (1.0 - self.health);
+        match self.state {
+            BreakerState::Closed => self.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                self.probe_successes += 1;
+                if self.probe_successes >= self.config.close_after {
+                    self.state = BreakerState::Closed;
+                    self.consecutive_failures = 0;
+                    self.recoveries += 1;
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Records a failed (unverifiable) run at simulated time `now`.
+    /// Returns `true` if this failure tripped the breaker open.
+    pub fn record_failure(&mut self, now: f64) -> bool {
+        self.failures += 1;
+        self.health -= self.config.health_alpha * self.health;
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.config.trip_after {
+                    self.trip(now);
+                    return true;
+                }
+                false
+            }
+            // A failed probe re-opens immediately: the fault burst is not
+            // over, restart the cooldown.
+            BreakerState::HalfOpen => {
+                self.trip(now);
+                true
+            }
+            BreakerState::Open => false,
+        }
+    }
+
+    /// Forces the breaker open at simulated time `now` regardless of
+    /// recent outcomes — the operator kill switch for draining a rung
+    /// (e.g. a suspect engine) without waiting for organic failures. The
+    /// breaker recovers through the normal half-open probe path.
+    pub fn force_open(&mut self, now: f64) {
+        if self.state != BreakerState::Open {
+            self.trip(now);
+        } else {
+            self.open_since = now;
+        }
+    }
+
+    fn trip(&mut self, now: f64) {
+        self.state = BreakerState::Open;
+        self.open_since = now;
+        self.consecutive_failures = 0;
+        self.trips += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            trip_after: 3,
+            cooldown_s: 10.0,
+            close_after: 2,
+            health_alpha: 0.5,
+        })
+    }
+
+    #[test]
+    fn trips_after_k_consecutive_failures() {
+        let mut b = breaker();
+        assert!(!b.record_failure(0.0));
+        assert!(!b.record_failure(1.0));
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.record_failure(2.0));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips, 1);
+        assert!(!b.allow(2.0), "still cooling down");
+    }
+
+    #[test]
+    fn successes_reset_the_consecutive_count() {
+        let mut b = breaker();
+        b.record_failure(0.0);
+        b.record_failure(0.0);
+        b.record_success();
+        b.record_failure(0.0);
+        b.record_failure(0.0);
+        assert_eq!(b.state(), BreakerState::Closed, "count must reset on success");
+        b.record_failure(0.0);
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn half_open_probe_recovers_or_reopens() {
+        let mut b = breaker();
+        for _ in 0..3 {
+            b.record_failure(0.0);
+        }
+        assert!(!b.allow(5.0), "before cooldown");
+        assert!(b.allow(10.0), "cooldown elapsed: probe allowed");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::HalfOpen, "close_after = 2 needs another");
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.recoveries, 1);
+
+        // Trip again, probe fails: straight back to Open, cooldown restarts.
+        for _ in 0..3 {
+            b.record_failure(20.0);
+        }
+        assert!(b.allow(30.0));
+        assert!(b.record_failure(30.0));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(35.0));
+        assert_eq!(b.trips, 3);
+    }
+
+    #[test]
+    fn health_tracks_outcomes() {
+        let mut b = breaker();
+        assert_eq!(b.health(), 1.0);
+        b.record_failure(0.0);
+        assert!((b.health() - 0.5).abs() < 1e-12);
+        b.record_success();
+        assert!((b.health() - 0.75).abs() < 1e-12);
+        assert!(b.health() > 0.0 && b.health() < 1.0);
+    }
+}

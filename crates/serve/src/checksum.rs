@@ -1,0 +1,194 @@
+//! Block-row checksums for the f32 CSR ladder rung.
+//!
+//! The bottom rung of the failover ladder runs the cuSPARSE-style CSR
+//! baseline, whose arithmetic uses the *unrounded* f32 values — the ABFT
+//! checksums in `spaden::abft` are built from the f16 values the bitBSR
+//! kernels multiply and would reject a correct f32 result. This module is
+//! the same Huang–Abraham construction (plain and row-weighted column sums
+//! per block-row of [`BLOCK_DIM`] output rows, precomputed in f64) built
+//! from the CSR's own f32 values and compared against unrounded `x`, so
+//! the CSR rung gets an equally strong verified-or-rejected guarantee and
+//! the serving layer never returns an unverified result from any rung.
+
+use spaden_sparse::csr::Csr;
+use spaden_sparse::gen::BLOCK_DIM;
+
+/// Precomputed f32-value column sums of one CSR matrix, grouped by
+/// block-row (CSR-like layout: block-row `br` owns `ptr[br]..ptr[br+1]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrChecksums {
+    nrows: usize,
+    ncols: usize,
+    ptr: Vec<u32>,
+    cols: Vec<u32>,
+    /// `Σ_r A[r, col]` over the block-row.
+    sums: Vec<f64>,
+    /// `Σ_r (1 + dr) A[r, col]` — row-weighted column sum.
+    wsums: Vec<f64>,
+    /// `Σ_r |A[r, col]|` — value mass scaling the tolerance.
+    abs: Vec<f64>,
+    nnz_br: Vec<u32>,
+}
+
+impl CsrChecksums {
+    /// Precomputes checksums for `csr` (once, at matrix registration).
+    pub fn build(csr: &Csr) -> Self {
+        let block_rows = csr.nrows.div_ceil(BLOCK_DIM);
+        let mut ptr = Vec::with_capacity(block_rows + 1);
+        ptr.push(0u32);
+        let mut cols = Vec::new();
+        let mut sums = Vec::new();
+        let mut wsums = Vec::new();
+        let mut abs = Vec::new();
+        let mut nnz_br = Vec::with_capacity(block_rows);
+        // Dense per-column scratch, reused across block-rows; `touched`
+        // keeps reset cost proportional to the block-row's support, and
+        // `seen` (an epoch marker, not the accumulators — explicitly
+        // stored zeros must not duplicate a column) gates the push.
+        let mut s_acc = vec![0.0f64; csr.ncols];
+        let mut w_acc = vec![0.0f64; csr.ncols];
+        let mut a_acc = vec![0.0f64; csr.ncols];
+        let mut seen = vec![u32::MAX; csr.ncols];
+        let mut touched: Vec<u32> = Vec::new();
+        for br in 0..block_rows {
+            let r_lo = br * BLOCK_DIM;
+            let r_hi = ((br + 1) * BLOCK_DIM).min(csr.nrows);
+            let mut n = 0u32;
+            for r in r_lo..r_hi {
+                let (rcols, rvals) = csr.row(r);
+                n += rcols.len() as u32;
+                for (c, v) in rcols.iter().zip(rvals) {
+                    let ci = *c as usize;
+                    if seen[ci] != br as u32 {
+                        seen[ci] = br as u32;
+                        touched.push(*c);
+                    }
+                    let v = *v as f64;
+                    s_acc[ci] += v;
+                    w_acc[ci] += (r - r_lo + 1) as f64 * v;
+                    a_acc[ci] += v.abs();
+                }
+            }
+            touched.sort_unstable();
+            for &c in &touched {
+                let ci = c as usize;
+                cols.push(c);
+                sums.push(s_acc[ci]);
+                wsums.push(w_acc[ci]);
+                abs.push(a_acc[ci]);
+                s_acc[ci] = 0.0;
+                w_acc[ci] = 0.0;
+                a_acc[ci] = 0.0;
+            }
+            touched.clear();
+            ptr.push(cols.len() as u32);
+            nnz_br.push(n);
+        }
+        CsrChecksums { nrows: csr.nrows, ncols: csr.ncols, ptr, cols, sums, wsums, abs, nnz_br }
+    }
+
+    /// Number of block-rows covered.
+    pub fn block_rows(&self) -> usize {
+        self.nnz_br.len()
+    }
+
+    /// Checks one block-row of `y` against its checksums. `true` = passes.
+    /// NaN/infinity anywhere in the block-row's outputs fails the check.
+    pub fn check_block_row(&self, br: usize, x: &[f32], y: &[f32]) -> bool {
+        let r_lo = br * BLOCK_DIM;
+        let r_hi = ((br + 1) * BLOCK_DIM).min(self.nrows);
+        let mut got = 0.0f64;
+        let mut got_w = 0.0f64;
+        for (dr, yr) in y[r_lo..r_hi].iter().enumerate() {
+            let v = *yr as f64;
+            got += v;
+            got_w += (dr + 1) as f64 * v;
+        }
+        let mut expect = 0.0f64;
+        let mut expect_w = 0.0f64;
+        let mut scale = 0.0f64;
+        for e in self.ptr[br] as usize..self.ptr[br + 1] as usize {
+            let xv = x[self.cols[e] as usize] as f64;
+            expect += self.sums[e] * xv;
+            expect_w += self.wsums[e] * xv;
+            scale += self.abs[e] * xv.abs();
+        }
+        // The CSR kernel rounds each f32 product and partial sum at 2^-24
+        // relative; worst-case accumulation error is linear in the
+        // block-row nonzero count. Same bound shape (with the same 2x
+        // headroom) as `spaden::abft`; injected faults flip high-order
+        // bits and land far outside it.
+        let tol = 2.0 * 2.0f64.powi(-23) * scale * (self.nnz_br[br] as f64 + 16.0) + 1e-7;
+        // Written so NaN comparisons count as failures.
+        (got - expect).abs() <= tol && (got_w - expect_w).abs() <= BLOCK_DIM as f64 * tol
+    }
+
+    /// Verifies all of `y`, returning the failing block-rows.
+    pub fn verify(&self, x: &[f32], y: &[f32]) -> Vec<usize> {
+        (0..self.block_rows()).filter(|&br| !self.check_block_row(br, x, y)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spaden_sparse::gen;
+
+    fn make_x(n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i * 37 + 11) % 64) as f32 / 32.0 - 1.0).collect()
+    }
+
+    #[test]
+    fn clean_f32_spmv_passes() {
+        let csr = gen::random_uniform(217, 195, 2600, 71);
+        let x = make_x(195);
+        let y = csr.spmv(&x).unwrap();
+        let sums = CsrChecksums::build(&csr);
+        assert_eq!(sums.block_rows(), 217usize.div_ceil(BLOCK_DIM));
+        assert!(sums.verify(&x, &y).is_empty());
+    }
+
+    #[test]
+    fn corruption_is_localised() {
+        let csr = gen::random_uniform(128, 128, 2000, 73);
+        let x = make_x(128);
+        let mut y = csr.spmv(&x).unwrap();
+        y[19] += 0.5; // block-row 2
+        assert_eq!(CsrChecksums::build(&csr).verify(&x, &y), vec![2]);
+    }
+
+    #[test]
+    fn sum_cancelling_corruption_caught_by_weighted_checksum() {
+        let csr = gen::random_uniform(64, 64, 1200, 75);
+        let x = make_x(64);
+        let mut y = csr.spmv(&x).unwrap();
+        y[8] += 0.25;
+        y[11] -= 0.25; // both in block-row 1, Σy unchanged
+        assert_eq!(CsrChecksums::build(&csr).verify(&x, &y), vec![1]);
+    }
+
+    #[test]
+    fn nan_outputs_are_flagged() {
+        let csr = gen::random_uniform(40, 40, 300, 77);
+        let x = make_x(40);
+        let mut y = csr.spmv(&x).unwrap();
+        y[33] = f32::NAN; // block-row 4
+        assert!(CsrChecksums::build(&csr).verify(&x, &y).contains(&4));
+    }
+
+    #[test]
+    fn empty_and_odd_shapes() {
+        let empty = Csr::empty(20, 12);
+        let sums = CsrChecksums::build(&empty);
+        assert!(sums.verify(&make_x(12), &[0.0; 20]).is_empty());
+        // A spurious nonzero output in an empty matrix must be flagged.
+        let mut y = [0.0f32; 20];
+        y[3] = 1.0;
+        assert_eq!(sums.verify(&make_x(12), &y), vec![0]);
+
+        let odd = gen::random_uniform(101, 77, 900, 79);
+        let x = make_x(77);
+        let y = odd.spmv(&x).unwrap();
+        assert!(CsrChecksums::build(&odd).verify(&x, &y).is_empty());
+    }
+}

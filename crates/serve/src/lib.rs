@@ -1,0 +1,56 @@
+//! Resilient SpMV serving layer for the Spaden stack.
+//!
+//! `spaden-serve` turns the single-shot engines in `spaden` and
+//! `spaden-baselines` into a request executor with an availability story:
+//! batches of `(matrix, x, deadline)` requests go in, and every one comes
+//! back as a *checksum-verified* result or a *typed* error — never a
+//! silent wrong answer, never a hang, even while the simulator's fault
+//! injector is corrupting kernels underneath.
+//!
+//! The moving parts, each in its own module:
+//!
+//! * [`server`] — the [`SpmvServer`]: registration (ingress validation,
+//!   engine preparation, cost estimation), the three-rung failover ladder
+//!   (ABFT-checked tensor-core Spaden → scalar bitBSR recompute → CSR
+//!   baseline with f32 checksums), per-request deadline budgets in
+//!   simulated time, retry with exponential backoff.
+//! * [`breaker`] — a per-rung [`CircuitBreaker`] that trips after
+//!   consecutive verification failures, sheds load while open, and
+//!   probes its way back (half-open) when the fault burst passes.
+//! * [`queue`] — the [`BoundedQueue`] admission buffer; bursts past its
+//!   capacity are rejected with [`ServeError::Overloaded`].
+//! * [`checksum`] — [`CsrChecksums`], f32 block-row checksums so the CSR
+//!   rung is held to the same verified-or-rejected standard as the ABFT
+//!   rungs.
+//! * [`chaos`] — [`chaos_sweep`], the fault-rate × seed harness behind
+//!   `repro serve`, certifying the no-silent-wrong-answer SLO.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use spaden_gpusim::{Gpu, GpuConfig};
+//! use spaden_serve::{Request, ServeConfig, SpmvServer};
+//! use spaden_sparse::gen;
+//!
+//! let mut server = SpmvServer::new(Gpu::new(GpuConfig::l40()), ServeConfig::default());
+//! let matrix = server.register(&gen::random_uniform(64, 64, 900, 42)).unwrap();
+//! let ok = server
+//!     .serve(Request { matrix, x: vec![1.0; 64], deadline_s: None })
+//!     .unwrap();
+//! assert_eq!(ok.y.len(), 64);       // verified result,
+//! assert!(ok.latency_s > 0.0);      // priced in simulated seconds
+//! ```
+
+pub mod breaker;
+pub mod chaos;
+pub mod checksum;
+pub mod queue;
+pub mod server;
+
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use chaos::{chaos_sweep, CellReport, ChaosConfig, ChaosReport, FaultProfile};
+pub use checksum::CsrChecksums;
+pub use queue::BoundedQueue;
+pub use server::{
+    MatrixHandle, Request, Rung, ServeConfig, ServeError, ServeStats, ServedOk, SpmvServer, RUNGS,
+};

@@ -1,0 +1,697 @@
+//! The multi-engine SpMV request executor.
+//!
+//! Every request runs down a three-rung failover ladder until a rung
+//! produces a *verified* result:
+//!
+//! 1. **Spaden checked** — the tensor-core kernel with ABFT
+//!    verify-and-recompute ([`SpadenEngine::try_run_checked`]).
+//! 2. **Spaden scalar recompute** — the full matrix on the CUDA-core
+//!    bitBSR path ([`SpadenNoTcEngine`]), verified against the same f16
+//!    ABFT checksums.
+//! 3. **CSR baseline** — the cuSPARSE-style adaptive CSR kernel, verified
+//!    against f32 block-row checksums ([`CsrChecksums`]).
+//!
+//! A rung failure is always a *typed* [`EngineError`]; transient ones
+//! (verification failures under fault injection) are retried with
+//! exponential backoff before the ladder descends, permanent ones (shape,
+//! format) reject the request immediately. The outcome invariant: every
+//! request ends in a checksum-verified result or a typed [`ServeError`] —
+//! never a silent wrong answer, never a hang.
+//!
+//! ## Time, deadlines, and the clock
+//!
+//! There is no wall clock anywhere: the server advances a simulated clock
+//! by each kernel's modelled execution time (derived from the simulator's
+//! cycle/op counters via `spaden_gpusim::estimate_time`), by retry
+//! backoffs, and by a fixed per-request arrival tick. Deadlines are
+//! budgets in simulated seconds: before each attempt the rung's estimated
+//! cost (measured once at registration from a real run's counters) is
+//! checked against the remaining budget, so a request never starts work
+//! it cannot finish in time — it degrades to a cheaper rung or fails fast
+//! with [`ServeError::DeadlineExceeded`]. Everything is deterministic and
+//! reproducible, including breaker trips and recoveries.
+
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+use crate::checksum::CsrChecksums;
+use crate::queue::BoundedQueue;
+use spaden::engine::{EngineError, SpmvRun};
+use spaden::{SpadenEngine, SpadenNoTcEngine, SpmvEngine};
+use spaden_baselines::CusparseCsrEngine;
+use spaden_gpusim::{FaultConfig, Gpu};
+use spaden_sparse::csr::Csr;
+
+/// The failover ladder, strongest (fastest, self-correcting) rung first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rung {
+    /// ABFT-checked tensor-core Spaden.
+    SpadenChecked = 0,
+    /// Full-matrix scalar recompute on the bitBSR CUDA-core path.
+    SpadenScalar = 1,
+    /// cuSPARSE-style CSR baseline with f32 checksums.
+    CsrBaseline = 2,
+}
+
+/// Number of ladder rungs.
+pub const RUNGS: usize = 3;
+
+impl Rung {
+    /// Ladder order, top to bottom.
+    pub const ALL: [Rung; RUNGS] = [Rung::SpadenChecked, Rung::SpadenScalar, Rung::CsrBaseline];
+
+    /// Display name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Rung::SpadenChecked => "spaden-checked",
+            Rung::SpadenScalar => "spaden-scalar",
+            Rung::CsrBaseline => "csr-baseline",
+        }
+    }
+}
+
+/// Serving policy knobs. All times are simulated seconds.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Admission-queue capacity; a batch overflowing it is rejected with
+    /// [`ServeError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Deadline budget for requests that do not carry their own.
+    pub default_deadline_s: f64,
+    /// Attempts per rung (1 = no retry) before descending the ladder.
+    pub attempts_per_rung: u32,
+    /// First retry backoff; doubles per subsequent retry on the same rung.
+    pub backoff_base_s: f64,
+    /// Simulated inter-arrival time added per served request. Keeps the
+    /// clock advancing even when every rung is skipped, so open breakers
+    /// always cool down eventually.
+    pub arrival_interval_s: f64,
+    /// Per-rung circuit-breaker thresholds.
+    pub breaker: BreakerConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        // Scaled to the simulator's 3 µs launch overhead: a default
+        // deadline of 500 µs admits the full ladder with retries on the
+        // evaluation-scale matrices; the breaker cools down after ~30
+        // requests' worth of arrivals.
+        ServeConfig {
+            queue_capacity: 64,
+            default_deadline_s: 500e-6,
+            attempts_per_rung: 2,
+            backoff_base_s: 1e-6,
+            arrival_interval_s: 3e-6,
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+/// Opaque handle to a registered matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatrixHandle(pub usize);
+
+/// One SpMV request: which matrix, the dense vector, an optional deadline.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Handle from [`SpmvServer::register`].
+    pub matrix: MatrixHandle,
+    /// Input vector; must have the matrix's column count.
+    pub x: Vec<f32>,
+    /// Simulated-time budget; `None` uses [`ServeConfig::default_deadline_s`].
+    pub deadline_s: Option<f64>,
+}
+
+/// A successfully served (checksum-verified) request.
+#[derive(Debug, Clone)]
+pub struct ServedOk {
+    /// The verified output vector.
+    pub y: Vec<f32>,
+    /// The ladder rung that produced it.
+    pub rung: Rung,
+    /// Simulated latency: kernel time of every attempt plus backoffs.
+    pub latency_s: f64,
+    /// Retries performed across all rungs before success.
+    pub retries: u32,
+}
+
+/// Typed request failure. The serving invariant is that every request
+/// resolves to [`ServedOk`] or exactly one of these.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Rejected at admission: the bounded queue is full.
+    Overloaded {
+        /// The queue capacity that was exceeded.
+        capacity: usize,
+    },
+    /// The matrix handle does not name a registered matrix.
+    UnknownMatrix(usize),
+    /// The request (or a matrix at registration) is malformed; carries the
+    /// underlying engine error. Never retried.
+    Invalid(EngineError),
+    /// The deadline budget cannot cover any remaining rung.
+    DeadlineExceeded {
+        /// The request's budget.
+        budget_s: f64,
+        /// Simulated time already spent when the ladder gave up.
+        spent_s: f64,
+    },
+    /// Every admissible rung was attempted and failed verification.
+    LadderExhausted {
+        /// Total attempts across rungs.
+        attempts: u32,
+        /// The last rung's error.
+        last: EngineError,
+    },
+    /// Every rung's circuit breaker was open — the service is shedding
+    /// load while engines recover.
+    Unavailable,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { capacity } => {
+                write!(f, "overloaded: admission queue at capacity {capacity}")
+            }
+            ServeError::UnknownMatrix(h) => write!(f, "unknown matrix handle {h}"),
+            ServeError::Invalid(e) => write!(f, "invalid request: {e}"),
+            ServeError::DeadlineExceeded { budget_s, spent_s } => write!(
+                f,
+                "deadline exceeded: budget {:.2} us, spent {:.2} us",
+                budget_s * 1e6,
+                spent_s * 1e6
+            ),
+            ServeError::LadderExhausted { attempts, last } => {
+                write!(f, "failover ladder exhausted after {attempts} attempt(s): {last}")
+            }
+            ServeError::Unavailable => write!(f, "unavailable: all circuit breakers open"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Aggregate serving statistics, updated per request.
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    /// Requests submitted (admitted or not).
+    pub submitted: u64,
+    /// Requests rejected at admission (queue full).
+    pub overloaded: u64,
+    /// Verified results per ladder rung.
+    pub served: [u64; RUNGS],
+    /// Attempts per rung (including failed ones).
+    pub attempts: [u64; RUNGS],
+    /// Failed attempts per rung.
+    pub failures: [u64; RUNGS],
+    /// Rungs skipped because their breaker was open.
+    pub skipped_breaker: [u64; RUNGS],
+    /// Rungs skipped because the remaining deadline budget could not
+    /// cover their estimated cost.
+    pub skipped_deadline: [u64; RUNGS],
+    /// Requests rejected as invalid (shape/format).
+    pub invalid: u64,
+    /// Requests failed on deadline.
+    pub deadline_exceeded: u64,
+    /// Requests that exhausted the ladder.
+    pub exhausted: u64,
+    /// Requests shed with every breaker open.
+    pub unavailable: u64,
+    /// Total retries across all requests.
+    pub retries: u64,
+    latencies_s: Vec<f64>,
+}
+
+impl ServeStats {
+    /// Total verified results.
+    pub fn ok_total(&self) -> u64 {
+        self.served.iter().sum()
+    }
+
+    /// Nearest-rank percentile of served-request simulated latency, `p` in
+    /// `[0, 100]`. Zero when nothing was served.
+    pub fn latency_percentile_s(&self, p: f64) -> f64 {
+        if self.latencies_s.is_empty() {
+            return 0.0;
+        }
+        let mut v = self.latencies_s.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let rank = ((p / 100.0 * v.len() as f64).ceil() as usize).clamp(1, v.len());
+        v[rank - 1]
+    }
+
+    /// Median simulated latency of served requests.
+    pub fn p50_s(&self) -> f64 {
+        self.latency_percentile_s(50.0)
+    }
+
+    /// 99th-percentile simulated latency of served requests.
+    pub fn p99_s(&self) -> f64 {
+        self.latency_percentile_s(99.0)
+    }
+}
+
+/// One registered matrix: the three ladder engines, the CSR-rung
+/// checksums, and per-rung cost estimates for deadline admission.
+struct PreparedMatrix {
+    nrows: usize,
+    ncols: usize,
+    spaden: SpadenEngine,
+    scalar: SpadenNoTcEngine,
+    csr: CusparseCsrEngine,
+    sums: CsrChecksums,
+    /// Simulated seconds of one clean run per rung, measured from real
+    /// launch counters at registration. Failed attempts are charged this
+    /// much; deadline admission checks it against the remaining budget.
+    est_cost_s: [f64; RUNGS],
+}
+
+/// The resilient SpMV server.
+///
+/// Owns the simulated GPU, the registered matrices, the admission queue,
+/// and one circuit breaker per ladder rung (an engine's health is global
+/// across matrices — a sick tensor-core path is sick for everyone).
+pub struct SpmvServer {
+    gpu: Gpu,
+    config: ServeConfig,
+    matrices: Vec<PreparedMatrix>,
+    breakers: [CircuitBreaker; RUNGS],
+    queue: BoundedQueue<(usize, Request)>,
+    stats: ServeStats,
+    clock_s: f64,
+}
+
+impl SpmvServer {
+    /// A server over `gpu` with the given policy.
+    pub fn new(gpu: Gpu, config: ServeConfig) -> Self {
+        let breakers =
+            [0; RUNGS].map(|_| CircuitBreaker::new(config.breaker));
+        let queue = BoundedQueue::new(config.queue_capacity);
+        SpmvServer { gpu, config, matrices: Vec::new(), breakers, queue, stats: ServeStats::default(), clock_s: 0.0 }
+    }
+
+    /// The simulated GPU requests run on.
+    pub fn gpu(&self) -> &Gpu {
+        &self.gpu
+    }
+
+    /// Replaces the GPU's fault configuration (chaos harness hook: fault
+    /// bursts start and stop on a live server).
+    pub fn set_fault_config(&mut self, faults: FaultConfig) {
+        self.gpu.config.faults = faults;
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// The breaker guarding one ladder rung.
+    pub fn breaker(&self, rung: Rung) -> &CircuitBreaker {
+        &self.breakers[rung as usize]
+    }
+
+    /// Breaker trips and recoveries summed over all rungs.
+    pub fn breaker_totals(&self) -> (u64, u64) {
+        self.breakers.iter().fold((0, 0), |(t, r), b| (t + b.trips, r + b.recoveries))
+    }
+
+    /// Operator kill switch: forces `rung`'s breaker open now, draining
+    /// traffic to the lower rungs. The rung comes back through the normal
+    /// cooldown → half-open probe path (re-tripped each probe interval if
+    /// it is still failing).
+    pub fn trip_rung(&mut self, rung: Rung) {
+        self.breakers[rung as usize].force_open(self.clock_s);
+    }
+
+    /// Current simulated time.
+    pub fn clock_s(&self) -> f64 {
+        self.clock_s
+    }
+
+    /// Validates and registers a matrix: structural ingress check, all
+    /// three rung engines prepared, checksums and per-rung cost estimates
+    /// built. Malformed matrices are rejected with a typed error before
+    /// any engine sees them.
+    pub fn register(&mut self, csr: &Csr) -> Result<MatrixHandle, ServeError> {
+        csr.validate()
+            .map_err(|e| ServeError::Invalid(EngineError::Validation(e.to_string())))?;
+        let spaden =
+            SpadenEngine::try_prepare(&self.gpu, csr).map_err(ServeError::Invalid)?;
+        let scalar = SpadenNoTcEngine::prepare(&self.gpu, csr);
+        let csr_eng =
+            CusparseCsrEngine::try_prepare(&self.gpu, csr).map_err(ServeError::Invalid)?;
+        let sums = CsrChecksums::build(csr);
+        // Cost estimates from real counters: one plain (unchecked) run per
+        // rung. Counter totals depend on structure, not values, so the
+        // estimate holds for every future x.
+        let x0 = vec![0.0f32; csr.ncols];
+        let est = |run: SpmvRun| run.time.seconds;
+        let est_cost_s = [
+            est(spaden.try_run(&self.gpu, &x0).map_err(ServeError::Invalid)?),
+            est(scalar.try_run(&self.gpu, &x0).map_err(ServeError::Invalid)?),
+            est(csr_eng.try_run(&self.gpu, &x0).map_err(ServeError::Invalid)?),
+        ];
+        self.matrices.push(PreparedMatrix {
+            nrows: csr.nrows,
+            ncols: csr.ncols,
+            spaden,
+            scalar,
+            csr: csr_eng,
+            sums,
+            est_cost_s,
+        });
+        Ok(MatrixHandle(self.matrices.len() - 1))
+    }
+
+    /// Output dimension of a registered matrix.
+    pub fn nrows(&self, h: MatrixHandle) -> Option<usize> {
+        self.matrices.get(h.0).map(|m| m.nrows)
+    }
+
+    /// Required input dimension of a registered matrix.
+    pub fn ncols(&self, h: MatrixHandle) -> Option<usize> {
+        self.matrices.get(h.0).map(|m| m.ncols)
+    }
+
+    /// Serves a batch: every request is admitted through the bounded
+    /// queue (overflow rejected with [`ServeError::Overloaded`]) and the
+    /// admitted ones are served in arrival order. Results are returned in
+    /// input order, one per request.
+    pub fn run_batch(
+        &mut self,
+        requests: Vec<Request>,
+    ) -> Vec<Result<ServedOk, ServeError>> {
+        let n = requests.len();
+        let mut results: Vec<Option<Result<ServedOk, ServeError>>> =
+            (0..n).map(|_| None).collect();
+        for (i, req) in requests.into_iter().enumerate() {
+            self.stats.submitted += 1;
+            if self.queue.push((i, req)).is_err() {
+                self.stats.overloaded += 1;
+                results[i] =
+                    Some(Err(ServeError::Overloaded { capacity: self.queue.capacity() }));
+            }
+        }
+        while let Some((i, req)) = self.queue.pop() {
+            results[i] = Some(self.serve_admitted(req));
+        }
+        results.into_iter().map(|r| r.expect("every slot filled")).collect()
+    }
+
+    /// Serves one request directly (counted as submitted and admitted,
+    /// bypassing the batch queue — single-request callers have no
+    /// admission contention).
+    pub fn serve(&mut self, req: Request) -> Result<ServedOk, ServeError> {
+        self.stats.submitted += 1;
+        self.serve_admitted(req)
+    }
+
+    /// The ladder walk for one admitted request.
+    fn serve_admitted(&mut self, req: Request) -> Result<ServedOk, ServeError> {
+        self.clock_s += self.config.arrival_interval_s;
+        let Some(m) = self.matrices.get(req.matrix.0) else {
+            self.stats.invalid += 1;
+            return Err(ServeError::UnknownMatrix(req.matrix.0));
+        };
+        if req.x.len() != m.ncols {
+            self.stats.invalid += 1;
+            return Err(ServeError::Invalid(EngineError::ShapeMismatch {
+                expected: m.ncols,
+                got: req.x.len(),
+            }));
+        }
+        let budget = req.deadline_s.unwrap_or(self.config.default_deadline_s);
+        let mut spent = 0.0f64;
+        let mut attempts = 0u32;
+        let mut retries = 0u32;
+        let mut last_err: Option<EngineError> = None;
+        let mut deadline_bound = false;
+
+        for rung in Rung::ALL {
+            let r = rung as usize;
+            if !self.breakers[r].allow(self.clock_s) {
+                self.stats.skipped_breaker[r] += 1;
+                continue;
+            }
+            let mut attempt_on_rung = 0u32;
+            loop {
+                if spent + m.est_cost_s[r] > budget {
+                    self.stats.skipped_deadline[r] += 1;
+                    deadline_bound = true;
+                    break;
+                }
+                self.stats.attempts[r] += 1;
+                attempts += 1;
+                match Self::run_rung(&self.gpu, m, rung, &req.x) {
+                    Ok(run) => {
+                        spent += run.time.seconds;
+                        self.clock_s += run.time.seconds;
+                        self.breakers[r].record_success();
+                        self.stats.served[r] += 1;
+                        self.stats.retries += retries as u64;
+                        self.stats.latencies_s.push(spent);
+                        return Ok(ServedOk { y: run.y, rung, latency_s: spent, retries });
+                    }
+                    Err(e) => {
+                        // A failed attempt still ran the kernels: charge
+                        // the rung's estimated cost.
+                        spent += m.est_cost_s[r];
+                        self.clock_s += m.est_cost_s[r];
+                        self.breakers[r].record_failure(self.clock_s);
+                        self.stats.failures[r] += 1;
+                        if !e.is_transient() {
+                            self.stats.invalid += 1;
+                            return Err(ServeError::Invalid(e));
+                        }
+                        last_err = Some(e);
+                        attempt_on_rung += 1;
+                        if attempt_on_rung >= self.config.attempts_per_rung
+                            || self.breakers[r].state() == BreakerState::Open
+                        {
+                            break;
+                        }
+                        let backoff = self.config.backoff_base_s
+                            * f64::from(1u32 << (attempt_on_rung - 1).min(16));
+                        spent += backoff;
+                        self.clock_s += backoff;
+                        retries += 1;
+                    }
+                }
+            }
+        }
+
+        // Nothing verified. Report the binding constraint: budget if any
+        // rung was priced out (more deadline could have saved it), else
+        // the last engine failure, else total breaker shed.
+        if deadline_bound {
+            self.stats.deadline_exceeded += 1;
+            Err(ServeError::DeadlineExceeded { budget_s: budget, spent_s: spent })
+        } else if let Some(last) = last_err {
+            self.stats.exhausted += 1;
+            Err(ServeError::LadderExhausted { attempts, last })
+        } else {
+            self.stats.unavailable += 1;
+            Err(ServeError::Unavailable)
+        }
+    }
+
+    /// Runs one rung and verifies its output; `Ok` is always verified.
+    fn run_rung(
+        gpu: &Gpu,
+        m: &PreparedMatrix,
+        rung: Rung,
+        x: &[f32],
+    ) -> Result<SpmvRun, EngineError> {
+        match rung {
+            Rung::SpadenChecked => m.spaden.try_run_checked(gpu, x),
+            Rung::SpadenScalar => {
+                let run = m.scalar.try_run(gpu, x)?;
+                let bad = m.spaden.abft().verify(x, &run.y);
+                if bad.is_empty() {
+                    Ok(run)
+                } else {
+                    Err(EngineError::VerificationFailed { block_rows: bad.len() })
+                }
+            }
+            Rung::CsrBaseline => {
+                let run = m.csr.try_run(gpu, x)?;
+                let bad = m.sums.verify(x, &run.y);
+                if bad.is_empty() {
+                    Ok(run)
+                } else {
+                    Err(EngineError::VerificationFailed { block_rows: bad.len() })
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spaden_gpusim::GpuConfig;
+    use spaden_sparse::gen;
+
+    fn make_x(n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i * 37 + 11) % 64) as f32 / 32.0 - 1.0).collect()
+    }
+
+    fn clean_server() -> (SpmvServer, MatrixHandle, Csr) {
+        let csr = gen::random_uniform(128, 96, 1800, 901);
+        let mut srv = SpmvServer::new(Gpu::new(GpuConfig::l40()), ServeConfig::default());
+        let h = srv.register(&csr).expect("valid matrix registers");
+        (srv, h, csr)
+    }
+
+    #[test]
+    fn clean_request_served_by_top_rung() {
+        let (mut srv, h, csr) = clean_server();
+        let x = make_x(96);
+        let ok = srv
+            .serve(Request { matrix: h, x: x.clone(), deadline_s: None })
+            .expect("clean gpu serves");
+        assert_eq!(ok.rung, Rung::SpadenChecked);
+        assert_eq!(ok.retries, 0);
+        assert!(ok.latency_s > 0.0);
+        let oracle = csr.spmv_f64(&x).unwrap();
+        for (r, (a, o)) in ok.y.iter().zip(&oracle).enumerate() {
+            let tol = 1e-2f64.max(o.abs() * 2e-2);
+            assert!((*a as f64 - o).abs() <= tol, "row {r}: {a} vs {o}");
+        }
+        assert_eq!(srv.stats().ok_total(), 1);
+        assert_eq!(srv.stats().served[0], 1);
+    }
+
+    #[test]
+    fn scalar_rung_output_passes_abft_checksums() {
+        // The second rung's verification must accept its own clean output
+        // (the scalar kernel rounds to f16 exactly like the ABFT model).
+        let (srv, h, _) = clean_server();
+        let m = &srv.matrices[h.0];
+        let x = make_x(96);
+        let run = m.scalar.try_run(srv.gpu(), &x).unwrap();
+        assert!(m.spaden.abft().verify(&x, &run.y).is_empty());
+    }
+
+    #[test]
+    fn csr_rung_output_passes_f32_checksums() {
+        let (srv, h, _) = clean_server();
+        let m = &srv.matrices[h.0];
+        let x = make_x(96);
+        let run = m.csr.try_run(srv.gpu(), &x).unwrap();
+        assert!(m.sums.verify(&x, &run.y).is_empty());
+    }
+
+    #[test]
+    fn malformed_matrix_rejected_at_ingress() {
+        let mut srv = SpmvServer::new(Gpu::new(GpuConfig::l40()), ServeConfig::default());
+        let mut bad = gen::random_uniform(64, 64, 600, 903);
+        bad.col_idx[..2].reverse();
+        match srv.register(&bad) {
+            Err(ServeError::Invalid(EngineError::Validation(_))) => {}
+            other => panic!("expected Invalid(Validation), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_x_length_is_typed_not_a_panic() {
+        let (mut srv, h, _) = clean_server();
+        match srv.serve(Request { matrix: h, x: vec![0.0; 95], deadline_s: None }) {
+            Err(ServeError::Invalid(EngineError::ShapeMismatch { expected: 96, got: 95 })) => {}
+            other => panic!("expected ShapeMismatch, got {other:?}"),
+        }
+        assert_eq!(srv.stats().invalid, 1);
+    }
+
+    #[test]
+    fn unknown_handle_is_typed() {
+        let (mut srv, _, _) = clean_server();
+        match srv.serve(Request { matrix: MatrixHandle(7), x: vec![], deadline_s: None }) {
+            Err(ServeError::UnknownMatrix(7)) => {}
+            other => panic!("expected UnknownMatrix, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn impossible_deadline_fails_fast_without_running() {
+        let (mut srv, h, _) = clean_server();
+        let attempts_before: u64 = srv.stats().attempts.iter().sum();
+        match srv.serve(Request { matrix: h, x: make_x(96), deadline_s: Some(1e-9) }) {
+            Err(ServeError::DeadlineExceeded { budget_s, spent_s }) => {
+                assert_eq!(budget_s, 1e-9);
+                assert_eq!(spent_s, 0.0, "no rung should have been attempted");
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        let attempts_after: u64 = srv.stats().attempts.iter().sum();
+        assert_eq!(attempts_before, attempts_after);
+        assert_eq!(srv.stats().deadline_exceeded, 1);
+    }
+
+    #[test]
+    fn batch_overflow_rejected_with_overloaded_in_input_order() {
+        let csr = gen::random_uniform(64, 64, 800, 905);
+        let cfg = ServeConfig { queue_capacity: 4, ..ServeConfig::default() };
+        let mut srv = SpmvServer::new(Gpu::new(GpuConfig::l40()), cfg);
+        let h = srv.register(&csr).unwrap();
+        let reqs: Vec<Request> = (0..7)
+            .map(|_| Request { matrix: h, x: make_x(64), deadline_s: None })
+            .collect();
+        let results = srv.run_batch(reqs);
+        assert_eq!(results.len(), 7);
+        for r in &results[..4] {
+            assert!(r.is_ok(), "admitted head of the batch is served: {r:?}");
+        }
+        for r in &results[4..] {
+            assert_eq!(
+                *r.as_ref().unwrap_err(),
+                ServeError::Overloaded { capacity: 4 },
+                "overflow tail rejected"
+            );
+        }
+        assert_eq!(srv.stats().submitted, 7);
+        assert_eq!(srv.stats().overloaded, 3);
+    }
+
+    #[test]
+    fn kill_switch_walks_the_ladder_deterministically() {
+        let (mut srv, h, csr) = clean_server();
+        let x = make_x(96);
+        let oracle = csr.spmv_f64(&x).unwrap();
+        let check = |y: &[f32]| {
+            for (r, (a, o)) in y.iter().zip(&oracle).enumerate() {
+                let tol = 1e-2f64.max(o.abs() * 2e-2);
+                assert!((*a as f64 - o).abs() <= tol, "row {r}: {a} vs {o}");
+            }
+        };
+
+        srv.trip_rung(Rung::SpadenChecked);
+        let ok = srv.serve(Request { matrix: h, x: x.clone(), deadline_s: None }).unwrap();
+        assert_eq!(ok.rung, Rung::SpadenScalar, "top rung drained -> scalar serves");
+        check(&ok.y);
+
+        srv.trip_rung(Rung::SpadenChecked);
+        srv.trip_rung(Rung::SpadenScalar);
+        let ok = srv.serve(Request { matrix: h, x: x.clone(), deadline_s: None }).unwrap();
+        assert_eq!(ok.rung, Rung::CsrBaseline, "two rungs drained -> csr serves");
+        check(&ok.y);
+
+        srv.trip_rung(Rung::SpadenChecked);
+        srv.trip_rung(Rung::SpadenScalar);
+        srv.trip_rung(Rung::CsrBaseline);
+        match srv.serve(Request { matrix: h, x, deadline_s: None }) {
+            Err(ServeError::Unavailable) => {}
+            other => panic!("all rungs drained: expected Unavailable, got {other:?}"),
+        }
+        assert_eq!(srv.stats().unavailable, 1);
+        assert!(srv.stats().served[1] == 1 && srv.stats().served[2] == 1);
+    }
+
+    #[test]
+    fn clock_advances_with_served_traffic() {
+        let (mut srv, h, _) = clean_server();
+        let t0 = srv.clock_s();
+        srv.serve(Request { matrix: h, x: make_x(96), deadline_s: None }).unwrap();
+        assert!(srv.clock_s() > t0);
+    }
+}

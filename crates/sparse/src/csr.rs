@@ -181,14 +181,44 @@ impl Csr {
         self.row_ptr.len() * 4 + self.col_idx.len() * 4 + self.values.len() * 4
     }
 
-    /// Verifies structural invariants; useful after hand-editing in tests.
+    /// Verifies every structural invariant the kernels rely on: `row_ptr`
+    /// has `nrows + 1` monotone entries starting at 0 and ending at nnz,
+    /// `col_idx` and `values` agree in length, every column index is in
+    /// bounds, and columns are strictly increasing within each row (sorted,
+    /// no duplicates). Mirrors `BitCoo::validate`; the serving layer calls
+    /// this at ingress so malformed matrices are rejected with a typed
+    /// error before any engine prepares them.
     pub fn validate(&self) -> SparseResult<()> {
-        validate_offsets(&self.row_ptr, self.nnz(), "row_ptr")?;
-        validate_indices(&self.col_idx, self.ncols, "col_idx")?;
         if self.row_ptr.len() != self.nrows + 1 {
             return Err(SparseError::LengthMismatch {
-                what: "row_ptr length".into(),
+                what: format!(
+                    "row_ptr.len() = {}, expected nrows + 1 = {}",
+                    self.row_ptr.len(),
+                    self.nrows + 1
+                ),
             });
+        }
+        if self.col_idx.len() != self.values.len() {
+            return Err(SparseError::LengthMismatch {
+                what: format!(
+                    "col_idx ({}) vs values ({})",
+                    self.col_idx.len(),
+                    self.values.len()
+                ),
+            });
+        }
+        validate_offsets(&self.row_ptr, self.nnz(), "row_ptr")?;
+        validate_indices(&self.col_idx, self.ncols, "col_idx")?;
+        for r in 0..self.nrows {
+            let (cols, _) = self.row(r);
+            if let Some(w) = cols.windows(2).find(|w| w[0] >= w[1]) {
+                return Err(SparseError::MalformedOffsets {
+                    what: format!(
+                        "row {r}: column indices not strictly increasing ({} then {})",
+                        w[0], w[1]
+                    ),
+                });
+            }
         }
         Ok(())
     }
@@ -298,5 +328,30 @@ mod tests {
         let unsorted =
             Csr { nrows: 1, ncols: 3, row_ptr: vec![0, 2], col_idx: vec![2, 0], values: vec![1.0, 2.0] };
         assert!(!unsorted.has_sorted_rows());
+    }
+
+    #[test]
+    fn validate_catches_every_malformation() {
+        assert!(small().validate().is_ok());
+        // Unsorted columns within a row.
+        let unsorted =
+            Csr { nrows: 1, ncols: 3, row_ptr: vec![0, 2], col_idx: vec![2, 0], values: vec![1.0, 2.0] };
+        assert!(unsorted.validate().is_err());
+        // Duplicate column within a row.
+        let dup =
+            Csr { nrows: 1, ncols: 3, row_ptr: vec![0, 2], col_idx: vec![1, 1], values: vec![1.0, 2.0] };
+        assert!(dup.validate().is_err());
+        // col_idx / values length disagreement.
+        let lens =
+            Csr { nrows: 1, ncols: 3, row_ptr: vec![0, 1], col_idx: vec![0], values: vec![1.0, 2.0] };
+        assert!(lens.validate().is_err());
+        // Non-monotone row_ptr.
+        let ptr =
+            Csr { nrows: 2, ncols: 3, row_ptr: vec![0, 2, 1], col_idx: vec![0, 1], values: vec![1.0, 2.0] };
+        assert!(ptr.validate().is_err());
+        // Out-of-bounds column.
+        let oob =
+            Csr { nrows: 1, ncols: 2, row_ptr: vec![0, 1], col_idx: vec![5], values: vec![1.0] };
+        assert!(oob.validate().is_err());
     }
 }

@@ -1,0 +1,146 @@
+//! End-to-end resilience properties of the serving layer, driven by the
+//! simulator's fault injector:
+//!
+//! 1. Under sustained full-rate injection the per-rung breakers trip and
+//!    requests are shed with typed errors; once the fault burst stops the
+//!    breakers probe, recover, and service resumes — all on simulated
+//!    time, fully deterministic.
+//! 2. A chaos sweep of 200+ mixed requests (malformed, deadline-bound,
+//!    overload bursts) across fault rates and seeds produces zero
+//!    silently-wrong results: every `Ok` matches an f64 oracle.
+//! 3. Deadlines and backpressure hold under fault-free load too.
+
+use spaden_gpusim::{FaultConfig, Gpu, GpuConfig};
+use spaden_serve::{
+    chaos_sweep, BreakerState, ChaosConfig, FaultProfile, Request, Rung, ServeConfig, ServeError,
+    SpmvServer,
+};
+use spaden_sparse::gen;
+
+fn make_x(n: usize) -> Vec<f32> {
+    (0..n).map(|i| ((i * 37 + 11) % 64) as f32 / 32.0 - 1.0).collect()
+}
+
+#[test]
+fn breakers_trip_under_sustained_injection_and_recover_after() {
+    let csr = gen::random_uniform(96, 96, 1400, 71);
+    let mut srv = SpmvServer::new(Gpu::new(GpuConfig::l40()), ServeConfig::default());
+    let h = srv.register(&csr).expect("clean registration before the burst");
+
+    // Sustained burst: every value sector read corrupted. All three rungs
+    // fail verification on every attempt, so each breaker accumulates
+    // failures and trips.
+    srv.set_fault_config(FaultConfig::uniform(404, 1.0));
+    let mut shed = 0u32;
+    for _ in 0..8 {
+        match srv.serve(Request { matrix: h, x: make_x(96), deadline_s: None }) {
+            Ok(ok) => panic!("full-rate faults must not produce a verified result: {:?}", ok.rung),
+            Err(ServeError::LadderExhausted { .. }) | Err(ServeError::DeadlineExceeded { .. }) => {}
+            Err(ServeError::Unavailable) => shed += 1,
+            Err(other) => panic!("unexpected error under injection: {other}"),
+        }
+    }
+    let (trips, _) = srv.breaker_totals();
+    assert!(trips >= 3, "sustained injection must trip all rungs (got {trips} trips)");
+    assert!(shed > 0, "open breakers must shed load as Unavailable");
+    assert_eq!(
+        srv.breaker(Rung::SpadenChecked).state(),
+        BreakerState::Open,
+        "top rung open at end of burst"
+    );
+    assert_eq!(srv.stats().ok_total(), 0, "nothing verifiable was served during the burst");
+
+    // Burst ends. Arrival ticks keep the simulated clock moving, so the
+    // cooldown elapses, a half-open probe succeeds, and service resumes.
+    srv.set_fault_config(FaultConfig::disabled());
+    let mut recovered_ok = 0u32;
+    let mut last_rung = None;
+    for _ in 0..30 {
+        if let Ok(ok) = srv.serve(Request { matrix: h, x: make_x(96), deadline_s: None }) {
+            recovered_ok += 1;
+            last_rung = Some(ok.rung);
+        }
+    }
+    let (_, recoveries) = srv.breaker_totals();
+    assert!(recovered_ok >= 10, "service must resume after the burst (got {recovered_ok})");
+    assert_eq!(last_rung, Some(Rung::SpadenChecked), "recovery restores the top rung");
+    assert!(recoveries >= 1, "at least one breaker must record a recovery");
+    assert_eq!(srv.breaker(Rung::SpadenChecked).state(), BreakerState::Closed);
+    assert!(srv.breaker(Rung::SpadenChecked).health() > 0.5, "health rebuilt by successes");
+}
+
+#[test]
+fn chaos_sweep_of_200_plus_requests_has_zero_silent_wrong_results() {
+    let cfg = ChaosConfig {
+        rates: vec![0.0, 0.02, 0.08],
+        profile: FaultProfile::Uniform,
+        seeds: vec![5, 17],
+        requests_per_cell: 36,
+        ..ChaosConfig::default()
+    };
+    let report = chaos_sweep(&GpuConfig::l40(), &cfg);
+    assert!(report.submitted() >= 200, "sweep size: {}", report.submitted());
+    assert_eq!(report.silent_wrong(), 0, "an Ok that fails the oracle is a serving bug");
+    assert!(report.slo_holds(), "every request must resolve: {:?}", report.cells);
+    // The clean cells serve everything well-formed; the faulted cells
+    // exercise the breakers.
+    assert!(report.cells.iter().filter(|c| c.rate == 0.0).all(|c| c.trips == 0));
+    assert!(report.trips() > 0, "faulted cells must trip breakers");
+}
+
+#[test]
+fn tensor_core_only_faults_are_absorbed_by_abft_correction() {
+    // Fragment corruption lands only on MMA accumulators; the checked
+    // rung detects and repairs it on the scalar path, so service stays on
+    // the top rung with zero wrong answers — the paper's ABFT story,
+    // observed through the serving layer.
+    let cfg = ChaosConfig {
+        rates: vec![1.0],
+        profile: FaultProfile::TensorCoreOnly,
+        seeds: vec![9],
+        requests_per_cell: 24,
+        ..ChaosConfig::default()
+    };
+    let report = chaos_sweep(&GpuConfig::l40(), &cfg);
+    assert!(report.slo_holds());
+    let c = &report.cells[0];
+    assert_eq!(c.silent_wrong, 0);
+    assert!(
+        c.served[Rung::SpadenChecked as usize] > 0,
+        "ABFT correction keeps the top rung serving: {c:?}"
+    );
+    assert_eq!(c.exhausted + c.unavailable, 0, "no shedding needed: {c:?}");
+}
+
+#[test]
+fn overload_deadline_and_invalid_requests_are_typed_under_clean_load() {
+    let csr = gen::random_uniform(64, 64, 900, 73);
+    let cfg = ServeConfig { queue_capacity: 3, ..ServeConfig::default() };
+    let mut srv = SpmvServer::new(Gpu::new(GpuConfig::l40()), cfg);
+    let h = srv.register(&csr).unwrap();
+
+    // Burst of 6 into a queue of 3: tail rejected, head served.
+    let reqs: Vec<Request> =
+        (0..6).map(|_| Request { matrix: h, x: make_x(64), deadline_s: None }).collect();
+    let results = srv.run_batch(reqs);
+    assert_eq!(results.iter().filter(|r| r.is_ok()).count(), 3);
+    assert_eq!(
+        results.iter().filter(|r| matches!(r, Err(ServeError::Overloaded { capacity: 3 }))).count(),
+        3
+    );
+
+    // Impossible deadline: typed, with the budget echoed back.
+    match srv.serve(Request { matrix: h, x: make_x(64), deadline_s: Some(1e-12) }) {
+        Err(ServeError::DeadlineExceeded { budget_s, .. }) => assert_eq!(budget_s, 1e-12),
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+
+    // Malformed vector: typed, no panic, breaker untouched (permanent
+    // errors must not count toward tripping).
+    let trips_before = srv.breaker_totals().0;
+    match srv.serve(Request { matrix: h, x: make_x(63), deadline_s: None }) {
+        Err(ServeError::Invalid(_)) => {}
+        other => panic!("expected Invalid, got {other:?}"),
+    }
+    assert_eq!(srv.breaker_totals().0, trips_before);
+}
