@@ -82,7 +82,7 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: repro <table1|fig6|fig7|fig8|fig9a|fig9b|fig10a|fig10b|ablations|extensions|reordering|faults|verify|all> \
-                 [--scale S] [--gpu l40|v100|both]   (also: serve)"
+                 [--scale S] [--gpu l40|v100|both]   (also: serve shard)"
             );
             std::process::exit(2);
         }
@@ -196,6 +196,21 @@ fn main() {
                     }
                     println!("{verdict}");
                 }
+            }
+        }
+        "shard" => {
+            // Fixed seed so CI's shard-chaos job is reproducible run to
+            // run. The sweep kills a device mid-stream, slows the whole
+            // fleet, and rolls hangs across it; the verdict line asserts
+            // the SLO (zero silently wrong, >= 90% availability under
+            // device loss, speculation beating no-speculation on p99).
+            let cfg = spaden_serve::DeviceChaosConfig::default();
+            for gpu in &args.gpus {
+                let (tables, verdict, _) = spaden_bench::shard_report(gpu, &cfg);
+                for t in tables {
+                    println!("{t}");
+                }
+                println!("{verdict}");
             }
         }
         "verify" => {

@@ -17,12 +17,14 @@ pub mod experiments;
 pub mod harness;
 pub mod registry;
 pub mod serving;
+pub mod sharding;
 pub mod table;
 
 pub use experiments::*;
 pub use harness::BenchGroup;
 pub use registry::{build_engine, EngineKind, FIG6_ENGINES, FIG8_ENGINES};
 pub use serving::serve_report;
+pub use sharding::shard_report;
 pub use table::Table;
 
 use spaden_sparse::datasets::{Dataset, ALL_DATASETS};

@@ -129,6 +129,33 @@ impl AbftChecksums {
         self.ptr.len() * 4 + self.cols.len() * (4 + 8 + 8 + 8) + self.nnz_br.len() * 4
     }
 
+    /// Extracts the checksums of block-rows `lo..hi` as a standalone
+    /// checksum set over a shard's *local* output (row 0 of the slice is
+    /// global row `lo * BLOCK_DIM`). Column indices stay global — shards
+    /// share the full `x` — and the row weights are relative to each
+    /// block-row's own first row, so the sliced sums are bit-for-bit the
+    /// ones the full matrix was prepared with: sliced, never recomputed.
+    pub fn slice_block_rows(&self, lo: usize, hi: usize) -> AbftChecksums {
+        assert!(lo <= hi && hi <= self.block_rows(), "slice {lo}..{hi} of {}", self.block_rows());
+        let e_lo = self.ptr[lo] as usize;
+        let e_hi = self.ptr[hi] as usize;
+        let nrows = if hi == self.block_rows() {
+            self.nrows.saturating_sub(lo * BLOCK_DIM)
+        } else {
+            (hi - lo) * BLOCK_DIM
+        };
+        AbftChecksums {
+            nrows,
+            ncols: self.ncols,
+            ptr: self.ptr[lo..=hi].iter().map(|&p| p - e_lo as u32).collect(),
+            cols: self.cols[e_lo..e_hi].to_vec(),
+            sums: self.sums[e_lo..e_hi].to_vec(),
+            wsums: self.wsums[e_lo..e_hi].to_vec(),
+            abs: self.abs[e_lo..e_hi].to_vec(),
+            nnz_br: self.nnz_br[lo..hi].to_vec(),
+        }
+    }
+
     /// Checks one block-row of `y` against its checksum. `true` = passes.
     ///
     /// NaN-safe: a NaN or infinity anywhere in the block-row's outputs
@@ -258,6 +285,45 @@ mod tests {
         let x = make_x(77);
         let y = bb.spmv_reference(&x).unwrap();
         assert!(AbftChecksums::build(&bb).verify(&x, &y).is_empty());
+    }
+
+    #[test]
+    fn sliced_checksums_verify_sliced_output() {
+        let (b, x, y) = fixture();
+        let sums = AbftChecksums::build(&b);
+        for (lo, hi) in [(0usize, 8usize), (8, 20), (20, 32), (0, 32), (5, 5)] {
+            let s = sums.slice_block_rows(lo, hi);
+            assert_eq!(s.block_rows(), hi - lo);
+            let y_local = &y[lo * BLOCK_DIM..(hi * BLOCK_DIM).min(y.len())];
+            assert!(
+                s.verify(&x, y_local).is_empty(),
+                "clean slice {lo}..{hi} must verify"
+            );
+        }
+    }
+
+    #[test]
+    fn sliced_checksums_localise_corruption_to_local_block_row() {
+        let (b, x, mut y) = fixture();
+        let sums = AbftChecksums::build(&b);
+        y[37] += 0.75; // global block-row 4
+        let s = sums.slice_block_rows(2, 10);
+        let y_local = &y[2 * BLOCK_DIM..10 * BLOCK_DIM];
+        assert_eq!(s.verify(&x, y_local), vec![2], "global 4 = local 2");
+    }
+
+    #[test]
+    fn sliced_checksums_equal_rebuilt_from_sliced_format() {
+        // The slice must be *identical* to building checksums from the
+        // sliced bitBSR — the "sliced, not recomputed" claim is testable
+        // because both paths are exact in f64.
+        let (b, _, _) = fixture();
+        let sums = AbftChecksums::build(&b);
+        for (lo, hi) in [(0usize, 4usize), (4, 17), (17, 32)] {
+            let sliced = sums.slice_block_rows(lo, hi);
+            let rebuilt = AbftChecksums::build(&b.slice_block_rows(lo, hi));
+            assert_eq!(sliced, rebuilt, "slice {lo}..{hi}");
+        }
     }
 
     #[test]

@@ -275,6 +275,38 @@ impl BitBsr {
         Ok(y)
     }
 
+    /// Extracts block-rows `lo..hi` as a standalone bitBSR matrix whose
+    /// row 0 is global row `lo * BLOCK_DIM`. Column indices are untouched
+    /// (a shard multiplies against the full `x`), so the concatenation of
+    /// per-shard SpMV outputs over a partition of the block-rows is
+    /// exactly the full matrix's output.
+    pub fn slice_block_rows(&self, lo: usize, hi: usize) -> BitBsr {
+        assert!(lo <= hi && hi <= self.block_rows, "slice {lo}..{hi} of {}", self.block_rows);
+        let b_lo = self.block_row_ptr[lo] as usize;
+        let b_hi = self.block_row_ptr[hi] as usize;
+        let v_lo = self.block_offsets[b_lo];
+        let v_hi = self.block_offsets[b_hi] as usize;
+        let nrows = if hi == self.block_rows {
+            self.nrows.saturating_sub(lo * BLOCK_DIM)
+        } else {
+            (hi - lo) * BLOCK_DIM
+        };
+        BitBsr {
+            nrows,
+            ncols: self.ncols,
+            block_rows: hi - lo,
+            block_cols_dim: self.block_cols_dim,
+            block_row_ptr: self.block_row_ptr[lo..=hi]
+                .iter()
+                .map(|&p| p - b_lo as u32)
+                .collect(),
+            block_cols: self.block_cols[b_lo..b_hi].to_vec(),
+            bitmaps: self.bitmaps[b_lo..b_hi].to_vec(),
+            block_offsets: self.block_offsets[b_lo..=b_hi].iter().map(|&o| o - v_lo).collect(),
+            values: self.values[v_lo as usize..v_hi].to_vec(),
+        }
+    }
+
     /// Structural invariants check.
     pub fn validate(&self) -> SparseResult<()> {
         validate_offsets(&self.block_row_ptr, self.bnnz(), "block_row_ptr")?;
@@ -580,6 +612,40 @@ mod tests {
             a8.bytes_per_nnz(csr.nnz()),
             a4.bytes_per_nnz(csr.nnz())
         );
+    }
+
+    #[test]
+    fn slice_block_rows_recombines_to_full_spmv() {
+        let csr = gen::random_uniform(217, 150, 3000, 131);
+        let b = BitBsr::from_csr(&csr);
+        let x: Vec<f32> = (0..150).map(|i| ((i * 7 % 23) as f32) * 0.5 - 2.0).collect();
+        let full = b.spmv_reference(&x).unwrap();
+        for cuts in [vec![0, 28], vec![0, 2, 28], vec![0, 8, 9, 20, 28]] {
+            let mut y = Vec::new();
+            for w in cuts.windows(2) {
+                let s = b.slice_block_rows(w[0], w[1]);
+                assert!(s.validate().is_ok(), "slice {}..{}", w[0], w[1]);
+                assert_eq!(s.block_rows, w[1] - w[0]);
+                y.extend(s.spmv_reference(&x).unwrap());
+            }
+            assert_eq!(y, full, "cuts {cuts:?} must recombine bit-identically");
+        }
+    }
+
+    #[test]
+    fn slice_block_rows_handles_empty_and_boundary_slices() {
+        let csr = gen::random_uniform(101, 77, 600, 133);
+        let b = BitBsr::from_csr(&csr);
+        let empty = b.slice_block_rows(13, 13);
+        assert_eq!(empty.nrows, 0);
+        assert_eq!(empty.bnnz(), 0);
+        assert!(empty.validate().is_ok());
+        // The last slice of a non-multiple-of-8 matrix keeps the partial
+        // block-row's true row count.
+        let tail = b.slice_block_rows(12, 13);
+        assert_eq!(tail.nrows, 101 - 96);
+        let all = b.slice_block_rows(0, 13);
+        assert_eq!(all, b);
     }
 
     #[test]

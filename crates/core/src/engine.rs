@@ -36,6 +36,14 @@ pub enum EngineError {
         /// Block-rows whose checksums did not match.
         block_rows: usize,
     },
+    /// A simulated device (or the whole fleet) was lost mid-request. The
+    /// multi-device shard scheduler raises this when redistribution runs
+    /// out of survivors; transient, because a later request may see
+    /// devices restored or be servable by a single-device rung.
+    DeviceLost {
+        /// Devices still alive when the request gave up.
+        survivors: usize,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -53,6 +61,9 @@ impl std::fmt::Display for EngineError {
             EngineError::VerificationFailed { block_rows } => {
                 write!(f, "output verification failed on {block_rows} block-row(s)")
             }
+            EngineError::DeviceLost { survivors } => {
+                write!(f, "device lost mid-request: {survivors} device(s) still alive")
+            }
         }
     }
 }
@@ -65,9 +76,9 @@ impl EngineError {
     pub fn is_transient(&self) -> bool {
         match self {
             EngineError::ShapeMismatch { .. } | EngineError::Validation(_) => false,
-            EngineError::CorrectionExhausted { .. } | EngineError::VerificationFailed { .. } => {
-                true
-            }
+            EngineError::CorrectionExhausted { .. }
+            | EngineError::VerificationFailed { .. }
+            | EngineError::DeviceLost { .. } => true,
         }
     }
 }
@@ -190,6 +201,7 @@ mod tests {
         assert!(!EngineError::Validation("bad".into()).is_transient());
         assert!(EngineError::CorrectionExhausted { block_rows: 1, retries: 3 }.is_transient());
         assert!(EngineError::VerificationFailed { block_rows: 2 }.is_transient());
+        assert!(EngineError::DeviceLost { survivors: 0 }.is_transient());
     }
 
     #[test]

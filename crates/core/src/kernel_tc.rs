@@ -105,10 +105,45 @@ impl SpadenEngine {
         csr: &Csr,
         config: SpadenConfig,
     ) -> Result<Self, EngineError> {
+        // Ingress validation: a corrupt CSR (unsorted columns, bad
+        // offsets) must be a typed error before conversion, not a
+        // mis-built bitmap the kernel then chews on.
+        csr.validate().map_err(|e| EngineError::Validation(e.to_string()))?;
         let (format, seconds) = timed(|| BitBsr::from_csr(csr));
-        format.validate().map_err(|e| EngineError::Validation(e.to_string()))?;
         let abft = AbftChecksums::build(&format);
-        let prep = PrepStats { seconds, device_bytes: format.bytes() as u64 };
+        Self::from_validated_parts(gpu, format, abft, config, seconds)
+    }
+
+    /// Builds an engine from an already-converted bitBSR slice and its
+    /// matching ABFT checksums — the shard path, where both come from
+    /// `slice_block_rows` of a prepared full matrix rather than a fresh
+    /// conversion. Validates the format and that the checksums cover
+    /// exactly its block-rows.
+    pub fn try_from_parts(
+        gpu: &Gpu,
+        format: BitBsr,
+        abft: AbftChecksums,
+        config: SpadenConfig,
+    ) -> Result<Self, EngineError> {
+        if abft.block_rows() != format.block_rows {
+            return Err(EngineError::Validation(format!(
+                "checksum block-rows {} != format block-rows {}",
+                abft.block_rows(),
+                format.block_rows
+            )));
+        }
+        Self::from_validated_parts(gpu, format, abft, config, 0.0)
+    }
+
+    fn from_validated_parts(
+        gpu: &Gpu,
+        format: BitBsr,
+        abft: AbftChecksums,
+        config: SpadenConfig,
+        prep_seconds: f64,
+    ) -> Result<Self, EngineError> {
+        format.validate().map_err(|e| EngineError::Validation(e.to_string()))?;
+        let prep = PrepStats { seconds: prep_seconds, device_bytes: format.bytes() as u64 };
         Ok(SpadenEngine {
             d_block_row_ptr: gpu.alloc(format.block_row_ptr.clone()),
             d_block_cols: gpu.alloc(format.block_cols.clone()),
@@ -586,6 +621,63 @@ mod tests {
         assert!(staged.counters.smem_bytes > 0);
         assert!(staged.counters.cuda_ops > direct.counters.cuda_ops);
         assert_eq!(staged.y, direct.y, "staging must not change results");
+    }
+
+    #[test]
+    fn try_prepare_rejects_corrupt_csr_with_typed_error() {
+        // Satellite: Csr::validate is wired into the engine's own prepare
+        // path, so a corrupt matrix is a typed Validation error before
+        // the kernel (or even the format conversion) sees it.
+        let mut csr = gen::random_uniform(64, 64, 600, 241);
+        csr.col_idx[..2].reverse(); // unsorted columns within a row
+        let gpu = Gpu::new(GpuConfig::l40());
+        match SpadenEngine::try_prepare(&gpu, &csr) {
+            Err(EngineError::Validation(_)) => {}
+            other => panic!("expected Validation, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn try_from_parts_runs_a_sliced_shard() {
+        let csr = gen::random_uniform(256, 128, 4000, 243);
+        let gpu = Gpu::new(GpuConfig::l40());
+        let full = SpadenEngine::prepare(&gpu, &csr);
+        let x = make_sliced_x(128);
+        let want = full.run(&gpu, &x);
+        let (lo, hi) = (4usize, 20usize); // even boundaries: pairing preserved
+        let shard = SpadenEngine::try_from_parts(
+            &gpu,
+            full.format().slice_block_rows(lo, hi),
+            full.abft().slice_block_rows(lo, hi),
+            SpadenConfig::default(),
+        )
+        .expect("sliced parts are valid");
+        let run = shard.try_run_checked(&gpu, &x).expect("clean shard verifies");
+        assert_eq!(
+            run.y,
+            want.y[lo * BLOCK_DIM..hi * BLOCK_DIM],
+            "even-aligned shard output must be bit-identical to the full kernel's rows"
+        );
+    }
+
+    #[test]
+    fn try_from_parts_rejects_mismatched_checksums() {
+        let csr = gen::random_uniform(128, 96, 1500, 245);
+        let gpu = Gpu::new(GpuConfig::l40());
+        let full = SpadenEngine::prepare(&gpu, &csr);
+        match SpadenEngine::try_from_parts(
+            &gpu,
+            full.format().slice_block_rows(0, 8),
+            full.abft().slice_block_rows(0, 6),
+            SpadenConfig::default(),
+        ) {
+            Err(EngineError::Validation(msg)) => assert!(msg.contains("block-rows")),
+            other => panic!("expected Validation, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    fn make_sliced_x(n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i * 37 + 11) % 64) as f32 / 32.0 - 1.0).collect()
     }
 
     #[test]

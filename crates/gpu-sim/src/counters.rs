@@ -85,6 +85,49 @@ impl KernelCounters {
     }
 }
 
+/// Cumulative health and work counters of one device in a simulated
+/// fleet. The kernel-level counters of every launch that ran to
+/// completion on the device are merged into `kernel`; scheduler-level
+/// events (retries, speculation, hangs) are tallied alongside so shard
+/// reports can print per-device health without ad-hoc bookkeeping.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeviceCounters {
+    /// The device's index in its fleet.
+    pub id: u64,
+    /// Merged kernel counters of completed launches (DRAM bytes, MMAs, …).
+    pub kernel: KernelCounters,
+    /// Launches issued to the device (including hung and crashed ones).
+    pub launches: u64,
+    /// Launches that completed and verified.
+    pub completed: u64,
+    /// Scheduler retries of shards that failed verification here.
+    pub retries: u64,
+    /// Launches killed by the per-shard hang timeout.
+    pub hangs: u64,
+    /// Launches whose modelled time was inflated by a straggle event.
+    pub stragglers: u64,
+    /// Speculative duplicate launches placed on this device.
+    pub speculative_launches: u64,
+    /// Speculative launches that finished before the original.
+    pub speculative_wins: u64,
+    /// True once the device crashed (drawn or operator-killed).
+    pub crashed: bool,
+    /// Simulated seconds the device spent executing launches.
+    pub busy_s: f64,
+}
+
+impl DeviceCounters {
+    /// Total DRAM traffic of completed launches, in bytes.
+    pub fn dram_bytes(&self) -> u64 {
+        self.kernel.dram_bytes()
+    }
+
+    /// Tensor-core MMA operations of completed launches (both shapes).
+    pub fn mma_ops(&self) -> u64 {
+        self.kernel.mma_m16n16k16 + self.kernel.mma_m8n8k4
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

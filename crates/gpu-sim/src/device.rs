@@ -1,0 +1,301 @@
+//! Device-level fault modes for multi-GPU simulation.
+//!
+//! The bit-level injector ([`crate::fault`]) corrupts *values inside* a
+//! kernel; this module models whole-device failures on the simulated
+//! clock, the fleet-scale events a shard scheduler must survive:
+//!
+//! * **Crash** — the device is permanently lost. The in-flight launch
+//!   never returns; the failure surfaces when the scheduler's heartbeat
+//!   (one expected-duration interval) elapses, and every later launch on
+//!   the device is refused.
+//! * **Hang** — the launch never completes. Functionally nothing is
+//!   produced; the scheduler detects it with a per-shard timeout and the
+//!   device itself recovers once the kernel is killed.
+//! * **Straggler** — the launch completes correctly but its modelled time
+//!   is inflated by a seeded factor drawn in
+//!   `[straggler_factor / 2, straggler_factor]`.
+//!
+//! Events are drawn per launch from the same counter-based RNG as the
+//! bit-level injector, seeded per `(seed, device, launch index)`: a fleet
+//! run is exactly reproducible, and with every rate zero not a single
+//! draw happens (provably inert, like [`crate::fault::FaultConfig`]).
+
+use crate::config::GpuConfig;
+use crate::counters::DeviceCounters;
+use crate::exec::Gpu;
+use crate::fault::{FaultConfig, FaultInjector};
+
+/// Per-device fault rates plus the RNG seed. All rates are per *launch*.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceFaultConfig {
+    /// RNG seed; same seed ⇒ identical event sequence per device.
+    pub seed: u64,
+    /// Probability that a launch's device dies permanently.
+    pub crash_rate: f64,
+    /// Probability that a launch hangs (never completes; device survives
+    /// once the kernel is killed on timeout).
+    pub hang_rate: f64,
+    /// Probability that a launch straggles.
+    pub straggler_rate: f64,
+    /// Maximum slowdown of a straggling launch; the factor is drawn
+    /// uniformly in `[straggler_factor / 2, straggler_factor]`. Must be
+    /// ≥ 1.
+    pub straggler_factor: f64,
+}
+
+impl Default for DeviceFaultConfig {
+    fn default() -> Self {
+        DeviceFaultConfig::disabled()
+    }
+}
+
+impl DeviceFaultConfig {
+    /// No device faults: every rate zero (the factor keeps a sane default
+    /// so enabling stragglers only needs a rate).
+    pub fn disabled() -> Self {
+        DeviceFaultConfig {
+            seed: 0,
+            crash_rate: 0.0,
+            hang_rate: 0.0,
+            straggler_rate: 0.0,
+            straggler_factor: 8.0,
+        }
+    }
+
+    /// True when any device-level event can fire.
+    pub fn enabled(&self) -> bool {
+        self.crash_rate > 0.0 || self.hang_rate > 0.0 || self.straggler_rate > 0.0
+    }
+}
+
+/// The device-level outcome of one launch, drawn before execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeviceEvent {
+    /// The launch completes normally.
+    Completed,
+    /// The launch completes with its modelled time multiplied by the
+    /// carried factor (≥ 1).
+    Straggle(f64),
+    /// The launch never completes; only a timeout surfaces it.
+    Hang,
+    /// The device died; this launch and all future ones are lost.
+    Crash,
+}
+
+/// One simulated GPU in a fleet: a [`Gpu`] instance plus device-level
+/// fault state and cumulative [`DeviceCounters`].
+pub struct SimDevice {
+    id: usize,
+    gpu: Gpu,
+    faults: DeviceFaultConfig,
+    launches: u64,
+    alive: bool,
+    counters: DeviceCounters,
+}
+
+impl SimDevice {
+    /// Builds device `id` over its own [`Gpu`] instance. When bit-level
+    /// injection is enabled in `config`, its seed is re-derived per device
+    /// so fleet members draw independent fault sites.
+    pub fn new(id: usize, mut config: GpuConfig, faults: DeviceFaultConfig) -> Self {
+        if config.faults.enabled() {
+            config.faults.seed = config
+                .faults
+                .seed
+                .wrapping_add((id as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25));
+        }
+        SimDevice {
+            id,
+            gpu: Gpu::new(config),
+            faults,
+            launches: 0,
+            alive: true,
+            counters: DeviceCounters { id: id as u64, ..DeviceCounters::default() },
+        }
+    }
+
+    /// The device's index in its fleet.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The underlying simulated GPU (engines run on it directly).
+    pub fn gpu(&self) -> &Gpu {
+        &self.gpu
+    }
+
+    /// True until the device crashes (drawn or operator-killed).
+    pub fn alive(&self) -> bool {
+        self.alive
+    }
+
+    /// The device-level fault configuration currently in force.
+    pub fn faults(&self) -> &DeviceFaultConfig {
+        &self.faults
+    }
+
+    /// Replaces the device-level fault configuration on a live device
+    /// (chaos profiles start and stop bursts mid-stream). The launch
+    /// counter keeps advancing, so later draws stay decorrelated.
+    pub fn set_faults(&mut self, faults: DeviceFaultConfig) {
+        self.faults = faults;
+    }
+
+    /// Replaces the bit-level fault configuration of this device's GPU
+    /// (re-derived per device exactly like [`SimDevice::new`]).
+    pub fn set_bit_faults(&mut self, mut faults: FaultConfig) {
+        if faults.enabled() {
+            faults.seed = faults
+                .seed
+                .wrapping_add((self.id as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25));
+        }
+        self.gpu.config.faults = faults;
+    }
+
+    /// Operator kill switch: the device is permanently lost, as if a
+    /// crash event had fired.
+    pub fn kill(&mut self) {
+        self.alive = false;
+        self.counters.crashed = true;
+    }
+
+    /// Cumulative per-device counters.
+    pub fn counters(&self) -> &DeviceCounters {
+        &self.counters
+    }
+
+    /// Mutable counters (the scheduler records retries, speculative
+    /// launches, and merged kernel counters here).
+    pub fn counters_mut(&mut self) -> &mut DeviceCounters {
+        &mut self.counters
+    }
+
+    /// Draws the device-level outcome of the next launch and advances the
+    /// launch counter. A dead device always reports [`DeviceEvent::Crash`]
+    /// without drawing. Draw order is fixed (crash, hang, straggle) so a
+    /// fleet run replays bit-for-bit.
+    pub fn next_event(&mut self) -> DeviceEvent {
+        if !self.alive {
+            return DeviceEvent::Crash;
+        }
+        let launch = self.launches;
+        self.launches += 1;
+        if !self.faults.enabled() {
+            return DeviceEvent::Completed;
+        }
+        let cfg = FaultConfig { seed: self.faults.seed, ..FaultConfig::disabled() };
+        let mut rng = FaultInjector::for_warp(cfg, launch, self.id as u64);
+        if rng.chance(self.faults.crash_rate) {
+            self.alive = false;
+            self.counters.crashed = true;
+            return DeviceEvent::Crash;
+        }
+        if rng.chance(self.faults.hang_rate) {
+            return DeviceEvent::Hang;
+        }
+        if rng.chance(self.faults.straggler_rate) {
+            let f = self.faults.straggler_factor.max(1.0);
+            let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            return DeviceEvent::Straggle((f / 2.0 + u * f / 2.0).max(1.0));
+        }
+        DeviceEvent::Completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l40() -> GpuConfig {
+        GpuConfig::l40()
+    }
+
+    #[test]
+    fn disabled_config_never_draws_and_always_completes() {
+        let mut d = SimDevice::new(0, l40(), DeviceFaultConfig::disabled());
+        for _ in 0..64 {
+            assert_eq!(d.next_event(), DeviceEvent::Completed);
+        }
+        assert!(d.alive());
+        assert!(!DeviceFaultConfig::disabled().enabled());
+    }
+
+    #[test]
+    fn event_stream_is_deterministic_per_seed() {
+        let faults = DeviceFaultConfig {
+            seed: 42,
+            crash_rate: 0.02,
+            hang_rate: 0.1,
+            straggler_rate: 0.3,
+            ..DeviceFaultConfig::disabled()
+        };
+        let run = |id: usize| {
+            let mut d = SimDevice::new(id, l40(), faults);
+            (0..200).map(|_| d.next_event()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2), "devices draw independent streams");
+    }
+
+    #[test]
+    fn crash_is_permanent() {
+        let faults =
+            DeviceFaultConfig { seed: 7, crash_rate: 1.0, ..DeviceFaultConfig::disabled() };
+        let mut d = SimDevice::new(3, l40(), faults);
+        assert_eq!(d.next_event(), DeviceEvent::Crash);
+        assert!(!d.alive());
+        assert!(d.counters().crashed);
+        // Even after clearing the rates the device stays dead.
+        d.set_faults(DeviceFaultConfig::disabled());
+        assert_eq!(d.next_event(), DeviceEvent::Crash);
+    }
+
+    #[test]
+    fn straggle_factor_stays_in_band() {
+        let faults = DeviceFaultConfig {
+            seed: 11,
+            straggler_rate: 1.0,
+            straggler_factor: 6.0,
+            ..DeviceFaultConfig::disabled()
+        };
+        let mut d = SimDevice::new(0, l40(), faults);
+        let mut straggles = 0;
+        for _ in 0..100 {
+            if let DeviceEvent::Straggle(f) = d.next_event() {
+                assert!((3.0..=6.0).contains(&f), "factor {f}");
+                straggles += 1;
+            }
+        }
+        assert_eq!(straggles, 100);
+    }
+
+    #[test]
+    fn rates_track_probability() {
+        let faults = DeviceFaultConfig {
+            seed: 23,
+            hang_rate: 0.25,
+            ..DeviceFaultConfig::disabled()
+        };
+        let mut d = SimDevice::new(0, l40(), faults);
+        let hangs = (0..2000).filter(|_| d.next_event() == DeviceEvent::Hang).count();
+        assert!((400..600).contains(&hangs), "got {hangs}");
+    }
+
+    #[test]
+    fn kill_switch_matches_crash_semantics() {
+        let mut d = SimDevice::new(5, l40(), DeviceFaultConfig::disabled());
+        d.kill();
+        assert!(!d.alive());
+        assert_eq!(d.next_event(), DeviceEvent::Crash);
+        assert!(d.counters().crashed);
+    }
+
+    #[test]
+    fn bit_fault_seed_is_decorrelated_per_device() {
+        let mut cfg = l40();
+        cfg.faults = FaultConfig::uniform(9, 0.5);
+        let a = SimDevice::new(0, cfg.clone(), DeviceFaultConfig::disabled());
+        let b = SimDevice::new(1, cfg, DeviceFaultConfig::disabled());
+        assert_ne!(a.gpu().config.faults.seed, b.gpu().config.faults.seed);
+    }
+}

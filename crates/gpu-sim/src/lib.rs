@@ -23,6 +23,7 @@
 
 pub mod config;
 pub mod counters;
+pub mod device;
 pub mod exec;
 pub mod fault;
 pub mod fragment;
@@ -32,7 +33,8 @@ pub mod mma;
 pub mod timing;
 
 pub use config::GpuConfig;
-pub use counters::KernelCounters;
+pub use counters::{DeviceCounters, KernelCounters};
+pub use device::{DeviceEvent, DeviceFaultConfig, SimDevice};
 pub use exec::{Gpu, WarpCtx, WARP_SIZE};
 pub use fault::{FaultConfig, FaultInjector};
 pub use fragment::{FragKind, Fragment, FRAG_DIM, REGS_PER_LANE};

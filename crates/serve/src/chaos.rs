@@ -169,7 +169,7 @@ impl ChaosReport {
 
 /// The matrices every cell serves (small enough that a sweep stays fast,
 /// varied enough to cover tall, wide, and empty-block-row shapes).
-fn sweep_matrices() -> Vec<Csr> {
+pub(crate) fn sweep_matrices() -> Vec<Csr> {
     vec![
         gen::random_uniform(96, 96, 1400, 501),
         gen::random_uniform(160, 64, 1100, 502),
@@ -199,7 +199,7 @@ fn sparse_with_empty_block_rows() -> Csr {
 }
 
 /// Deterministic input vector, varied per request index.
-fn chaos_x(ncols: usize, salt: usize) -> Vec<f32> {
+pub(crate) fn chaos_x(ncols: usize, salt: usize) -> Vec<f32> {
     (0..ncols)
         .map(|i| ((i * 131 + salt * 977 + 29) % 256) as f32 / 128.0 - 1.0)
         .collect()
@@ -207,7 +207,7 @@ fn chaos_x(ncols: usize, salt: usize) -> Vec<f32> {
 
 /// f16-accumulation oracle tolerance for `row` of `csr` (same bound the
 /// fault-injection experiments use).
-fn oracle_tol(csr: &Csr, row: usize, oracle: f64) -> f64 {
+pub(crate) fn oracle_tol(csr: &Csr, row: usize, oracle: f64) -> f64 {
     let row_nnz = (csr.row_ptr[row + 1] - csr.row_ptr[row]) as f64;
     let base = 2.0f64.powi(-10) * 3.0;
     (base * row_nnz.max(1.0) + 1e-4) * oracle.abs().max(1.0)

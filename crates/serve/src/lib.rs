@@ -10,10 +10,14 @@
 //! The moving parts, each in its own module:
 //!
 //! * [`server`] — the [`SpmvServer`]: registration (ingress validation,
-//!   engine preparation, cost estimation), the three-rung failover ladder
-//!   (ABFT-checked tensor-core Spaden → scalar bitBSR recompute → CSR
-//!   baseline with f32 checksums), per-request deadline budgets in
-//!   simulated time, retry with exponential backoff.
+//!   engine preparation, cost estimation), the four-rung failover ladder
+//!   (multi-device sharded Spaden → ABFT-checked tensor-core Spaden →
+//!   scalar bitBSR recompute → CSR baseline with f32 checksums),
+//!   per-request deadline budgets in simulated time, retry with
+//!   exponential backoff. The sharded rung is enabled by setting
+//!   [`ServeConfig::shard_devices`] and adds crash redistribution, hang
+//!   timeouts, and straggler speculation on a fleet of simulated
+//!   devices.
 //! * [`breaker`] — a per-rung [`CircuitBreaker`] that trips after
 //!   consecutive verification failures, sheds load while open, and
 //!   probes its way back (half-open) when the fault burst passes.
@@ -24,6 +28,10 @@
 //!   rungs.
 //! * [`chaos`] — [`chaos_sweep`], the fault-rate × seed harness behind
 //!   `repro serve`, certifying the no-silent-wrong-answer SLO.
+//! * [`device_chaos`] — [`device_chaos_sweep`], fleet-level failure
+//!   profiles (kill one device mid-stream, all devices slow, rolling
+//!   hangs) behind `repro shard`, certifying the same SLO plus a ≥ 90%
+//!   availability bar under device loss.
 //!
 //! # Quickstart
 //!
@@ -44,11 +52,15 @@
 pub mod breaker;
 pub mod chaos;
 pub mod checksum;
+pub mod device_chaos;
 pub mod queue;
 pub mod server;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use chaos::{chaos_sweep, CellReport, ChaosConfig, ChaosReport, FaultProfile};
+pub use device_chaos::{
+    device_chaos_sweep, DeviceCellReport, DeviceChaosConfig, DeviceChaosReport, DeviceProfile,
+};
 pub use checksum::CsrChecksums;
 pub use queue::BoundedQueue;
 pub use server::{

@@ -1,14 +1,19 @@
 //! The multi-engine SpMV request executor.
 //!
-//! Every request runs down a three-rung failover ladder until a rung
+//! Every request runs down a four-rung failover ladder until a rung
 //! produces a *verified* result:
 //!
-//! 1. **Spaden checked** — the tensor-core kernel with ABFT
+//! 1. **Sharded** (when a device fleet is configured) — the matrix cut
+//!    into nnz-balanced shards across N simulated devices
+//!    ([`spaden_shard::ShardedMatrix`]), with per-shard ABFT
+//!    verification, crash redistribution, hang timeouts, and straggler
+//!    speculation.
+//! 2. **Spaden checked** — the tensor-core kernel with ABFT
 //!    verify-and-recompute ([`SpadenEngine::try_run_checked`]).
-//! 2. **Spaden scalar recompute** — the full matrix on the CUDA-core
+//! 3. **Spaden scalar recompute** — the full matrix on the CUDA-core
 //!    bitBSR path ([`SpadenNoTcEngine`]), verified against the same f16
 //!    ABFT checksums.
-//! 3. **CSR baseline** — the cuSPARSE-style adaptive CSR kernel, verified
+//! 4. **CSR baseline** — the cuSPARSE-style adaptive CSR kernel, verified
 //!    against f32 block-row checksums ([`CsrChecksums`]).
 //!
 //! A rung failure is always a *typed* [`EngineError`]; transient ones
@@ -37,30 +42,36 @@ use crate::queue::BoundedQueue;
 use spaden::engine::{EngineError, SpmvRun};
 use spaden::{SpadenEngine, SpadenNoTcEngine, SpmvEngine};
 use spaden_baselines::CusparseCsrEngine;
-use spaden_gpusim::{FaultConfig, Gpu};
+use spaden_gpusim::{DeviceFaultConfig, FaultConfig, Gpu};
+use spaden_shard::{DeviceFleet, ShardError, ShardPolicy, ShardedMatrix};
 use spaden_sparse::csr::Csr;
 
 /// The failover ladder, strongest (fastest, self-correcting) rung first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Rung {
+    /// Multi-device sharded Spaden with crash/hang/straggler recovery.
+    /// Skipped (without counting) when no fleet is configured.
+    Sharded = 0,
     /// ABFT-checked tensor-core Spaden.
-    SpadenChecked = 0,
+    SpadenChecked = 1,
     /// Full-matrix scalar recompute on the bitBSR CUDA-core path.
-    SpadenScalar = 1,
+    SpadenScalar = 2,
     /// cuSPARSE-style CSR baseline with f32 checksums.
-    CsrBaseline = 2,
+    CsrBaseline = 3,
 }
 
 /// Number of ladder rungs.
-pub const RUNGS: usize = 3;
+pub const RUNGS: usize = 4;
 
 impl Rung {
     /// Ladder order, top to bottom.
-    pub const ALL: [Rung; RUNGS] = [Rung::SpadenChecked, Rung::SpadenScalar, Rung::CsrBaseline];
+    pub const ALL: [Rung; RUNGS] =
+        [Rung::Sharded, Rung::SpadenChecked, Rung::SpadenScalar, Rung::CsrBaseline];
 
     /// Display name for reports.
     pub fn name(&self) -> &'static str {
         match self {
+            Rung::Sharded => "sharded",
             Rung::SpadenChecked => "spaden-checked",
             Rung::SpadenScalar => "spaden-scalar",
             Rung::CsrBaseline => "csr-baseline",
@@ -86,6 +97,16 @@ pub struct ServeConfig {
     pub arrival_interval_s: f64,
     /// Per-rung circuit-breaker thresholds.
     pub breaker: BreakerConfig,
+    /// Devices in the sharded rung's fleet. `0` disables the rung
+    /// entirely (the default — single-device serving is unchanged).
+    pub shard_devices: usize,
+    /// Shards requested per device when partitioning a registered
+    /// matrix for the sharded rung.
+    pub shards_per_device: usize,
+    /// Retry/timeout/speculation policy of the shard scheduler.
+    pub shard_policy: ShardPolicy,
+    /// Device-level fault rates of the fleet (crash/hang/straggler).
+    pub device_faults: DeviceFaultConfig,
 }
 
 impl Default for ServeConfig {
@@ -101,6 +122,10 @@ impl Default for ServeConfig {
             backoff_base_s: 1e-6,
             arrival_interval_s: 3e-6,
             breaker: BreakerConfig::default(),
+            shard_devices: 0,
+            shards_per_device: 2,
+            shard_policy: ShardPolicy::default(),
+            device_faults: DeviceFaultConfig::disabled(),
         }
     }
 }
@@ -250,8 +275,9 @@ impl ServeStats {
     }
 }
 
-/// One registered matrix: the three ladder engines, the CSR-rung
-/// checksums, and per-rung cost estimates for deadline admission.
+/// One registered matrix: the single-device ladder engines, the
+/// CSR-rung checksums, and per-rung cost estimates for deadline
+/// admission (the sharded form lives in `SpmvServer::sharded`).
 struct PreparedMatrix {
     nrows: usize,
     ncols: usize,
@@ -268,12 +294,18 @@ struct PreparedMatrix {
 /// The resilient SpMV server.
 ///
 /// Owns the simulated GPU, the registered matrices, the admission queue,
-/// and one circuit breaker per ladder rung (an engine's health is global
-/// across matrices — a sick tensor-core path is sick for everyone).
+/// the optional device fleet of the sharded rung, and one circuit
+/// breaker per ladder rung (an engine's health is global across
+/// matrices — a sick tensor-core path is sick for everyone).
 pub struct SpmvServer {
     gpu: Gpu,
     config: ServeConfig,
     matrices: Vec<PreparedMatrix>,
+    /// Sharded form of each registered matrix, parallel to `matrices`;
+    /// `None` entries when no fleet is configured.
+    sharded: Vec<Option<ShardedMatrix>>,
+    /// The sharded rung's devices; `None` disables the rung.
+    fleet: Option<DeviceFleet>,
     breakers: [CircuitBreaker; RUNGS],
     queue: BoundedQueue<(usize, Request)>,
     stats: ServeStats,
@@ -286,7 +318,19 @@ impl SpmvServer {
         let breakers =
             [0; RUNGS].map(|_| CircuitBreaker::new(config.breaker));
         let queue = BoundedQueue::new(config.queue_capacity);
-        SpmvServer { gpu, config, matrices: Vec::new(), breakers, queue, stats: ServeStats::default(), clock_s: 0.0 }
+        let fleet = (config.shard_devices > 0)
+            .then(|| DeviceFleet::new(config.shard_devices, &gpu.config, config.device_faults));
+        SpmvServer {
+            gpu,
+            config,
+            matrices: Vec::new(),
+            sharded: Vec::new(),
+            fleet,
+            breakers,
+            queue,
+            stats: ServeStats::default(),
+            clock_s: 0.0,
+        }
     }
 
     /// The simulated GPU requests run on.
@@ -295,9 +339,35 @@ impl SpmvServer {
     }
 
     /// Replaces the GPU's fault configuration (chaos harness hook: fault
-    /// bursts start and stop on a live server).
+    /// bursts start and stop on a live server). Applies to the
+    /// single-device ladder and every fleet device (each re-derives its
+    /// own seed).
     pub fn set_fault_config(&mut self, faults: FaultConfig) {
         self.gpu.config.faults = faults;
+        if let Some(fleet) = &mut self.fleet {
+            fleet.set_bit_faults(faults);
+        }
+    }
+
+    /// The sharded rung's fleet, when one is configured.
+    pub fn fleet(&self) -> Option<&DeviceFleet> {
+        self.fleet.as_ref()
+    }
+
+    /// Operator kill switch for one fleet device (chaos harness: kill a
+    /// device mid-batch). No-op without a fleet.
+    pub fn kill_device(&mut self, id: usize) {
+        if let Some(fleet) = &mut self.fleet {
+            fleet.kill(id);
+        }
+    }
+
+    /// Replaces the fleet's device-level fault configuration (chaos
+    /// profiles start and stop bursts mid-stream). No-op without a fleet.
+    pub fn set_device_faults(&mut self, faults: DeviceFaultConfig) {
+        if let Some(fleet) = &mut self.fleet {
+            fleet.set_faults(faults);
+        }
     }
 
     /// Aggregate statistics so far.
@@ -341,12 +411,31 @@ impl SpmvServer {
         let csr_eng =
             CusparseCsrEngine::try_prepare(&self.gpu, csr).map_err(ServeError::Invalid)?;
         let sums = CsrChecksums::build(csr);
+        // The sharded form is partitioned once here; its checksums are
+        // slices of the full matrix's (never recomputed).
+        let sharded = match &self.fleet {
+            Some(fleet) => Some(
+                ShardedMatrix::try_new(
+                    &self.gpu.config,
+                    csr,
+                    fleet.len() * self.config.shards_per_device.max(1),
+                    self.config.shard_policy,
+                )
+                .map_err(ServeError::Invalid)?,
+            ),
+            None => None,
+        };
         // Cost estimates from real counters: one plain (unchecked) run per
         // rung. Counter totals depend on structure, not values, so the
-        // estimate holds for every future x.
+        // estimate holds for every future x. The sharded estimate assumes
+        // a full healthy fleet; the scheduler re-prices after crashes.
         let x0 = vec![0.0f32; csr.ncols];
         let est = |run: SpmvRun| run.time.seconds;
         let est_cost_s = [
+            match (&sharded, &self.fleet) {
+                (Some(sm), Some(fleet)) => sm.est_s(fleet.len()),
+                _ => f64::INFINITY, // rung disabled; never attempted
+            },
             est(spaden.try_run(&self.gpu, &x0).map_err(ServeError::Invalid)?),
             est(scalar.try_run(&self.gpu, &x0).map_err(ServeError::Invalid)?),
             est(csr_eng.try_run(&self.gpu, &x0).map_err(ServeError::Invalid)?),
@@ -360,6 +449,7 @@ impl SpmvServer {
             sums,
             est_cost_s,
         });
+        self.sharded.push(sharded);
         Ok(MatrixHandle(self.matrices.len() - 1))
     }
 
@@ -429,6 +519,9 @@ impl SpmvServer {
 
         for rung in Rung::ALL {
             let r = rung as usize;
+            if rung == Rung::Sharded && self.fleet.is_none() {
+                continue; // rung not configured; not counted as skipped
+            }
             if !self.breakers[r].allow(self.clock_s) {
                 self.stats.skipped_breaker[r] += 1;
                 continue;
@@ -442,15 +535,42 @@ impl SpmvServer {
                 }
                 self.stats.attempts[r] += 1;
                 attempts += 1;
-                match Self::run_rung(&self.gpu, m, rung, &req.x) {
-                    Ok(run) => {
-                        spent += run.time.seconds;
-                        self.clock_s += run.time.seconds;
+                // The sharded rung dispatches to its own scheduler; the
+                // single-device rungs go through `run_rung`. Both yield a
+                // verified `y` plus the simulated seconds it cost.
+                let outcome: Result<(Vec<f32>, f64), EngineError> = if rung == Rung::Sharded {
+                    let fleet = self.fleet.as_mut().expect("sharded rung requires a fleet");
+                    let sm = self.sharded[req.matrix.0]
+                        .as_mut()
+                        .expect("sharded form is built at registration");
+                    match sm.execute(fleet, &req.x, Some(budget - spent)) {
+                        Ok(run) => Ok((run.y, run.elapsed_s)),
+                        Err(ShardError::DeadlineExceeded { .. }) => {
+                            // A crash re-priced the remaining work out of
+                            // the budget; the scheduler failed fast, so
+                            // charge nothing and descend to a cheaper rung
+                            // with the budget marked as binding.
+                            self.stats.skipped_deadline[r] += 1;
+                            deadline_bound = true;
+                            break;
+                        }
+                        Err(e) => Err(e.to_engine_error()),
+                    }
+                } else {
+                    Self::run_rung(&self.gpu, m, rung, &req.x).map(|run| {
+                        let seconds = run.time.seconds;
+                        (run.y, seconds)
+                    })
+                };
+                match outcome {
+                    Ok((y, seconds)) => {
+                        spent += seconds;
+                        self.clock_s += seconds;
                         self.breakers[r].record_success();
                         self.stats.served[r] += 1;
                         self.stats.retries += retries as u64;
                         self.stats.latencies_s.push(spent);
-                        return Ok(ServedOk { y: run.y, rung, latency_s: spent, retries });
+                        return Ok(ServedOk { y, rung, latency_s: spent, retries });
                     }
                     Err(e) => {
                         // A failed attempt still ran the kernels: charge
@@ -503,6 +623,7 @@ impl SpmvServer {
         x: &[f32],
     ) -> Result<SpmvRun, EngineError> {
         match rung {
+            Rung::Sharded => unreachable!("sharded rung is dispatched in serve_admitted"),
             Rung::SpadenChecked => m.spaden.try_run_checked(gpu, x),
             Rung::SpadenScalar => {
                 let run = m.scalar.try_run(gpu, x)?;
@@ -559,7 +680,7 @@ mod tests {
             assert!((*a as f64 - o).abs() <= tol, "row {r}: {a} vs {o}");
         }
         assert_eq!(srv.stats().ok_total(), 1);
-        assert_eq!(srv.stats().served[0], 1);
+        assert_eq!(srv.stats().served[Rung::SpadenChecked as usize], 1);
     }
 
     #[test]
@@ -684,7 +805,57 @@ mod tests {
             other => panic!("all rungs drained: expected Unavailable, got {other:?}"),
         }
         assert_eq!(srv.stats().unavailable, 1);
-        assert!(srv.stats().served[1] == 1 && srv.stats().served[2] == 1);
+        assert!(
+            srv.stats().served[Rung::SpadenScalar as usize] == 1
+                && srv.stats().served[Rung::CsrBaseline as usize] == 1
+        );
+    }
+
+    fn sharded_server(devices: usize) -> (SpmvServer, MatrixHandle, Csr) {
+        let csr = gen::random_uniform(256, 96, 3200, 907);
+        let cfg = ServeConfig { shard_devices: devices, ..ServeConfig::default() };
+        let mut srv = SpmvServer::new(Gpu::new(GpuConfig::l40()), cfg);
+        let h = srv.register(&csr).expect("valid matrix registers");
+        (srv, h, csr)
+    }
+
+    #[test]
+    fn sharded_rung_serves_when_fleet_configured() {
+        let (mut srv, h, csr) = sharded_server(4);
+        let x = make_x(96);
+        let ok = srv
+            .serve(Request { matrix: h, x: x.clone(), deadline_s: None })
+            .expect("healthy fleet serves");
+        assert_eq!(ok.rung, Rung::Sharded);
+        // The sharded result is bit-identical to the single-device path.
+        let single = SpadenEngine::prepare(srv.gpu(), &csr).run(srv.gpu(), &x);
+        assert_eq!(ok.y, single.y);
+        assert_eq!(srv.stats().served[Rung::Sharded as usize], 1);
+    }
+
+    #[test]
+    fn dead_fleet_fails_over_to_single_device_ladder() {
+        let (mut srv, h, _) = sharded_server(3);
+        for d in 0..3 {
+            srv.kill_device(d);
+        }
+        let ok = srv
+            .serve(Request { matrix: h, x: make_x(96), deadline_s: None })
+            .expect("single-device ladder still serves");
+        assert_eq!(ok.rung, Rung::SpadenChecked, "sharded rung fails, ladder descends");
+        assert!(srv.stats().failures[Rung::Sharded as usize] >= 1);
+    }
+
+    #[test]
+    fn one_dead_device_still_serves_sharded() {
+        let (mut srv, h, csr) = sharded_server(4);
+        srv.kill_device(1);
+        let x = make_x(96);
+        let ok = srv.serve(Request { matrix: h, x: x.clone(), deadline_s: None }).unwrap();
+        assert_eq!(ok.rung, Rung::Sharded, "3 survivors carry the request");
+        let single = SpadenEngine::prepare(srv.gpu(), &csr).run(srv.gpu(), &x);
+        assert_eq!(ok.y, single.y);
+        assert_eq!(srv.fleet().unwrap().alive_count(), 3);
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! A fleet of independent simulated devices.
+//!
+//! Each member is a [`SimDevice`] — its own [`spaden_gpusim::Gpu`]
+//! instance with device-level fault state and cumulative counters. The
+//! fleet owns no scheduling policy; it is the hardware the
+//! [`crate::sharded`] scheduler drives.
+
+use spaden_gpusim::{DeviceCounters, DeviceFaultConfig, FaultConfig, GpuConfig, SimDevice};
+
+/// `n` independent simulated GPUs sharing one hardware configuration.
+pub struct DeviceFleet {
+    devices: Vec<SimDevice>,
+}
+
+impl DeviceFleet {
+    /// Builds a fleet of `n` devices. Every device gets the same
+    /// `config` and `faults`, but draws its own decorrelated event and
+    /// bit-fault streams (seeds are re-derived per device id).
+    pub fn new(n: usize, config: &GpuConfig, faults: DeviceFaultConfig) -> Self {
+        assert!(n > 0, "a fleet needs at least one device");
+        DeviceFleet {
+            devices: (0..n).map(|id| SimDevice::new(id, config.clone(), faults)).collect(),
+        }
+    }
+
+    /// Number of devices (alive or dead).
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// A fleet is never empty (see [`DeviceFleet::new`]).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// All devices, in id order.
+    pub fn devices(&self) -> &[SimDevice] {
+        &self.devices
+    }
+
+    /// Device `id` (panics when out of range).
+    pub fn device(&self, id: usize) -> &SimDevice {
+        &self.devices[id]
+    }
+
+    /// Mutable device `id` (panics when out of range).
+    pub fn device_mut(&mut self, id: usize) -> &mut SimDevice {
+        &mut self.devices[id]
+    }
+
+    /// Devices that have not crashed.
+    pub fn alive_count(&self) -> usize {
+        self.devices.iter().filter(|d| d.alive()).count()
+    }
+
+    /// Operator kill switch for device `id` (chaos harness).
+    pub fn kill(&mut self, id: usize) {
+        self.devices[id].kill();
+    }
+
+    /// Replaces the device-level fault configuration fleet-wide.
+    pub fn set_faults(&mut self, faults: DeviceFaultConfig) {
+        for d in &mut self.devices {
+            d.set_faults(faults);
+        }
+    }
+
+    /// Replaces the bit-level fault configuration fleet-wide (each
+    /// device re-derives its own seed).
+    pub fn set_bit_faults(&mut self, faults: FaultConfig) {
+        for d in &mut self.devices {
+            d.set_bit_faults(faults);
+        }
+    }
+
+    /// Snapshot of every device's cumulative counters, in id order.
+    pub fn counters(&self) -> Vec<DeviceCounters> {
+        self.devices.iter().map(|d| d.counters().clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_builds_independent_devices() {
+        let fleet = DeviceFleet::new(4, &GpuConfig::l40(), DeviceFaultConfig::disabled());
+        assert_eq!(fleet.len(), 4);
+        assert!(!fleet.is_empty());
+        assert_eq!(fleet.alive_count(), 4);
+        for (i, d) in fleet.devices().iter().enumerate() {
+            assert_eq!(d.id(), i);
+        }
+    }
+
+    #[test]
+    fn kill_reduces_alive_count() {
+        let mut fleet = DeviceFleet::new(3, &GpuConfig::l40(), DeviceFaultConfig::disabled());
+        fleet.kill(1);
+        assert_eq!(fleet.alive_count(), 2);
+        assert!(!fleet.device(1).alive());
+        assert!(fleet.counters()[1].crashed);
+    }
+
+    #[test]
+    fn set_faults_applies_fleet_wide() {
+        let mut fleet = DeviceFleet::new(2, &GpuConfig::l40(), DeviceFaultConfig::disabled());
+        let cfg = DeviceFaultConfig { seed: 5, hang_rate: 0.5, ..DeviceFaultConfig::disabled() };
+        fleet.set_faults(cfg);
+        assert_eq!(fleet.device(0).faults(), &cfg);
+        assert_eq!(fleet.device(1).faults(), &cfg);
+    }
+}

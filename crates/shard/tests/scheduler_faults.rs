@@ -1,0 +1,222 @@
+//! Scheduler behaviour under device-level faults: crash redistribution,
+//! hang timeouts, straggler speculation, deadline re-pricing.
+
+use spaden::gpusim::{DeviceFaultConfig, Gpu, GpuConfig};
+use spaden::sparse::gen::random_uniform;
+use spaden::sparse::Csr;
+use spaden::{SpadenEngine, SpmvEngine};
+use spaden_shard::{DeviceFleet, ShardError, ShardPolicy, ShardedMatrix};
+
+fn make_x(ncols: usize, seed: u64) -> Vec<f32> {
+    (0..ncols)
+        .map(|i| ((i as u64).wrapping_mul(2654435761).wrapping_add(seed) % 256) as f32 / 128.0 - 1.0)
+        .collect()
+}
+
+fn reference_y(config: &GpuConfig, csr: &Csr, x: &[f32]) -> Vec<f32> {
+    let gpu = Gpu::new(config.clone());
+    SpadenEngine::prepare(&gpu, csr).run(&gpu, x).y
+}
+
+#[test]
+fn survives_a_device_killed_before_the_request() {
+    let config = GpuConfig::l40();
+    let csr = random_uniform(320, 160, 3500, 41);
+    let x = make_x(160, 1);
+    let want = reference_y(&config, &csr, &x);
+    let mut m = ShardedMatrix::try_new(&config, &csr, 8, ShardPolicy::default()).unwrap();
+    let mut fleet = DeviceFleet::new(4, &config, DeviceFaultConfig::disabled());
+    fleet.kill(2);
+    let run = m.execute(&mut fleet, &x, None).expect("survivors finish the request");
+    assert_eq!(run.y, want, "redistributed result must stay exact");
+    // The dead device never ran anything.
+    assert_eq!(fleet.counters()[2].completed, 0);
+}
+
+#[test]
+fn crash_mid_request_redistributes_to_survivors() {
+    let config = GpuConfig::l40();
+    let csr = random_uniform(320, 160, 3500, 42);
+    let x = make_x(160, 2);
+    let want = reference_y(&config, &csr, &x);
+    let mut m = ShardedMatrix::try_new(&config, &csr, 8, ShardPolicy::default()).unwrap();
+    // Crash rate 1 on a fleet of 3: every device dies on its first
+    // launch... so make only the stream of device 0 lethal by seeding a
+    // fleet where crash probability is high but not certain, and verify
+    // the deterministic outcome.
+    let faults =
+        DeviceFaultConfig { seed: 1201, crash_rate: 0.15, ..DeviceFaultConfig::disabled() };
+    let mut fleet = DeviceFleet::new(4, &config, faults);
+    match m.execute(&mut fleet, &x, None) {
+        Ok(run) => {
+            assert_eq!(run.y, want);
+            // With this seed at 15% crash rate over ≥8 launches, at
+            // least one device must have died mid-request.
+            assert!(run.report.devices_lost >= 1, "expected a crash: {:?}", run.report);
+            assert!(run.report.reassigned >= 1, "crash must redistribute: {:?}", run.report);
+        }
+        Err(ShardError::AllDevicesLost { .. }) => {
+            panic!("4 devices at 15% per-launch crash rate should not all die")
+        }
+        Err(e) => panic!("unexpected failure: {e}"),
+    }
+}
+
+#[test]
+fn all_devices_lost_is_typed_not_silent() {
+    let config = GpuConfig::l40();
+    let csr = random_uniform(160, 96, 1200, 43);
+    let x = make_x(96, 3);
+    let mut m = ShardedMatrix::try_new(&config, &csr, 4, ShardPolicy::default()).unwrap();
+    let faults = DeviceFaultConfig { seed: 7, crash_rate: 1.0, ..DeviceFaultConfig::disabled() };
+    let mut fleet = DeviceFleet::new(3, &config, faults);
+    let err = m.execute(&mut fleet, &x, None).unwrap_err();
+    assert!(matches!(err, ShardError::AllDevicesLost { completed: 0, .. }), "{err:?}");
+    assert_eq!(fleet.alive_count(), 0);
+    assert_eq!(err.to_engine_error(), spaden::EngineError::DeviceLost { survivors: 0 });
+}
+
+#[test]
+fn hangs_are_detected_and_retried() {
+    let config = GpuConfig::l40();
+    let csr = random_uniform(256, 128, 2400, 44);
+    let x = make_x(128, 4);
+    let want = reference_y(&config, &csr, &x);
+    // Speculation off: the per-shard timeout alone must surface hangs.
+    let policy = ShardPolicy { speculation: false, ..ShardPolicy::default() };
+    let mut m = ShardedMatrix::try_new(&config, &csr, 6, policy).unwrap();
+    let faults =
+        DeviceFaultConfig { seed: 55, hang_rate: 0.3, ..DeviceFaultConfig::disabled() };
+    let mut fleet = DeviceFleet::new(3, &config, faults);
+    let run = m.execute(&mut fleet, &x, None).expect("hangs retry and clear");
+    assert_eq!(run.y, want);
+    assert!(run.report.hangs_detected >= 1, "30% hang rate must hit: {:?}", run.report);
+    assert!(run.report.retries >= 1);
+}
+
+#[test]
+fn hang_every_launch_exhausts_attempts() {
+    let config = GpuConfig::l40();
+    let csr = random_uniform(128, 96, 900, 45);
+    let x = make_x(96, 5);
+    let policy = ShardPolicy { speculation: false, ..ShardPolicy::default() };
+    let mut m = ShardedMatrix::try_new(&config, &csr, 2, policy).unwrap();
+    let faults = DeviceFaultConfig { seed: 3, hang_rate: 1.0, ..DeviceFaultConfig::disabled() };
+    let mut fleet = DeviceFleet::new(2, &config, faults);
+    let err = m.execute(&mut fleet, &x, None).unwrap_err();
+    match err {
+        ShardError::AttemptsExhausted { attempts, last, .. } => {
+            assert_eq!(attempts, policy.max_attempts);
+            assert_eq!(last, None, "pure timeouts carry no engine error");
+        }
+        other => panic!("expected AttemptsExhausted, got {other:?}"),
+    }
+}
+
+#[test]
+fn speculation_beats_no_speculation_on_straggler_p99() {
+    let config = GpuConfig::l40();
+    let csr = random_uniform(384, 192, 4800, 46);
+    let x = make_x(192, 6);
+    let want = reference_y(&config, &csr, &x);
+    let faults = DeviceFaultConfig {
+        seed: 17,
+        straggler_rate: 0.25,
+        straggler_factor: 20.0,
+        ..DeviceFaultConfig::disabled()
+    };
+    let elapsed = |speculation: bool| -> Vec<f64> {
+        let policy = ShardPolicy { speculation, ..ShardPolicy::default() };
+        let mut m = ShardedMatrix::try_new(&config, &csr, 8, policy).unwrap();
+        let mut fleet = DeviceFleet::new(4, &config, faults);
+        (0..40)
+            .map(|_| {
+                let run = m.execute(&mut fleet, &x, None).expect("stragglers still succeed");
+                assert_eq!(run.y, want, "straggling is slow, never wrong");
+                run.elapsed_s
+            })
+            .collect()
+    };
+    let mut with = elapsed(true);
+    let mut without = elapsed(false);
+    with.sort_by(f64::total_cmp);
+    without.sort_by(f64::total_cmp);
+    let p99 = |v: &[f64]| v[(v.len() - 1).min(v.len() * 99 / 100)];
+    assert!(
+        p99(&with) < p99(&without),
+        "speculation p99 {:.3e} should beat no-speculation p99 {:.3e}",
+        p99(&with),
+        p99(&without)
+    );
+}
+
+#[test]
+fn speculation_records_wins() {
+    let config = GpuConfig::l40();
+    let csr = random_uniform(256, 128, 2600, 47);
+    let x = make_x(128, 7);
+    let faults = DeviceFaultConfig {
+        seed: 29,
+        straggler_rate: 0.5,
+        straggler_factor: 30.0,
+        ..DeviceFaultConfig::disabled()
+    };
+    let mut m = ShardedMatrix::try_new(&config, &csr, 4, ShardPolicy::default()).unwrap();
+    let mut fleet = DeviceFleet::new(4, &config, faults);
+    let mut launches = 0;
+    let mut wins = 0;
+    for _ in 0..30 {
+        let run = m.execute(&mut fleet, &x, None).unwrap();
+        launches += run.report.speculative_launches;
+        wins += run.report.speculative_wins;
+    }
+    assert!(launches >= 1, "50% straggler rate at 30x must trigger speculation");
+    assert!(wins >= 1, "a 30x straggler must lose to its twin at least once");
+    let specs: u64 = fleet.counters().iter().map(|c| c.speculative_launches).sum();
+    assert_eq!(specs, launches, "device counters track speculative launches");
+}
+
+#[test]
+fn crash_reprices_deadline_against_survivors() {
+    let config = GpuConfig::l40();
+    let csr = random_uniform(512, 192, 9000, 48);
+    let x = make_x(192, 8);
+    let mut m = ShardedMatrix::try_new(&config, &csr, 8, ShardPolicy::default()).unwrap();
+    // Generous for 4 devices, hopeless once one crashes on its first
+    // launch: budget just above the 4-device estimate.
+    let budget = m.est_s(4) * 1.2;
+    let faults = DeviceFaultConfig { seed: 7, crash_rate: 1.0, ..DeviceFaultConfig::disabled() };
+    let mut fleet = DeviceFleet::new(4, &config, faults);
+    let err = m.execute(&mut fleet, &x, Some(budget)).unwrap_err();
+    match err {
+        ShardError::DeadlineExceeded { budget_s, projected_s } => {
+            assert!(projected_s > budget_s, "{projected_s} vs {budget_s}");
+        }
+        // All four crash-on-first-launch is also a legal outcome.
+        ShardError::AllDevicesLost { .. } => {}
+        other => panic!("expected deadline or fleet loss, got {other:?}"),
+    }
+}
+
+#[test]
+fn per_device_counters_accumulate() {
+    let config = GpuConfig::l40();
+    let csr = random_uniform(256, 128, 2400, 49);
+    let x = make_x(128, 9);
+    let mut m = ShardedMatrix::try_new(&config, &csr, 6, ShardPolicy::default()).unwrap();
+    let mut fleet = DeviceFleet::new(3, &config, DeviceFaultConfig::disabled());
+    for _ in 0..4 {
+        m.execute(&mut fleet, &x, None).unwrap();
+    }
+    let counters = fleet.counters();
+    let launches: u64 = counters.iter().map(|c| c.launches).sum();
+    let completed: u64 = counters.iter().map(|c| c.completed).sum();
+    assert_eq!(completed, 24, "6 shards x 4 requests, no faults");
+    assert_eq!(launches, 24);
+    for c in &counters {
+        assert!(c.completed > 0, "fault-free round-robin uses every device");
+        assert!(c.busy_s > 0.0);
+        assert!(c.dram_bytes() > 0, "kernel counters merge into the device");
+        assert!(c.mma_ops() > 0);
+    }
+}

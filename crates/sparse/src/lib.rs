@@ -38,6 +38,7 @@ pub mod gen;
 pub mod hyb;
 pub mod mtx;
 pub mod par;
+pub mod partition;
 pub mod reorder;
 pub mod rng;
 pub mod scan;

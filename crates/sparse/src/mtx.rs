@@ -106,6 +106,11 @@ pub fn read_mtx_from<R: BufRead>(mut reader: R) -> SparseResult<Csr> {
 
     let mut coo = Coo::new(nrows, ncols);
     let mut seen = 0usize;
+    // Duplicate coordinates would be silently summed by the COO→CSR
+    // conversion — a hostile or corrupt file must not change semantics
+    // quietly, so every coordinate (including symmetric mirrors) is
+    // tracked and repeats are typed errors.
+    let mut occupied = std::collections::HashSet::with_capacity(nnz_decl.min(1 << 20));
     while seen < nnz_decl {
         line.clear();
         lineno += 1;
@@ -142,13 +147,20 @@ pub fn read_mtx_from<R: BufRead>(mut reader: R) -> SparseResult<Csr> {
                 .map(|v| v as f32)
                 .ok_or_else(|| SparseError::Parse { line: lineno, what: "bad value".into() })?,
         };
-        let (r0, c0) = (r - 1, c - 1);
-        coo.push(r0 as u32, c0 as u32, v);
-        match symmetry {
-            Symmetry::General => {}
-            Symmetry::Symmetric if r0 != c0 => coo.push(c0 as u32, r0 as u32, v),
-            Symmetry::SkewSymmetric if r0 != c0 => coo.push(c0 as u32, r0 as u32, -v),
-            _ => {}
+        let (r0, c0) = (r as u32 - 1, c as u32 - 1);
+        if !occupied.insert((r0, c0)) {
+            return Err(SparseError::Parse {
+                line: lineno,
+                what: format!("duplicate entry ({r},{c})"),
+            });
+        }
+        coo.push(r0, c0, v);
+        if symmetry != Symmetry::General && r0 != c0 {
+            // Record the implied mirror too, so a file that lists both
+            // triangles of a symmetric matrix trips the duplicate check.
+            occupied.insert((c0, r0));
+            let mv = if symmetry == Symmetry::Symmetric { v } else { -v };
+            coo.push(c0, r0, mv);
         }
         seen += 1;
     }
@@ -257,6 +269,29 @@ mod tests {
     #[test]
     fn rejects_one_based_violations() {
         assert!(parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_entries() {
+        let e = parse(
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n1 1 2.0\n",
+        )
+        .unwrap_err();
+        match e {
+            SparseError::Parse { line: 4, what } => assert!(what.contains("duplicate")),
+            other => panic!("expected duplicate Parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_entry_duplicating_symmetric_mirror() {
+        // (2,1) implies (1,2) in a symmetric file; listing both is a
+        // duplicate, not a silent sum.
+        let e = parse(
+            "%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n2 1 3.0\n1 2 3.0\n",
+        )
+        .unwrap_err();
+        assert!(matches!(e, SparseError::Parse { line: 4, .. }), "{e:?}");
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Weight-balanced contiguous partitioning.
+//!
+//! The multi-device shard layer splits a matrix into contiguous
+//! block-row ranges whose nonzero counts are as equal as possible, so
+//! every simulated device gets a similar amount of work. The split is
+//! computed on the exclusive prefix sum of the per-block-row weights
+//! (the same [`crate::scan`] machinery the formats use for their
+//! offsets): cut `k` of `P` is placed at the aligned index whose prefix
+//! weight is closest to `k/P` of the total.
+//!
+//! `align` exists for kernels whose work assignment spans fixed groups
+//! of rows — Spaden's paired kernel drives two block-rows per warp, so
+//! shard boundaries on even block-row indices keep each shard's local
+//! pairing identical to the full matrix's pairing (the bit-identical
+//! recombination guarantee). The final boundary is the full length and
+//! may be unaligned; the last shard absorbs any odd tail.
+
+use crate::scan::exclusive_scan;
+use std::ops::Range;
+
+/// Splits `0..weights.len()` into at most `parts` contiguous,
+/// non-empty ranges with every interior boundary a multiple of `align`,
+/// minimising per-cut deviation from perfect weight balance.
+///
+/// Returns fewer than `parts` ranges when the input is too short for
+/// that many aligned non-empty pieces (including the degenerate empty
+/// input, which yields no ranges). The returned ranges always cover the
+/// input exactly, in order.
+pub fn partition_balanced(weights: &[u32], parts: usize, align: usize) -> Vec<Range<usize>> {
+    assert!(parts > 0, "parts must be positive");
+    assert!(align > 0, "align must be positive");
+    let n = weights.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let prefix = exclusive_scan(weights);
+    let total = prefix[n] as u64;
+
+    let mut cuts: Vec<usize> = vec![0];
+    for k in 1..parts {
+        let target = total * k as u64 / parts as u64;
+        // First index whose prefix reaches the target, then the aligned
+        // neighbour with the smaller weight deviation.
+        let i = prefix.partition_point(|&p| (p as u64) < target);
+        let floor = (i / align) * align;
+        let ceil = (floor + align).min(n);
+        let dev = |c: usize| (prefix[c] as i64 - target as i64).unsigned_abs();
+        let mut cut = if dev(floor) <= dev(ceil) { floor } else { ceil };
+        // Keep cuts strictly increasing and interior; a range that would
+        // be empty is dropped (fewer shards than requested).
+        let prev = *cuts.last().expect("cuts start non-empty");
+        if cut <= prev {
+            cut = prev + align;
+        }
+        if cut >= n {
+            break;
+        }
+        cuts.push(cut);
+    }
+    cuts.push(n);
+    cuts.windows(2).map(|w| w[0]..w[1]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_cover(ranges: &[Range<usize>], n: usize, align: usize) {
+        assert!(!ranges.is_empty() || n == 0);
+        let mut at = 0;
+        for r in ranges {
+            assert_eq!(r.start, at, "contiguous");
+            assert!(r.end > r.start, "non-empty");
+            if r.start != 0 {
+                assert_eq!(r.start % align, 0, "interior boundary aligned");
+            }
+            at = r.end;
+        }
+        assert_eq!(at, n, "covers the input");
+    }
+
+    #[test]
+    fn uniform_weights_split_evenly() {
+        let w = vec![10u32; 32];
+        let ranges = partition_balanced(&w, 4, 2);
+        check_cover(&ranges, 32, 2);
+        assert_eq!(ranges.len(), 4);
+        for r in &ranges {
+            assert_eq!(r.len(), 8);
+        }
+    }
+
+    #[test]
+    fn skewed_weights_balance_mass_not_count() {
+        // All the mass in the first quarter: the first shard must be
+        // short and the tail shards long.
+        let mut w = vec![1u32; 64];
+        for x in &mut w[..16] {
+            *x = 100;
+        }
+        let ranges = partition_balanced(&w, 4, 2);
+        check_cover(&ranges, 64, 2);
+        let mass =
+            |r: &Range<usize>| r.clone().map(|i| w[i] as u64).sum::<u64>();
+        let target = w.iter().map(|&x| x as u64).sum::<u64>() / 4;
+        // Every shard within one max-weight element + alignment slack of
+        // the ideal quarter.
+        for r in &ranges {
+            assert!(
+                mass(r) <= target + 2 * 100,
+                "shard {r:?} mass {} vs target {target}",
+                mass(r)
+            );
+        }
+        assert!(ranges[0].len() < ranges[3].len());
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(partition_balanced(&[], 4, 2).is_empty());
+        // Fewer aligned slots than parts: fewer shards, still covering.
+        let ranges = partition_balanced(&[5, 5, 5], 8, 2);
+        check_cover(&ranges, 3, 2);
+        assert!(ranges.len() <= 2);
+        // One part is the identity partition.
+        assert_eq!(partition_balanced(&[1, 2, 3], 1, 2), vec![0..3]);
+    }
+
+    #[test]
+    fn all_zero_weights_still_partition() {
+        let ranges = partition_balanced(&[0u32; 16], 4, 2);
+        check_cover(&ranges, 16, 2);
+        assert!(!ranges.is_empty());
+    }
+
+    #[test]
+    fn odd_tail_goes_to_the_last_shard() {
+        let w = vec![1u32; 13];
+        let ranges = partition_balanced(&w, 4, 2);
+        check_cover(&ranges, 13, 2);
+        assert_eq!(ranges.last().unwrap().end, 13);
+    }
+
+    #[test]
+    fn deterministic() {
+        let w: Vec<u32> = (0..97).map(|i| (i * 37 % 19) as u32).collect();
+        assert_eq!(partition_balanced(&w, 6, 2), partition_balanced(&w, 6, 2));
+    }
+}

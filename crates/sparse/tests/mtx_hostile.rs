@@ -1,0 +1,114 @@
+//! Hostile MatrixMarket corpus: every malformed fixture under
+//! `tests/fixtures/` must come back as a typed [`SparseError::Parse`]
+//! pointing at the offending line — never a panic, never a silently
+//! mangled matrix — while the well-formed fixtures parse exactly.
+
+use spaden_sparse::mtx::read_mtx;
+use spaden_sparse::types::SparseError;
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+/// Parses a hostile fixture and returns the typed parse error's line.
+fn must_reject(name: &str, what_contains: &str) -> usize {
+    match read_mtx(&fixture(name)) {
+        Err(SparseError::Parse { line, what }) => {
+            assert!(
+                what.contains(what_contains),
+                "{name}: error {what:?} should mention {what_contains:?}"
+            );
+            line
+        }
+        Err(other) => panic!("{name}: expected Parse error, got {other:?}"),
+        Ok(m) => panic!("{name}: parsed a hostile file into {}x{}", m.nrows, m.ncols),
+    }
+}
+
+#[test]
+fn good_general_parses_exactly() {
+    let m = read_mtx(&fixture("good_general.mtx")).unwrap();
+    assert_eq!((m.nrows, m.ncols, m.nnz()), (4, 4, 5));
+    m.validate().unwrap();
+    let y = m.spmv(&[1.0; 4]).unwrap();
+    assert_eq!(y, vec![0.5, 4.0, 0.25, 7.0]);
+}
+
+#[test]
+fn good_symmetric_mirrors_off_diagonal() {
+    let m = read_mtx(&fixture("good_symmetric.mtx")).unwrap();
+    assert_eq!(m.nnz(), 5); // 3 listed, 2 mirrored (diagonal stays single)
+    m.validate().unwrap();
+}
+
+#[test]
+fn rejects_non_matrixmarket_header() {
+    assert_eq!(must_reject("bad_header.mtx", "bad header"), 1);
+}
+
+#[test]
+fn rejects_array_format() {
+    assert_eq!(must_reject("bad_format_array.mtx", "coordinate"), 1);
+}
+
+#[test]
+fn rejects_complex_field() {
+    assert_eq!(must_reject("bad_field_complex.mtx", "field type"), 1);
+}
+
+#[test]
+fn rejects_unknown_symmetry() {
+    assert_eq!(must_reject("bad_symmetry.mtx", "symmetry"), 1);
+}
+
+#[test]
+fn rejects_missing_size_line() {
+    must_reject("missing_size.mtx", "missing size line");
+}
+
+#[test]
+fn rejects_garbage_size_line() {
+    assert_eq!(must_reject("garbage_size.mtx", "bad nrows"), 2);
+}
+
+#[test]
+fn rejects_truncated_entry_stream() {
+    // Declares 3 entries, supplies 2: the error names both counts.
+    must_reject("truncated_entries.mtx", "expected 3 entries, found 2");
+}
+
+#[test]
+fn rejects_duplicate_entry() {
+    assert_eq!(must_reject("duplicate_entry.mtx", "duplicate entry (1,1)"), 4);
+}
+
+#[test]
+fn rejects_entry_duplicating_symmetric_mirror() {
+    assert_eq!(must_reject("duplicate_mirror.mtx", "duplicate entry (1,2)"), 4);
+}
+
+#[test]
+fn rejects_out_of_range_coordinate() {
+    assert_eq!(must_reject("out_of_range_row.mtx", "outside"), 3);
+}
+
+#[test]
+fn rejects_zero_based_coordinate() {
+    assert_eq!(must_reject("zero_based_index.mtx", "outside"), 3);
+}
+
+#[test]
+fn rejects_garbage_value() {
+    assert_eq!(must_reject("garbage_value.mtx", "bad value"), 3);
+}
+
+#[test]
+fn rejects_missing_column() {
+    assert_eq!(must_reject("missing_column.mtx", "bad col"), 3);
+}
+
+#[test]
+fn rejects_empty_file() {
+    must_reject("empty.mtx", "empty file");
+}
