@@ -7,7 +7,7 @@
 //! ranks as the second fastest SpMV method on average" — and the
 //! normaliser of Figure 7.
 
-use spaden::engine::{timed, EngineError, PrepStats, SpmvEngine, SpmvRun};
+use spaden::engine::{prepare_validated, timed, EngineError, PrepStats, SpmvEngine, SpmvRun};
 use spaden_gpusim::exec::{WarpCtx, WARP_SIZE};
 use spaden_gpusim::memory::{DeviceBuffer, DeviceOutput};
 use spaden_gpusim::Gpu;
@@ -42,8 +42,7 @@ impl CusparseCsrEngine {
     /// serving layer's failover ladder relies on this so every engine can
     /// be prepared interchangeably from untrusted input.
     pub fn try_prepare(gpu: &Gpu, csr: &Csr) -> Result<Self, EngineError> {
-        csr.validate().map_err(|e| EngineError::Validation(e.to_string()))?;
-        Ok(Self::prepare(gpu, csr))
+        prepare_validated(gpu, csr, Self::prepare)
     }
 
     /// "Preprocessing" per the paper's Figure 10: cuSPARSE CSR does no

@@ -15,7 +15,7 @@
 //! slower on later architectures (PTX ISA note) — the timing model's
 //! per-architecture MMA rates reproduce the paper's V100/L40 contrast.
 
-use spaden::engine::{timed, EngineError, PrepStats, SpmvEngine, SpmvRun};
+use spaden::engine::{prepare_validated, timed, EngineError, PrepStats, SpmvEngine, SpmvRun};
 use spaden_gpusim::exec::{WarpCtx, WARP_SIZE};
 use spaden_gpusim::half::F16;
 use spaden_gpusim::memory::{DeviceBuffer, DeviceOutput};
@@ -79,8 +79,7 @@ impl DaspEngine {
     /// serving layer's failover ladder relies on this so every engine can
     /// be prepared interchangeably from untrusted input.
     pub fn try_prepare(gpu: &Gpu, csr: &Csr) -> Result<Self, EngineError> {
-        csr.validate().map_err(|e| EngineError::Validation(e.to_string()))?;
-        Ok(Self::prepare(gpu, csr))
+        prepare_validated(gpu, csr, Self::prepare)
     }
 
     /// Converts `csr` into DASP's bucketed tile layout (timed — the

@@ -8,7 +8,7 @@
 //! atomic combines are why "its SpMV implementation ... is less performant
 //! than specific sparse matrix libraries".
 
-use spaden::engine::{timed, EngineError, PrepStats, SpmvEngine, SpmvRun};
+use spaden::engine::{prepare_validated, timed, EngineError, PrepStats, SpmvEngine, SpmvRun};
 use spaden_gpusim::exec::{WarpCtx, WARP_SIZE};
 use spaden_gpusim::memory::{DeviceBuffer, DeviceOutput};
 use spaden_gpusim::Gpu;
@@ -32,8 +32,7 @@ impl GunrockEngine {
     /// serving layer's failover ladder relies on this so every engine can
     /// be prepared interchangeably from untrusted input.
     pub fn try_prepare(gpu: &Gpu, csr: &Csr) -> Result<Self, EngineError> {
-        csr.validate().map_err(|e| EngineError::Validation(e.to_string()))?;
-        Ok(Self::prepare(gpu, csr))
+        prepare_validated(gpu, csr, Self::prepare)
     }
 
     /// Expands CSR into the frontier/edge-list form Gunrock's advance

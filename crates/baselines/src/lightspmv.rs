@@ -7,7 +7,7 @@
 //! width. The paper finds it "surpassed by the modern version of cuSPARSE
 //! CSR from CUDA toolkits v11.6".
 
-use spaden::engine::{timed, EngineError, PrepStats, SpmvEngine, SpmvRun};
+use spaden::engine::{prepare_validated, timed, EngineError, PrepStats, SpmvEngine, SpmvRun};
 use spaden_gpusim::exec::{WarpCtx, WARP_SIZE};
 use spaden_gpusim::memory::{DeviceBuffer, DeviceOutput};
 use spaden_gpusim::Gpu;
@@ -33,8 +33,7 @@ impl LightSpmvEngine {
     /// serving layer's failover ladder relies on this so every engine can
     /// be prepared interchangeably from untrusted input.
     pub fn try_prepare(gpu: &Gpu, csr: &Csr) -> Result<Self, EngineError> {
-        csr.validate().map_err(|e| EngineError::Validation(e.to_string()))?;
-        Ok(Self::prepare(gpu, csr))
+        prepare_validated(gpu, csr, Self::prepare)
     }
 
     /// Uploads CSR; LightSpMV needs no conversion, only the row counter.

@@ -11,7 +11,7 @@
 //! paper's LightSpMV approximates dynamically and CSR Warp16 lacks
 //! entirely.
 
-use spaden::engine::{timed, EngineError, PrepStats, SpmvEngine, SpmvRun};
+use spaden::engine::{prepare_validated, timed, EngineError, PrepStats, SpmvEngine, SpmvRun};
 use spaden_gpusim::exec::{WarpCtx, WARP_SIZE};
 use spaden_gpusim::memory::{DeviceBuffer, DeviceOutput};
 use spaden_gpusim::Gpu;
@@ -56,8 +56,7 @@ impl MergeCsrEngine {
     /// serving layer's failover ladder relies on this so every engine can
     /// be prepared interchangeably from untrusted input.
     pub fn try_prepare(gpu: &Gpu, csr: &Csr) -> Result<Self, EngineError> {
-        csr.validate().map_err(|e| EngineError::Validation(e.to_string()))?;
-        Ok(Self::prepare(gpu, csr))
+        prepare_validated(gpu, csr, Self::prepare)
     }
 
     /// Uploads the CSR arrays (no conversion).

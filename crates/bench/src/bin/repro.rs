@@ -4,7 +4,7 @@
 //! repro <experiment> [--scale S] [--gpu l40|v100|both]
 //!
 //! experiments: table1 fig6 fig7 fig8 fig9a fig9b fig10a fig10b
-//!              ablations extensions reordering faults serve verify all
+//!              ablations extensions reordering faults plan serve verify all
 //! ```
 //!
 //! `--scale` shrinks every dataset proportionally (default 0.05; use 1.0
@@ -82,7 +82,7 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: repro <table1|fig6|fig7|fig8|fig9a|fig9b|fig10a|fig10b|ablations|extensions|reordering|faults|verify|all> \
-                 [--scale S] [--gpu l40|v100|both]   (also: serve shard)"
+                 [--scale S] [--gpu l40|v100|both]   (also: plan serve shard)"
             );
             std::process::exit(2);
         }
@@ -197,6 +197,17 @@ fn main() {
                     println!("{verdict}");
                 }
             }
+        }
+        "plan" => {
+            // Certifies the plan layer: cost-model selection accuracy vs
+            // the exhaustive oracle on a fixed synthetic corpus, plus the
+            // memory-budgeted plan cache (budget sweep + repeat-hit
+            // check). CI's plan smoke job greps the PLAN verdict line.
+            let (tables, verdict, _) = spaden_bench::plan_report(&args.gpus);
+            for t in tables {
+                println!("{t}");
+            }
+            println!("{verdict}");
         }
         "shard" => {
             // Fixed seed so CI's shard-chaos job is reproducible run to

@@ -4,7 +4,7 @@
 //! measuring, so regenerating a figure is also an end-to-end correctness
 //! check of the whole stack.
 
-use crate::registry::{build_engine, EngineKind};
+use crate::registry::EngineKind;
 use crate::table::Table;
 use crate::{geomean, make_x, max_rel_error};
 use spaden::BitBsr;
@@ -86,7 +86,9 @@ impl Sweep {
 }
 
 /// Runs `kinds` × `datasets` on a GPU configuration, verifying every
-/// output against the CPU oracle.
+/// output against the CPU oracle. A cell whose engine fails to prepare or
+/// run is reported to stderr with its typed [`spaden::EngineError`] and
+/// skipped, so one bad matrix cannot unwind the whole sweep.
 pub fn run_sweep(config: GpuConfig, datasets: &[Dataset], kinds: &[EngineKind]) -> Sweep {
     let gpu_name = config.name;
     let mut cells = Vec::with_capacity(datasets.len() * kinds.len());
@@ -96,8 +98,20 @@ pub fn run_sweep(config: GpuConfig, datasets: &[Dataset], kinds: &[EngineKind]) 
         let oracle = ds.csr.spmv_f64(&x).expect("oracle SpMV");
         let profile = block_profile(&ds.csr);
         for &kind in kinds {
-            let engine = build_engine(kind, &gpu, &ds.csr);
-            let run = engine.run(&gpu, &x);
+            let engine = match crate::registry::try_build_engine(kind, &gpu, &ds.csr) {
+                Ok(e) => e,
+                Err(e) => {
+                    eprintln!("sweep: {} on {}: prepare failed: {e}", kind.name(), ds.spec.name);
+                    continue;
+                }
+            };
+            let run = match engine.try_run(&gpu, &x) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("sweep: {} on {}: run failed: {e}", kind.name(), ds.spec.name);
+                    continue;
+                }
+            };
             let prep = engine.prep();
             cells.push(SweepCell {
                 engine: kind.name(),
@@ -365,20 +379,30 @@ pub fn ablations(config: GpuConfig, datasets: &[Dataset]) -> Vec<Table> {
 
         let gpu = Gpu::new(config.clone());
         let x = make_x(ds.csr.ncols);
-        let diag = SpadenEngine::prepare(&gpu, &ds.csr);
-        let single = SpadenEngine::prepare_with(
-            &gpu,
-            &ds.csr,
-            SpadenConfig { packing: Packing::Single, ..Default::default() },
-        );
-        let staged = SpadenEngine::prepare_with(
-            &gpu,
-            &ds.csr,
-            SpadenConfig { fragment_io: FragmentIo::SharedMemoryStaged, ..Default::default() },
-        );
-        let rd = diag.run(&gpu, &x);
-        let rs = single.run(&gpu, &x);
-        let rt = staged.run(&gpu, &x);
+        let variants = (|| -> Result<_, spaden::EngineError> {
+            let diag = SpadenEngine::try_prepare(&gpu, &ds.csr)?;
+            let single = SpadenEngine::try_prepare_with(
+                &gpu,
+                &ds.csr,
+                SpadenConfig { packing: Packing::Single, ..Default::default() },
+            )?;
+            let staged = SpadenEngine::try_prepare_with(
+                &gpu,
+                &ds.csr,
+                SpadenConfig { fragment_io: FragmentIo::SharedMemoryStaged, ..Default::default() },
+            )?;
+            let rd = diag.try_run(&gpu, &x)?;
+            let rs = single.try_run(&gpu, &x)?;
+            let rt = staged.try_run(&gpu, &x)?;
+            Ok((rd, rs, rt))
+        })();
+        let (rd, rs, rt) = match variants {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("ablations: {}: {e}", ds.spec.name);
+                continue;
+            }
+        };
         pack_t.push_row(vec![
             ds.spec.name.into(),
             Table::num(rd.time.seconds * 1e6),
@@ -526,10 +550,20 @@ pub fn reordering(config: GpuConfig, datasets: &[Dataset]) -> Table {
 
         let gpu = Gpu::new(config.clone());
         let x = make_x(ds.csr.ncols);
-        let e1 = SpadenEngine::prepare(&gpu, &scrambled);
-        let e2 = SpadenEngine::prepare(&gpu, &restored);
-        let r1 = e1.run(&gpu, &x);
-        let r2 = e2.run(&gpu, &x);
+        let pair = (|| -> Result<_, spaden::EngineError> {
+            let e1 = SpadenEngine::try_prepare(&gpu, &scrambled)?;
+            let e2 = SpadenEngine::try_prepare(&gpu, &restored)?;
+            let r1 = e1.try_run(&gpu, &x)?;
+            let r2 = e2.try_run(&gpu, &x)?;
+            Ok((e1, e2, r1, r2))
+        })();
+        let (e1, e2, r1, r2) = match pair {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("reordering: {}: {e}", ds.spec.name);
+                continue;
+            }
+        };
         let p1 = e1.format().block_profile();
         let p2 = e2.format().block_profile();
         t.push_row(vec![
@@ -636,11 +670,23 @@ pub fn fault_sweep(
             let mut cfg = config.clone();
             cfg.faults = FaultConfig::uniform(0xFA + (di * 16 + ri) as u64, rate);
             let gpu = Gpu::new(cfg);
-            let eng = SpadenEngine::prepare(&gpu, &ds.csr);
+            let eng = match SpadenEngine::try_prepare(&gpu, &ds.csr) {
+                Ok(e) => e,
+                Err(e) => {
+                    eprintln!("faults: {}: prepare failed: {e}", ds.spec.name);
+                    continue;
+                }
+            };
             let want = eng.format().spmv_reference(&x).expect("reference SpMV");
             let mut cell = FaultStats::default();
             for _ in 0..trials {
-                let plain = eng.run(&gpu, &x);
+                let plain = match eng.try_run(&gpu, &x) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("faults: {}: run failed: {e}", ds.spec.name);
+                        continue;
+                    }
+                };
                 cell.runs += 1;
                 if plain.counters.faults_injected > 0 {
                     cell.faulted += 1;

@@ -15,6 +15,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod planning;
 pub mod registry;
 pub mod serving;
 pub mod sharding;
@@ -22,6 +23,7 @@ pub mod table;
 
 pub use experiments::*;
 pub use harness::BenchGroup;
+pub use planning::{plan_corpus, plan_report, PlanReport};
 pub use registry::{build_engine, EngineKind, FIG6_ENGINES, FIG8_ENGINES};
 pub use serving::serve_report;
 pub use sharding::shard_report;

@@ -13,7 +13,7 @@
 
 use crate::bitbsr::BitBsr;
 use crate::decode::{decode_matrix_block, decode_vector_segment};
-use crate::engine::{timed, PrepStats, SpmvEngine, SpmvRun};
+use crate::engine::{prepare_validated, timed, EngineError, PrepStats, SpmvEngine, SpmvRun};
 use spaden_gpusim::exec::{WarpCtx, WARP_SIZE};
 use spaden_gpusim::fragment::{FragKind, Fragment};
 use spaden_gpusim::half::F16;
@@ -128,6 +128,13 @@ pub struct BitCooEngine {
 }
 
 impl BitCooEngine {
+    /// Validating form of [`BitCooEngine::prepare`]: rejects a malformed
+    /// CSR with a typed error so the engine registry can prepare any
+    /// variant interchangeably from untrusted input.
+    pub fn try_prepare(gpu: &Gpu, csr: &Csr) -> Result<Self, EngineError> {
+        prepare_validated(gpu, csr, Self::prepare)
+    }
+
     /// Converts and uploads.
     pub fn prepare(gpu: &Gpu, csr: &Csr) -> Self {
         let (format, seconds) = timed(|| BitCoo::from_csr(csr));

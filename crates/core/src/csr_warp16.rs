@@ -9,7 +9,7 @@
 //! every instruction shatters into one transaction per active lane; Spaden
 //! beats it by 23.18× on the L40.
 
-use crate::engine::{timed, PrepStats, SpmvEngine, SpmvRun};
+use crate::engine::{prepare_validated, timed, EngineError, PrepStats, SpmvEngine, SpmvRun};
 use spaden_gpusim::exec::WARP_SIZE;
 use spaden_gpusim::memory::DeviceBuffer;
 use spaden_gpusim::Gpu;
@@ -30,6 +30,13 @@ pub struct CsrWarp16Engine {
 }
 
 impl CsrWarp16Engine {
+    /// Validating form of [`CsrWarp16Engine::prepare`]: rejects a
+    /// malformed CSR with a typed error so the engine registry can prepare
+    /// any variant interchangeably from untrusted input.
+    pub fn try_prepare(gpu: &Gpu, csr: &Csr) -> Result<Self, EngineError> {
+        prepare_validated(gpu, csr, Self::prepare)
+    }
+
     /// Uploads the CSR arrays; the only "preprocessing" is the copy.
     pub fn prepare(gpu: &Gpu, csr: &Csr) -> Self {
         let ((row_ptr, col_idx, values), seconds) =

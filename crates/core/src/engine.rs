@@ -3,6 +3,7 @@
 //! sweep them uniformly over datasets and GPU configurations.
 
 use spaden_gpusim::{estimate_time, Gpu, KernelCounters, SimTime};
+use spaden_sparse::Csr;
 
 /// Typed failure of the checked engine APIs (`try_run` / `run_checked`).
 ///
@@ -174,6 +175,20 @@ pub trait SpmvEngine: Send + Sync {
     }
 }
 
+/// Validates `csr` and, if it is well formed, hands it to the engine's
+/// infallible `prepare`. Every engine's `try_prepare` is this one line —
+/// the shared front door that turns a malformed matrix into a typed
+/// [`EngineError::Validation`] instead of a panic (or worse, a silently
+/// corrupt format) deep inside a conversion kernel.
+pub fn prepare_validated<E>(
+    gpu: &Gpu,
+    csr: &Csr,
+    prepare: impl FnOnce(&Gpu, &Csr) -> E,
+) -> Result<E, EngineError> {
+    csr.validate().map_err(|e| EngineError::Validation(e.to_string()))?;
+    Ok(prepare(gpu, csr))
+}
+
 /// Measures a closure's wall time, returning `(result, seconds)` — used by
 /// every engine constructor to time its format conversion.
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
@@ -208,6 +223,20 @@ mod tests {
     fn verification_failed_displays() {
         let e = EngineError::VerificationFailed { block_rows: 5 };
         assert!(e.to_string().contains("5 block-row"));
+    }
+
+    #[test]
+    fn prepare_validated_front_door() {
+        let gpu = Gpu::new(spaden_gpusim::GpuConfig::l40());
+        let good = spaden_sparse::gen::random_uniform(32, 32, 200, 7);
+        assert!(prepare_validated(&gpu, &good, |_, c| c.nnz()).is_ok());
+
+        let mut bad = good.clone();
+        bad.row_ptr[1] = u32::MAX; // offsets out of bounds
+        match prepare_validated(&gpu, &bad, |_, c| c.nnz()) {
+            Err(EngineError::Validation(_)) => {}
+            other => panic!("expected Validation error, got {other:?}"),
+        }
     }
 
     #[test]

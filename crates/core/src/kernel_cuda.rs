@@ -8,7 +8,7 @@
 
 use crate::bitbsr::BitBsr;
 use crate::decode::{decode_matrix_block, decode_vector_segment};
-use crate::engine::{timed, PrepStats, SpmvEngine, SpmvRun};
+use crate::engine::{prepare_validated, timed, EngineError, PrepStats, SpmvEngine, SpmvRun};
 use spaden_gpusim::exec::WARP_SIZE;
 use spaden_gpusim::half::F16;
 use spaden_gpusim::memory::DeviceBuffer;
@@ -33,6 +33,13 @@ pub struct SpadenNoTcEngine {
 }
 
 impl SpadenNoTcEngine {
+    /// Validating form of [`SpadenNoTcEngine::prepare`]: rejects a
+    /// malformed CSR with a typed error so the engine registry can prepare
+    /// any variant interchangeably from untrusted input.
+    pub fn try_prepare(gpu: &Gpu, csr: &Csr) -> Result<Self, EngineError> {
+        prepare_validated(gpu, csr, Self::prepare)
+    }
+
     /// Converts `csr` to bitBSR and uploads it (same conversion cost as
     /// full Spaden — the formats are identical).
     pub fn prepare(gpu: &Gpu, csr: &Csr) -> Self {

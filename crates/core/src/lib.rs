@@ -52,7 +52,7 @@ pub use abft::AbftChecksums;
 pub use bitbsr::BitBsr;
 pub use bitcoo::{BitCoo, BitCooEngine};
 pub use csr_warp16::CsrWarp16Engine;
-pub use engine::{EngineError, PrepStats, SpmvEngine, SpmvRun};
+pub use engine::{prepare_validated, EngineError, PrepStats, SpmvEngine, SpmvRun};
 pub use kernel_cuda::SpadenNoTcEngine;
 pub use kernel_tc::{FragmentIo, Packing, SpadenConfig, SpadenEngine, ABFT_MAX_RETRIES};
 pub use sddmm::SpadenSddmmEngine;

@@ -1,0 +1,256 @@
+//! Memory-budgeted plan cache.
+//!
+//! Figure 10 makes format conversion the dominant amortised cost of
+//! tensor-core SpMV, so prepared engines are worth keeping — but each one
+//! pins device memory (`PrepStats::device_bytes`). The cache holds
+//! prepared plans keyed by matrix fingerprint + GPU configuration and
+//! evicts least-recently-used plans whenever inserting a new one would
+//! exceed the byte budget, so resident bytes never exceed the budget.
+//! Plans larger than the whole budget are never admitted (counted as
+//! `uncacheable` rather than evicting everything for a plan that cannot
+//! fit anyway).
+
+use crate::planner::Plan;
+use spaden_gpusim::GpuConfig;
+use spaden_sparse::MatrixFingerprint;
+use std::sync::Arc;
+
+/// Cache key: one matrix (by structural fingerprint) on one GPU
+/// configuration. Plans are config-specific because the cost-model
+/// ranking and the prepared device buffers both depend on the GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Collapsed matrix fingerprint ([`MatrixFingerprint::key`]).
+    pub matrix: u64,
+    /// Digest of the GPU configuration identity.
+    pub gpu: u64,
+}
+
+impl PlanKey {
+    /// Builds the key for a fingerprint on a GPU configuration.
+    pub fn new(fp: &MatrixFingerprint, config: &GpuConfig) -> Self {
+        PlanKey { matrix: fp.key(), gpu: gpu_digest(config) }
+    }
+}
+
+/// FNV-1a digest of the fields that make two `GpuConfig`s behave
+/// differently for planning purposes (name + machine shape). Fault
+/// injection settings are deliberately excluded: the same device under
+/// chaos testing still wants the same plan.
+pub fn gpu_digest(config: &GpuConfig) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(config.name.as_bytes());
+    eat(&(config.num_sms as u64).to_le_bytes());
+    eat(&(config.cuda_cores as u64).to_le_bytes());
+    eat(&(config.tensor_cores as u64).to_le_bytes());
+    eat(&(config.l2_bytes as u64).to_le_bytes());
+    eat(&config.clock_hz.to_bits().to_le_bytes());
+    eat(&config.dram_bw.to_bits().to_le_bytes());
+    eat(&config.mma_m16n16k16_per_s.to_bits().to_le_bytes());
+    eat(&config.mma_m8n8k4_per_s.to_bits().to_le_bytes());
+    h
+}
+
+/// Hit/miss/eviction counters (monotonic over the cache's lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Plans inserted.
+    pub insertions: u64,
+    /// Plans evicted to make room.
+    pub evictions: u64,
+    /// Plans rejected because they alone exceed the budget.
+    pub uncacheable: u64,
+}
+
+impl CacheStats {
+    /// Hit rate over all lookups (0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    key: PlanKey,
+    plan: Arc<Plan>,
+    bytes: u64,
+    last_used: u64,
+}
+
+/// LRU plan cache bounded by device bytes. Entries are shared `Arc`s: an
+/// eviction drops the cache's reference, but plans already handed out stay
+/// valid (the serving layer may still be executing on one).
+pub struct PlanCache {
+    budget: u64,
+    entries: Vec<Entry>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl PlanCache {
+    /// Creates a cache with the given device-byte budget.
+    pub fn new(budget: u64) -> Self {
+        PlanCache { budget, entries: Vec::new(), tick: 0, stats: CacheStats::default() }
+    }
+
+    /// The byte budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Bytes currently resident — always ≤ the budget.
+    pub fn bytes_resident(&self) -> u64 {
+        self.entries.iter().map(|e| e.bytes).sum()
+    }
+
+    /// Resident plan count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no plans are resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up a plan, refreshing its recency on hit.
+    pub fn get(&mut self, key: &PlanKey) -> Option<Arc<Plan>> {
+        self.tick += 1;
+        match self.entries.iter_mut().find(|e| e.key == *key) {
+            Some(e) => {
+                e.last_used = self.tick;
+                self.stats.hits += 1;
+                Some(e.plan.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a plan, evicting least-recently-used entries until it fits.
+    /// Returns false (and counts `uncacheable`) if the plan alone exceeds
+    /// the budget; re-inserting an existing key refreshes the entry.
+    pub fn insert(&mut self, key: PlanKey, plan: Arc<Plan>) -> bool {
+        let bytes = plan.device_bytes();
+        if bytes > self.budget {
+            self.stats.uncacheable += 1;
+            return false;
+        }
+        self.tick += 1;
+        if let Some(pos) = self.entries.iter().position(|e| e.key == key) {
+            self.entries.remove(pos);
+        }
+        while self.bytes_resident() + bytes > self.budget {
+            let oldest = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("non-empty: resident + bytes > budget and bytes <= budget");
+            self.entries.remove(oldest);
+            self.stats.evictions += 1;
+        }
+        self.entries.push(Entry { key, plan, bytes, last_used: self.tick });
+        self.stats.insertions += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::Planner;
+    use crate::registry::EngineKind;
+    use spaden_gpusim::Gpu;
+    use spaden_sparse::gen;
+
+    fn make_plan(gpu: &Gpu, seed: u64) -> (PlanKey, Arc<Plan>) {
+        let csr = gen::random_uniform(64, 64, 600, seed);
+        let mut planner = Planner::new(u64::MAX, vec![EngineKind::Spaden]);
+        let plan = planner.plan(gpu, &csr).unwrap();
+        (PlanKey::new(&plan.fingerprint, &gpu.config), plan)
+    }
+
+    #[test]
+    fn hit_miss_and_recency() {
+        let gpu = Gpu::new(spaden_gpusim::GpuConfig::l40());
+        let (key, plan) = make_plan(&gpu, 1);
+        let mut cache = PlanCache::new(u64::MAX);
+        assert!(cache.get(&key).is_none());
+        assert!(cache.insert(key, plan));
+        assert!(cache.get(&key).is_some());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+    }
+
+    #[test]
+    fn eviction_respects_budget_and_lru_order() {
+        let gpu = Gpu::new(spaden_gpusim::GpuConfig::l40());
+        let (k1, p1) = make_plan(&gpu, 1);
+        let (k2, p2) = make_plan(&gpu, 2);
+        let (k3, p3) = make_plan(&gpu, 3);
+        // Budget fits exactly two of the three plans.
+        let budget = p1.device_bytes() + p2.device_bytes() + p3.device_bytes() / 2;
+        let mut cache = PlanCache::new(budget);
+        assert!(cache.insert(k1, p1));
+        assert!(cache.insert(k2, p2));
+        // Touch k1 so k2 is the LRU victim.
+        assert!(cache.get(&k1).is_some());
+        assert!(cache.insert(k3, p3));
+        assert!(cache.bytes_resident() <= budget);
+        assert!(cache.get(&k1).is_some(), "recently used entry survived");
+        assert!(cache.get(&k2).is_none(), "LRU entry evicted");
+        assert!(cache.get(&k3).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn oversized_plan_is_uncacheable_not_destructive() {
+        let gpu = Gpu::new(spaden_gpusim::GpuConfig::l40());
+        let (k1, p1) = make_plan(&gpu, 1);
+        let (k2, p2) = make_plan(&gpu, 2);
+        let mut cache = PlanCache::new(p1.device_bytes());
+        assert!(cache.insert(k1, p1));
+        // p2 can never fit: it must be rejected without evicting p1.
+        let mut big = PlanCache::new(p2.device_bytes() - 1);
+        assert!(!big.insert(k2, p2));
+        assert_eq!(big.stats().uncacheable, 1);
+        assert!(cache.get(&k1).is_some());
+    }
+
+    #[test]
+    fn gpu_digest_separates_configs() {
+        let l40 = spaden_gpusim::GpuConfig::l40();
+        let v100 = spaden_gpusim::GpuConfig::v100();
+        assert_ne!(gpu_digest(&l40), gpu_digest(&v100));
+        assert_eq!(gpu_digest(&l40), gpu_digest(&spaden_gpusim::GpuConfig::l40()));
+        // Fault settings do not change planning identity.
+        let mut chaotic = spaden_gpusim::GpuConfig::l40();
+        chaotic.faults.mem_bit_flip_rate = 0.5;
+        assert_eq!(gpu_digest(&l40), gpu_digest(&chaotic));
+    }
+}

@@ -1,0 +1,212 @@
+//! The planner: fingerprint → cost-model ranking → prepared, cached plan.
+//!
+//! "Prepare once, execute many": callers hand the planner a matrix and get
+//! back a shared [`Plan`] holding the cost-model's engine ranking and the
+//! winning engine already prepared on the device. Repeat requests for the
+//! same matrix (same fingerprint, same GPU) are served from the
+//! memory-budgeted cache without touching `prepare` again.
+
+use crate::cache::{CacheStats, PlanCache, PlanKey};
+use crate::cost::{rank_engines, MatrixStats, RankedEngine};
+use crate::registry::{try_build_engine, EngineKind, ALL_ENGINES};
+use spaden::{EngineError, SpmvEngine};
+use spaden_gpusim::Gpu;
+use spaden_sparse::{fingerprint, Csr, MatrixFingerprint};
+use std::sync::Arc;
+
+/// A prepared execution plan for one matrix on one GPU configuration.
+pub struct Plan {
+    /// Structural fingerprint of the planned matrix.
+    pub fingerprint: MatrixFingerprint,
+    /// Cost-model ranking of every candidate, fastest predicted first.
+    pub ranking: Vec<RankedEngine>,
+    /// The selected (top-ranked) engine kind.
+    pub choice: EngineKind,
+    /// The selected engine, prepared and resident on the device.
+    pub engine: Box<dyn SpmvEngine>,
+}
+
+impl Plan {
+    /// Device bytes pinned by the prepared engine (the cache's unit of
+    /// account).
+    pub fn device_bytes(&self) -> u64 {
+        self.engine.prep().device_bytes
+    }
+
+    /// Predicted time of the selected engine.
+    pub fn predicted_seconds(&self) -> f64 {
+        self.ranking
+            .iter()
+            .find(|r| r.kind == self.choice)
+            .map(|r| r.predicted.seconds)
+            .unwrap_or(f64::INFINITY)
+    }
+}
+
+/// Outcome of a [`Planner::plan`] call (diagnostics / reporting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanSource {
+    /// Served from the cache without preparing anything.
+    CacheHit,
+    /// Prepared fresh (and inserted if it fit the budget).
+    Prepared,
+}
+
+/// Plans matrices against a fixed candidate set, caching prepared plans
+/// under a device-memory budget.
+pub struct Planner {
+    cache: PlanCache,
+    candidates: Vec<EngineKind>,
+}
+
+impl Planner {
+    /// Planner over an explicit candidate set. An empty candidate list is
+    /// replaced by the full registry.
+    pub fn new(budget: u64, candidates: Vec<EngineKind>) -> Self {
+        let candidates = if candidates.is_empty() { ALL_ENGINES.to_vec() } else { candidates };
+        Planner { cache: PlanCache::new(budget), candidates }
+    }
+
+    /// Planner over every registered engine.
+    pub fn with_all_engines(budget: u64) -> Self {
+        Planner::new(budget, ALL_ENGINES.to_vec())
+    }
+
+    /// The candidate set.
+    pub fn candidates(&self) -> &[EngineKind] {
+        &self.candidates
+    }
+
+    /// Cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Bytes currently pinned by cached plans.
+    pub fn bytes_resident(&self) -> u64 {
+        self.cache.bytes_resident()
+    }
+
+    /// Resident plan count.
+    pub fn plans_resident(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Returns the plan for `csr` on `gpu`: cached if the fingerprint was
+    /// seen before, otherwise ranked, prepared, and (budget permitting)
+    /// cached.
+    pub fn plan(&mut self, gpu: &Gpu, csr: &Csr) -> Result<Arc<Plan>, EngineError> {
+        Ok(self.plan_traced(gpu, csr)?.0)
+    }
+
+    /// [`Planner::plan`] plus whether the plan came from the cache.
+    pub fn plan_traced(
+        &mut self,
+        gpu: &Gpu,
+        csr: &Csr,
+    ) -> Result<(Arc<Plan>, PlanSource), EngineError> {
+        let fp = fingerprint(csr);
+        let key = PlanKey::new(&fp, &gpu.config);
+        if let Some(plan) = self.cache.get(&key) {
+            return Ok((plan, PlanSource::CacheHit));
+        }
+        let stats = MatrixStats::from_fingerprint(&fp);
+        let ranking = rank_engines(&stats, &gpu.config, &self.candidates);
+        let choice = ranking[0].kind;
+        let engine = try_build_engine(choice, gpu, csr)?;
+        let plan = Arc::new(Plan { fingerprint: fp, ranking, choice, engine });
+        self.cache.insert(key, plan.clone());
+        Ok((plan, PlanSource::Prepared))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spaden_gpusim::GpuConfig;
+    use spaden_sparse::gen;
+
+    fn x_for(n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i * 37 + 11) % 64) as f32 / 32.0 - 1.0).collect()
+    }
+
+    #[test]
+    fn repeat_plans_hit_the_cache() {
+        let gpu = Gpu::new(GpuConfig::l40());
+        let csr = gen::random_uniform(128, 128, 2000, 91);
+        let mut planner = Planner::with_all_engines(1 << 30);
+        let (p1, s1) = planner.plan_traced(&gpu, &csr).unwrap();
+        let (p2, s2) = planner.plan_traced(&gpu, &csr).unwrap();
+        assert_eq!(s1, PlanSource::Prepared);
+        assert_eq!(s2, PlanSource::CacheHit);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!(planner.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn reparsed_matrix_shares_the_plan() {
+        // A byte-identical regeneration must hit: the key is the
+        // fingerprint, not object identity.
+        let gpu = Gpu::new(GpuConfig::l40());
+        let a = gen::random_uniform(96, 96, 1200, 93);
+        let b = gen::random_uniform(96, 96, 1200, 93);
+        let mut planner = Planner::with_all_engines(1 << 30);
+        let (pa, _) = planner.plan_traced(&gpu, &a).unwrap();
+        let (pb, src) = planner.plan_traced(&gpu, &b).unwrap();
+        assert_eq!(src, PlanSource::CacheHit);
+        assert!(Arc::ptr_eq(&pa, &pb));
+    }
+
+    #[test]
+    fn different_gpus_get_different_plans() {
+        let csr = gen::random_uniform(128, 128, 2000, 95);
+        let mut planner = Planner::with_all_engines(1 << 30);
+        let l40 = Gpu::new(GpuConfig::l40());
+        let v100 = Gpu::new(GpuConfig::v100());
+        planner.plan(&l40, &csr).unwrap();
+        let (_, src) = planner.plan_traced(&v100, &csr).unwrap();
+        assert_eq!(src, PlanSource::Prepared, "V100 must not reuse the L40 plan");
+    }
+
+    #[test]
+    fn cached_plan_executes_correctly() {
+        let gpu = Gpu::new(GpuConfig::l40());
+        let csr = gen::random_uniform(200, 160, 3000, 97);
+        let x = x_for(160);
+        let oracle = csr.spmv_f64(&x).unwrap();
+        let mut planner = Planner::with_all_engines(1 << 30);
+        planner.plan(&gpu, &csr).unwrap();
+        let plan = planner.plan(&gpu, &csr).unwrap();
+        let run = plan.engine.try_run(&gpu, &x).unwrap();
+        for (a, o) in run.y.iter().zip(&oracle) {
+            assert!(((*a as f64) - o).abs() <= 1e-2_f64.max(o.abs() * 0.02));
+        }
+    }
+
+    #[test]
+    fn zero_budget_planner_still_plans() {
+        // Nothing fits the cache, but planning must still work — every
+        // request is a fresh prepare, counted uncacheable.
+        let gpu = Gpu::new(GpuConfig::l40());
+        let csr = gen::random_uniform(64, 64, 800, 99);
+        let mut planner = Planner::with_all_engines(0);
+        let (_, s1) = planner.plan_traced(&gpu, &csr).unwrap();
+        let (_, s2) = planner.plan_traced(&gpu, &csr).unwrap();
+        assert_eq!(s1, PlanSource::Prepared);
+        assert_eq!(s2, PlanSource::Prepared);
+        assert_eq!(planner.cache_stats().uncacheable, 2);
+        assert_eq!(planner.bytes_resident(), 0);
+    }
+
+    #[test]
+    fn malformed_matrix_is_a_typed_error() {
+        let gpu = Gpu::new(GpuConfig::l40());
+        let mut bad = gen::random_uniform(64, 64, 500, 101);
+        bad.col_idx[..2].reverse();
+        let mut planner = Planner::with_all_engines(1 << 30);
+        match planner.plan(&gpu, &bad) {
+            Err(EngineError::Validation(_)) => {}
+            other => panic!("expected Validation, got {:?}", other.map(|_| "plan")),
+        }
+    }
+}

@@ -16,6 +16,13 @@
 //! 4. **CSR baseline** — the cuSPARSE-style adaptive CSR kernel, verified
 //!    against f32 block-row checksums ([`CsrChecksums`]).
 //!
+//! The three single-device rungs are ordered per matrix at registration
+//! by the plan layer's cost model ([`spaden_plan::predict_time`]):
+//! canonical strongest-verification-first order, with a lower rung
+//! promoted only when predicted faster by a 1.25× margin. The
+//! ABFT-checked rung is always retained, so every ladder keeps a
+//! self-correcting path.
+//!
 //! A rung failure is always a *typed* [`EngineError`]; transient ones
 //! (verification failures under fault injection) are retried with
 //! exponential backoff before the ladder descends, permanent ones (shape,
@@ -42,8 +49,11 @@ use crate::queue::BoundedQueue;
 use spaden::engine::{EngineError, SpmvRun};
 use spaden::{SpadenEngine, SpadenNoTcEngine, SpmvEngine};
 use spaden_baselines::CusparseCsrEngine;
-use spaden_gpusim::{DeviceFaultConfig, FaultConfig, Gpu};
-use spaden_shard::{DeviceFleet, ShardError, ShardPolicy, ShardedMatrix};
+use spaden_gpusim::{DeviceFaultConfig, FaultConfig, Gpu, GpuConfig};
+use spaden_plan::{predict_time, EngineKind, MatrixStats};
+use spaden_shard::{
+    DeviceFleet, PartitionCache, PartitionCacheStats, ShardError, ShardPolicy, ShardedMatrix,
+};
 use spaden_sparse::csr::Csr;
 
 /// The failover ladder, strongest (fastest, self-correcting) rung first.
@@ -77,6 +87,45 @@ impl Rung {
             Rung::CsrBaseline => "csr-baseline",
         }
     }
+
+    /// The registry engine backing a single-device rung (what the cost
+    /// model prices when ordering the ladder).
+    fn engine_kind(&self) -> EngineKind {
+        match self {
+            Rung::Sharded => EngineKind::Spaden, // per-device kernel
+            Rung::SpadenChecked => EngineKind::Spaden,
+            Rung::SpadenScalar => EngineKind::SpadenNoTc,
+            Rung::CsrBaseline => EngineKind::CusparseCsr,
+        }
+    }
+}
+
+/// Single-device rungs in canonical (strongest-verification-first) order.
+const SINGLE_RUNGS: [Rung; 3] = [Rung::SpadenChecked, Rung::SpadenScalar, Rung::CsrBaseline];
+
+/// A rung climbs past a canonically stronger one only when the cost
+/// model predicts its engine faster by at least this factor — small
+/// predicted wins never outrank stronger verification.
+const PROMOTION_MARGIN: f64 = 1.25;
+
+/// Orders the single-device rungs for one matrix from the cost model's
+/// predictions. Canonical order is the tie-break: a rung is promoted one
+/// position at a time, only while it beats the rung above it by
+/// [`PROMOTION_MARGIN`]. Every rung stays in the ladder — in particular
+/// the ABFT-checked rung is always retained, demoted at most, so a
+/// faulty fast path still falls back to self-correcting execution.
+fn planned_ladder(stats: &MatrixStats, config: &GpuConfig) -> [Rung; 3] {
+    let mut order = SINGLE_RUNGS;
+    let mut t = order.map(|r| predict_time(r.engine_kind(), stats, config).seconds);
+    for i in 1..order.len() {
+        let mut j = i;
+        while j > 0 && t[j - 1] >= PROMOTION_MARGIN * t[j] {
+            order.swap(j - 1, j);
+            t.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+    order
 }
 
 /// Serving policy knobs. All times are simulated seconds.
@@ -289,6 +338,9 @@ struct PreparedMatrix {
     /// launch counters at registration. Failed attempts are charged this
     /// much; deadline admission checks it against the remaining budget.
     est_cost_s: [f64; RUNGS],
+    /// Planner-ordered single-device rungs for this matrix (the sharded
+    /// rung, when configured, always goes first).
+    ladder: [Rung; 3],
 }
 
 /// The resilient SpMV server.
@@ -306,6 +358,10 @@ pub struct SpmvServer {
     sharded: Vec<Option<ShardedMatrix>>,
     /// The sharded rung's devices; `None` disables the rung.
     fleet: Option<DeviceFleet>,
+    /// Fingerprint-keyed partition plans: re-registering a matrix the
+    /// fleet has already partitioned skips the balance pass and the
+    /// per-shard staging runs.
+    partition_cache: PartitionCache,
     breakers: [CircuitBreaker; RUNGS],
     queue: BoundedQueue<(usize, Request)>,
     stats: ServeStats,
@@ -326,6 +382,7 @@ impl SpmvServer {
             matrices: Vec::new(),
             sharded: Vec::new(),
             fleet,
+            partition_cache: PartitionCache::default(),
             breakers,
             queue,
             stats: ServeStats::default(),
@@ -407,19 +464,22 @@ impl SpmvServer {
             .map_err(|e| ServeError::Invalid(EngineError::Validation(e.to_string())))?;
         let spaden =
             SpadenEngine::try_prepare(&self.gpu, csr).map_err(ServeError::Invalid)?;
-        let scalar = SpadenNoTcEngine::prepare(&self.gpu, csr);
+        let scalar =
+            SpadenNoTcEngine::try_prepare(&self.gpu, csr).map_err(ServeError::Invalid)?;
         let csr_eng =
             CusparseCsrEngine::try_prepare(&self.gpu, csr).map_err(ServeError::Invalid)?;
+        let ladder = planned_ladder(&MatrixStats::of(csr), &self.gpu.config);
         let sums = CsrChecksums::build(csr);
         // The sharded form is partitioned once here; its checksums are
         // slices of the full matrix's (never recomputed).
         let sharded = match &self.fleet {
             Some(fleet) => Some(
-                ShardedMatrix::try_new(
+                ShardedMatrix::try_new_cached(
                     &self.gpu.config,
                     csr,
                     fleet.len() * self.config.shards_per_device.max(1),
                     self.config.shard_policy,
+                    &mut self.partition_cache,
                 )
                 .map_err(ServeError::Invalid)?,
             ),
@@ -448,6 +508,7 @@ impl SpmvServer {
             csr: csr_eng,
             sums,
             est_cost_s,
+            ladder,
         });
         self.sharded.push(sharded);
         Ok(MatrixHandle(self.matrices.len() - 1))
@@ -461,6 +522,17 @@ impl SpmvServer {
     /// Required input dimension of a registered matrix.
     pub fn ncols(&self, h: MatrixHandle) -> Option<usize> {
         self.matrices.get(h.0).map(|m| m.ncols)
+    }
+
+    /// The planner-ordered single-device ladder for a registered matrix
+    /// (the sharded rung, when configured, always precedes these).
+    pub fn ladder(&self, h: MatrixHandle) -> Option<[Rung; 3]> {
+        self.matrices.get(h.0).map(|m| m.ladder)
+    }
+
+    /// Hit/miss counters of the sharded rung's partition-plan cache.
+    pub fn partition_cache_stats(&self) -> PartitionCacheStats {
+        self.partition_cache.stats()
     }
 
     /// Serves a batch: every request is admitted through the bounded
@@ -517,7 +589,7 @@ impl SpmvServer {
         let mut last_err: Option<EngineError> = None;
         let mut deadline_bound = false;
 
-        for rung in Rung::ALL {
+        for rung in std::iter::once(Rung::Sharded).chain(m.ladder) {
             let r = rung as usize;
             if rung == Rung::Sharded && self.fleet.is_none() {
                 continue; // rung not configured; not counted as skipped
@@ -684,6 +756,48 @@ mod tests {
     }
 
     #[test]
+    fn planned_ladder_matches_pre_planner_ladder_on_default_config() {
+        // Regression: on the default config the planner-derived ladder
+        // must recombine bit-identically with the fixed pre-planner
+        // ladder — same rung order, same top rung, same bits out.
+        let (mut srv, h, csr) = clean_server();
+        assert_eq!(
+            srv.ladder(h).unwrap(),
+            [Rung::SpadenChecked, Rung::SpadenScalar, Rung::CsrBaseline],
+            "canonical order must survive planning on the default matrix"
+        );
+        let x = make_x(96);
+        let ok = srv.serve(Request { matrix: h, x: x.clone(), deadline_s: None }).unwrap();
+        assert_eq!(ok.rung, Rung::SpadenChecked);
+        let direct = SpadenEngine::try_prepare(srv.gpu(), &csr)
+            .unwrap()
+            .try_run_checked(srv.gpu(), &x)
+            .unwrap();
+        assert_eq!(ok.y, direct.y, "planned ladder must reproduce the exact pre-planner bits");
+    }
+
+    #[test]
+    fn planner_promotes_csr_rung_on_hostile_structure() {
+        // A large, extremely sparse scalar matrix shatters into nearly
+        // one 8x8 block per nonzero — the cost model prices the CSR
+        // baseline far below the bitmap kernels, so the CSR rung is
+        // promoted to the top while the ABFT rung stays in the ladder.
+        let csr = gen::random_uniform(131072, 131072, 300000, 911);
+        let mut srv = SpmvServer::new(Gpu::new(GpuConfig::l40()), ServeConfig::default());
+        let h = srv.register(&csr).unwrap();
+        let ladder = srv.ladder(h).unwrap();
+        assert_eq!(ladder[0], Rung::CsrBaseline, "ladder: {ladder:?}");
+        assert!(ladder.contains(&Rung::SpadenChecked), "ABFT rung must be retained");
+        let x = make_x(131072);
+        let ok = srv.serve(Request { matrix: h, x: x.clone(), deadline_s: None }).unwrap();
+        assert_eq!(ok.rung, Rung::CsrBaseline);
+        let oracle = csr.spmv_f64(&x).unwrap();
+        for (a, o) in ok.y.iter().zip(&oracle) {
+            assert!((*a as f64 - o).abs() <= 1e-2f64.max(o.abs() * 2e-2));
+        }
+    }
+
+    #[test]
     fn scalar_rung_output_passes_abft_checksums() {
         // The second rung's verification must accept its own clean output
         // (the scalar kernel rounds to f16 exactly like the ABFT model).
@@ -831,6 +945,21 @@ mod tests {
         let single = SpadenEngine::prepare(srv.gpu(), &csr).run(srv.gpu(), &x);
         assert_eq!(ok.y, single.y);
         assert_eq!(srv.stats().served[Rung::Sharded as usize], 1);
+    }
+
+    #[test]
+    fn reregistration_reuses_the_partition_plan() {
+        let (mut srv, h1, csr) = sharded_server(4);
+        assert_eq!(srv.partition_cache_stats().misses, 1);
+        assert_eq!(srv.partition_cache_stats().hits, 0);
+        let h2 = srv.register(&csr).expect("re-registration succeeds");
+        assert_eq!(srv.partition_cache_stats().hits, 1, "same fingerprint must hit");
+        // Both handles serve bit-identical sharded results.
+        let x = make_x(96);
+        let y1 = srv.serve(Request { matrix: h1, x: x.clone(), deadline_s: None }).unwrap();
+        let y2 = srv.serve(Request { matrix: h2, x: x.clone(), deadline_s: None }).unwrap();
+        assert_eq!(y1.rung, Rung::Sharded);
+        assert_eq!(y1.y, y2.y);
     }
 
     #[test]

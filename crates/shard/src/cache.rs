@@ -1,0 +1,171 @@
+//! Fingerprint-keyed cache of partition plans.
+//!
+//! Partitioning a matrix for a fleet is the expensive half of
+//! [`crate::ShardedMatrix::try_new`]: balancing block-rows, slicing the
+//! ABFT checksums per shard, and measuring each shard's fault-free
+//! duration with a staging run. None of that depends on anything but the
+//! matrix structure+values, the GPU configuration, and the shard count —
+//! so a repeat registration of the same matrix (same
+//! [`spaden_sparse::MatrixFingerprint`], same GPU, same `nshards`) can
+//! reuse the plan verbatim and skip the partition and the staging runs.
+//!
+//! Plans are small — O(block_rows) ranges and checksums, no device
+//! buffers — so the cache is count-bounded rather than byte-budgeted
+//! (the device-memory-budgeted cache for full engine plans lives in
+//! `spaden_plan::cache`; this one deliberately holds only host-side
+//! metadata).
+
+use spaden::AbftChecksums;
+use spaden_gpusim::GpuConfig;
+use spaden_plan::gpu_digest;
+use spaden_sparse::MatrixFingerprint;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Everything [`crate::ShardedMatrix`] computes from scratch besides the
+/// engines themselves: the balanced block-row ranges, each shard's
+/// sliced checksums, and each shard's measured fault-free duration.
+#[derive(Debug, Clone)]
+pub struct PartitionPlan {
+    /// Balanced block-row range per shard.
+    pub ranges: Vec<Range<usize>>,
+    /// ABFT checksums sliced per shard (never recomputed from the
+    /// matrix).
+    pub sums: Vec<AbftChecksums>,
+    /// Fault-free duration estimate per shard, from one staging run.
+    pub est_s: Vec<f64>,
+}
+
+/// Cache key: matrix fingerprint x GPU configuration x shard count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionKey {
+    matrix: u64,
+    gpu: u64,
+    nshards: usize,
+}
+
+impl PartitionKey {
+    /// Key for `fp` partitioned `nshards` ways for devices of `config`.
+    pub fn new(fp: &MatrixFingerprint, config: &GpuConfig, nshards: usize) -> Self {
+        PartitionKey { matrix: fp.key(), gpu: gpu_digest(config), nshards }
+    }
+}
+
+/// Hit/miss counters of a [`PartitionCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PartitionCacheStats {
+    /// Lookups served from the cache (partition + staging skipped).
+    pub hits: u64,
+    /// Lookups that had to partition from scratch.
+    pub misses: u64,
+    /// Plans inserted.
+    pub insertions: u64,
+    /// Plans evicted by the count bound.
+    pub evictions: u64,
+}
+
+/// A small LRU cache of partition plans, keyed by
+/// fingerprint x GPU x shard count.
+#[derive(Debug)]
+pub struct PartitionCache {
+    capacity: usize,
+    /// Most-recently-used last; linear scan is fine at this size.
+    entries: Vec<(PartitionKey, Arc<PartitionPlan>)>,
+    stats: PartitionCacheStats,
+}
+
+impl PartitionCache {
+    /// Default plan capacity: generous for a serving fleet's working set.
+    pub const DEFAULT_CAPACITY: usize = 64;
+
+    /// A cache holding at most `capacity` plans (LRU-evicted beyond it).
+    pub fn new(capacity: usize) -> Self {
+        PartitionCache { capacity: capacity.max(1), entries: Vec::new(), stats: Default::default() }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> PartitionCacheStats {
+        self.stats
+    }
+
+    /// Resident plan count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a plan, refreshing its recency on hit.
+    pub fn get(&mut self, key: &PartitionKey) -> Option<Arc<PartitionPlan>> {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| k == key) {
+            let entry = self.entries.remove(pos);
+            let plan = entry.1.clone();
+            self.entries.push(entry);
+            self.stats.hits += 1;
+            Some(plan)
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Inserts (or replaces) a plan, evicting the least recently used
+    /// entries beyond capacity.
+    pub fn insert(&mut self, key: PartitionKey, plan: Arc<PartitionPlan>) {
+        self.entries.retain(|(k, _)| k != &key);
+        self.entries.push((key, plan));
+        self.stats.insertions += 1;
+        while self.entries.len() > self.capacity {
+            self.entries.remove(0);
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+impl Default for PartitionCache {
+    fn default() -> Self {
+        PartitionCache::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spaden_sparse::{fingerprint, gen};
+
+    fn plan_of(n: usize) -> Arc<PartitionPlan> {
+        let ranges = std::iter::once(0..n).collect();
+        Arc::new(PartitionPlan { ranges, sums: Vec::new(), est_s: vec![1e-6] })
+    }
+
+    #[test]
+    fn lru_eviction_by_count() {
+        let csrs: Vec<_> = (0..3).map(|i| gen::random_uniform(64, 64, 400, 70 + i)).collect();
+        let cfg = GpuConfig::l40();
+        let keys: Vec<_> =
+            csrs.iter().map(|c| PartitionKey::new(&fingerprint(c), &cfg, 4)).collect();
+        let mut cache = PartitionCache::new(2);
+        cache.insert(keys[0], plan_of(1));
+        cache.insert(keys[1], plan_of(2));
+        assert!(cache.get(&keys[0]).is_some()); // refresh 0; 1 is now LRU
+        cache.insert(keys[2], plan_of(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&keys[1]).is_none(), "LRU entry must have been evicted");
+        assert!(cache.get(&keys[0]).is_some());
+        assert!(cache.get(&keys[2]).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn key_distinguishes_gpu_and_shard_count() {
+        let csr = gen::random_uniform(64, 64, 400, 77);
+        let fp = fingerprint(&csr);
+        let k = PartitionKey::new(&fp, &GpuConfig::l40(), 4);
+        assert_ne!(k, PartitionKey::new(&fp, &GpuConfig::v100(), 4));
+        assert_ne!(k, PartitionKey::new(&fp, &GpuConfig::l40(), 8));
+        assert_eq!(k, PartitionKey::new(&fp, &GpuConfig::l40(), 4));
+    }
+}

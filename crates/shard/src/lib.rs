@@ -22,9 +22,11 @@
 //! boundaries land on even block-row indices so each shard preserves
 //! the paired kernel's warp-to-block-row mapping.
 
+pub mod cache;
 pub mod fleet;
 pub mod sharded;
 
+pub use cache::{PartitionCache, PartitionCacheStats, PartitionKey, PartitionPlan};
 pub use fleet::DeviceFleet;
 pub use sharded::{
     Shard, ShardError, ShardPolicy, ShardRunReport, ShardedMatrix, ShardedRun,

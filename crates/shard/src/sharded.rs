@@ -38,13 +38,16 @@
 //! before its rows are accepted, so the scheduler never recombines an
 //! unverified partial result.
 
+use crate::cache::{PartitionCache, PartitionKey, PartitionPlan};
 use crate::fleet::DeviceFleet;
 use spaden::gpusim::{DeviceEvent, Gpu, GpuConfig, KernelCounters};
+use spaden::sparse::fingerprint::fingerprint;
 use spaden::sparse::gen::BLOCK_DIM;
 use spaden::sparse::partition::partition_balanced;
 use spaden::sparse::Csr;
 use spaden::{EngineError, SpadenConfig, SpadenEngine, SpmvRun};
 use std::ops::Range;
+use std::sync::Arc;
 
 /// Retry, timeout, speculation, and data-movement knobs of the shard
 /// scheduler.
@@ -258,6 +261,31 @@ impl ShardedMatrix {
         nshards: usize,
         policy: ShardPolicy,
     ) -> Result<Self, EngineError> {
+        Self::build(config, csr, nshards, policy, None)
+    }
+
+    /// [`ShardedMatrix::try_new`] backed by a [`PartitionCache`]: a
+    /// repeat registration of an already-partitioned matrix (same
+    /// fingerprint, GPU, and shard count) reuses the cached block-row
+    /// ranges, sliced checksums, and per-shard duration estimates —
+    /// skipping the balance pass and every staging measurement run.
+    pub fn try_new_cached(
+        config: &GpuConfig,
+        csr: &Csr,
+        nshards: usize,
+        policy: ShardPolicy,
+        cache: &mut PartitionCache,
+    ) -> Result<Self, EngineError> {
+        Self::build(config, csr, nshards, policy, Some(cache))
+    }
+
+    fn build(
+        config: &GpuConfig,
+        csr: &Csr,
+        nshards: usize,
+        policy: ShardPolicy,
+        cache: Option<&mut PartitionCache>,
+    ) -> Result<Self, EngineError> {
         assert!(nshards > 0, "nshards must be positive");
         let mut staging_cfg = config.clone();
         staging_cfg.faults = spaden::gpusim::FaultConfig::disabled();
@@ -265,29 +293,84 @@ impl ShardedMatrix {
         let full = SpadenEngine::try_prepare(&staging, csr)?;
         let format = full.format();
 
-        // Per-block-row nonzero counts drive the balance; boundaries on
-        // even block-rows keep the paired kernel's warp mapping intact.
-        let weights: Vec<u32> = (0..format.block_rows)
-            .map(|br| {
-                let b0 = format.block_row_ptr[br] as usize;
-                let b1 = format.block_row_ptr[br + 1] as usize;
-                format.block_offsets[b1] - format.block_offsets[b0]
-            })
-            .collect();
-        let ranges = partition_balanced(&weights, nshards, 2);
+        let mut cache = cache;
+        let key = cache
+            .as_ref()
+            .map(|_| PartitionKey::new(&fingerprint(csr), config, nshards));
+        let cached: Option<Arc<PartitionPlan>> = match (&mut cache, &key) {
+            (Some(c), Some(k)) => c.get(k),
+            _ => None,
+        };
 
-        let x0 = vec![0.0f32; csr.ncols];
-        let mut shards = Vec::with_capacity(ranges.len());
-        for r in ranges {
-            let fmt = format.slice_block_rows(r.start, r.end);
-            let sums = full.abft().slice_block_rows(r.start, r.end);
+        // On a cache miss the plan is computed here (balance pass, one
+        // staging measurement run per shard) and the engines built along
+        // the way are kept; a hit skips all of that and only rebuilds the
+        // engines from the cached ranges + checksums.
+        let (plan, mut prebuilt): (Arc<PartitionPlan>, Vec<Option<SpadenEngine>>) = match cached {
+            Some(plan) => {
+                let n = plan.ranges.len();
+                (plan, (0..n).map(|_| None).collect())
+            }
+            None => {
+                // Per-block-row nonzero counts drive the balance;
+                // boundaries on even block-rows keep the paired kernel's
+                // warp mapping intact.
+                let weights: Vec<u32> = (0..format.block_rows)
+                    .map(|br| {
+                        let b0 = format.block_row_ptr[br] as usize;
+                        let b1 = format.block_row_ptr[br + 1] as usize;
+                        format.block_offsets[b1] - format.block_offsets[b0]
+                    })
+                    .collect();
+                let ranges = partition_balanced(&weights, nshards, 2);
+                let x0 = vec![0.0f32; csr.ncols];
+                let mut sums = Vec::with_capacity(ranges.len());
+                let mut est_s = Vec::with_capacity(ranges.len());
+                let mut engines = Vec::with_capacity(ranges.len());
+                for r in &ranges {
+                    let fmt = format.slice_block_rows(r.start, r.end);
+                    let s = full.abft().slice_block_rows(r.start, r.end);
+                    let engine = SpadenEngine::try_from_parts(
+                        &staging,
+                        fmt,
+                        s.clone(),
+                        SpadenConfig::default(),
+                    )?;
+                    est_s.push(engine.try_run_checked(&staging, &x0)?.time.seconds);
+                    sums.push(s);
+                    engines.push(Some(engine));
+                }
+                let plan = Arc::new(PartitionPlan { ranges, sums, est_s });
+                if let (Some(c), Some(k)) = (&mut cache, key) {
+                    c.insert(k, plan.clone());
+                }
+                (plan, engines)
+            }
+        };
+
+        let mut shards = Vec::with_capacity(plan.ranges.len());
+        for (i, r) in plan.ranges.iter().enumerate() {
+            let engine = match prebuilt[i].take() {
+                Some(e) => e,
+                None => SpadenEngine::try_from_parts(
+                    &staging,
+                    format.slice_block_rows(r.start, r.end),
+                    plan.sums[i].clone(),
+                    SpadenConfig::default(),
+                )?,
+            };
+            let fmt = engine.format();
             let nnz = fmt.nnz();
             let bytes = fmt.bytes() as u64;
             let rows = r.start * BLOCK_DIM..r.start * BLOCK_DIM + fmt.nrows;
-            let engine =
-                SpadenEngine::try_from_parts(&staging, fmt, sums, SpadenConfig::default())?;
-            let est_s = engine.try_run_checked(&staging, &x0)?.time.seconds;
-            shards.push(Shard { block_rows: r, rows, nnz, bytes, est_s, engine });
+            shards.push(Shard {
+                block_rows: r.clone(),
+                rows,
+                nnz,
+                bytes,
+                est_s: plan.est_s[i],
+                engine,
+            });
         }
         Ok(ShardedMatrix {
             nrows: csr.nrows,

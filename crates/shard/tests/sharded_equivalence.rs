@@ -145,3 +145,41 @@ fn sharded_matches_reference_spmv() {
         assert!(((*a as f64) - b).abs() <= tol, "row {r}: {a} vs {b}");
     }
 }
+
+#[test]
+fn cached_partition_plan_recombines_bit_identically() {
+    // A repeat registration through the partition cache must produce the
+    // same shard layout, the same duration estimates, and bit-identical
+    // output — the cached plan is the plan, not an approximation.
+    let config = GpuConfig::l40();
+    let csr = random_uniform(384, 256, 4200, 79);
+    let x = make_x(256, 3);
+    let mut cache = spaden_shard::PartitionCache::default();
+    let mut fresh =
+        ShardedMatrix::try_new_cached(&config, &csr, 6, ShardPolicy::default(), &mut cache)
+            .unwrap();
+    assert_eq!(cache.stats().misses, 1);
+    assert_eq!(cache.stats().insertions, 1);
+
+    // Same fingerprint, regenerated matrix object: must hit.
+    let again = random_uniform(384, 256, 4200, 79);
+    let mut cached =
+        ShardedMatrix::try_new_cached(&config, &again, 6, ShardPolicy::default(), &mut cache)
+            .unwrap();
+    assert_eq!(cache.stats().hits, 1);
+
+    let layouts = |m: &ShardedMatrix| -> Vec<_> {
+        m.shards().iter().map(|s| (s.block_rows.clone(), s.nnz, s.est_s.to_bits())).collect()
+    };
+    assert_eq!(layouts(&fresh), layouts(&cached), "cached plan must reproduce the layout");
+
+    let mut fleet = DeviceFleet::new(3, &config, DeviceFaultConfig::disabled());
+    let y1 = fresh.execute(&mut fleet, &x, None).unwrap().y;
+    let mut fleet = DeviceFleet::new(3, &config, DeviceFaultConfig::disabled());
+    let y2 = cached.execute(&mut fleet, &x, None).unwrap().y;
+    assert_eq!(y1, y2, "cached plan must recombine bit-identically");
+
+    // A different shard count is a different plan.
+    ShardedMatrix::try_new_cached(&config, &csr, 4, ShardPolicy::default(), &mut cache).unwrap();
+    assert_eq!(cache.stats().misses, 2);
+}

@@ -34,6 +34,7 @@ pub mod datasets;
 pub mod dense;
 pub mod dia;
 pub mod ell;
+pub mod fingerprint;
 pub mod gen;
 pub mod hyb;
 pub mod mtx;
@@ -54,6 +55,7 @@ pub use datasets::{Dataset, DatasetSpec, ALL_DATASETS, IN_SCOPE_DATASETS};
 pub use dense::Dense;
 pub use dia::Dia;
 pub use ell::Ell;
+pub use fingerprint::{fingerprint, MatrixFingerprint};
 pub use hyb::Hyb;
 pub use rng::Pcg64;
 pub use sell::Sell;
