@@ -4,7 +4,8 @@
 //! repro <experiment> [--scale S] [--gpu l40|v100|both]
 //!
 //! experiments: table1 fig6 fig7 fig8 fig9a fig9b fig10a fig10b
-//!              ablations extensions reordering faults plan serve verify all
+//!              ablations extensions reordering faults plan sanitize serve
+//!              verify all
 //! ```
 //!
 //! `--scale` shrinks every dataset proportionally (default 0.05; use 1.0
@@ -82,7 +83,7 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: repro <table1|fig6|fig7|fig8|fig9a|fig9b|fig10a|fig10b|ablations|extensions|reordering|faults|verify|all> \
-                 [--scale S] [--gpu l40|v100|both]   (also: plan serve shard)"
+                 [--scale S] [--gpu l40|v100|both]   (also: plan sanitize serve shard)"
             );
             std::process::exit(2);
         }
@@ -197,6 +198,19 @@ fn main() {
                     println!("{verdict}");
                 }
             }
+        }
+        "sanitize" => {
+            // Certifies SimSan: the full engine matrix runs violation-free
+            // (and bit-identical to sanitizer-off runs), every seeded
+            // hazard class is caught with the right report kind, and the
+            // numerical edge corpus resolves through the serving ladder
+            // with f16 hazards demoted. CI's sanitize job greps the SAN
+            // verdict line.
+            let (tables, verdict, _) = spaden_bench::sanitize_report(&args.gpus);
+            for t in tables {
+                println!("{t}");
+            }
+            println!("{verdict}");
         }
         "plan" => {
             // Certifies the plan layer: cost-model selection accuracy vs

@@ -17,6 +17,7 @@ pub mod experiments;
 pub mod harness;
 pub mod planning;
 pub mod registry;
+pub mod sanitize;
 pub mod serving;
 pub mod sharding;
 pub mod table;
@@ -25,6 +26,7 @@ pub use experiments::*;
 pub use harness::BenchGroup;
 pub use planning::{plan_corpus, plan_report, PlanReport};
 pub use registry::{build_engine, EngineKind, FIG6_ENGINES, FIG8_ENGINES};
+pub use sanitize::{sanitize_report, SanitizeReport};
 pub use serving::serve_report;
 pub use sharding::shard_report;
 pub use table::Table;

@@ -15,6 +15,7 @@
 use spaden_gpusim::exec::{WarpCtx, WARP_SIZE};
 use spaden_gpusim::half::F16;
 use spaden_gpusim::memory::DeviceBuffer;
+use spaden_sparse::gen::BLOCK_DIM;
 
 /// Intra-block value indices for one lane: `(idx1, idx2)` relative to the
 /// block's value base, `None` where the bit is clear (Algorithm 2 lines
@@ -59,8 +60,11 @@ pub fn decode_matrix_block(
     let mut idx2 = [None; WARP_SIZE];
     for lid in 0..WARP_SIZE {
         let (v1, v2) = lane_value_indices(bmp, lid);
-        idx1[lid] = v1.map(|v| base + v);
-        idx2[lid] = v2.map(|v| base + v);
+        // Saturating: a corrupt `base` near u32::MAX must become an
+        // out-of-range index (a modelled OOB access SimSan reports), not
+        // wrap around to a bogus in-bounds one.
+        idx1[lid] = v1.map(|v| base.saturating_add(v));
+        idx2[lid] = v2.map(|v| base.saturating_add(v));
     }
     let val1 = ctx.gather(values, &idx1); // line 5 (conditional load)
     let val2 = ctx.gather(values, &idx2); // line 6
@@ -76,6 +80,22 @@ pub fn decode_matrix_block(
     out
 }
 
+/// Device column index of segment position `pos` in block-column `b_idx`,
+/// when the full pair `(pos, pos + 1)` is inside the matrix and the index
+/// fits `u32` device addressing. Adversarial block counts (a corrupt
+/// `block_cols` entry near `u32::MAX` drives `b_idx * 8` past `u32`) must
+/// degrade to the edge-handling path, not wrap into a bogus in-bounds
+/// index.
+#[inline]
+pub fn checked_segment_col(b_idx: usize, pos: usize, ncols: usize) -> Option<u32> {
+    let col = b_idx.checked_mul(BLOCK_DIM)?.checked_add(pos)?;
+    if col.checked_add(1)? < ncols {
+        u32::try_from(col).ok()
+    } else {
+        None
+    }
+}
+
 /// Warp-level vector decode (Algorithm 2 lines 7–10): fetches the length-8
 /// segment of `x` for block-column `b_idx` in the repeating per-lane
 /// pattern. Lanes whose position falls outside the matrix (edge blocks)
@@ -86,15 +106,11 @@ pub fn decode_vector_segment(
     b_idx: usize,
     ncols: usize,
 ) -> [(f32, f32); WARP_SIZE] {
-    const BLOCK_DIM: usize = 8;
     ctx.ops(3); // position arithmetic
     let mut idx = [None; WARP_SIZE];
     for lid in 0..WARP_SIZE {
         let (p1, _) = lane_vector_positions(lid);
-        let col = b_idx * BLOCK_DIM + p1;
-        if col + 1 < ncols {
-            idx[lid] = Some(col as u32);
-        }
+        idx[lid] = checked_segment_col(b_idx, p1, ncols);
     }
     let pairs = ctx.gather_pair(x, &idx); // lines 9-10
     let mut out = [(0.0f32, 0.0f32); WARP_SIZE];
@@ -104,9 +120,10 @@ pub fn decode_vector_segment(
             None => {
                 // Edge handling: fetch the surviving scalar (if any)
                 // functionally; its traffic is covered by the segment load.
+                // Saturating for the same adversarial-count reason.
                 let (p1, p2) = lane_vector_positions(lid);
-                let c1 = b_idx * BLOCK_DIM + p1;
-                let c2 = b_idx * BLOCK_DIM + p2;
+                let c1 = b_idx.saturating_mul(BLOCK_DIM).saturating_add(p1);
+                let c2 = b_idx.saturating_mul(BLOCK_DIM).saturating_add(p2);
                 out[lid] = (
                     if c1 < ncols { x.get(c1) } else { 0.0 },
                     if c2 < ncols { x.get(c2) } else { 0.0 },
@@ -256,6 +273,37 @@ mod tests {
             }
         });
         assert_eq!(c.sectors_read, 1, "8 aligned f32 = one sector");
+    }
+
+    #[test]
+    fn checked_segment_col_rejects_wrapping_block_counts() {
+        // Normal case.
+        assert_eq!(checked_segment_col(3, 2, 64), Some(26));
+        // Pair straddles the edge.
+        assert_eq!(checked_segment_col(1, 4, 13), None);
+        // b_idx * 8 past u32: must be None, never a truncated index.
+        assert_eq!(checked_segment_col(u32::MAX as usize, 0, usize::MAX), None);
+        // Products past usize must not panic.
+        assert_eq!(checked_segment_col(usize::MAX / 4, 7, usize::MAX), None);
+        // Largest representable column.
+        let big = (u32::MAX as usize - 7) / BLOCK_DIM;
+        assert!(checked_segment_col(big, 0, usize::MAX).is_some());
+    }
+
+    #[test]
+    fn corrupt_value_base_saturates_to_oob_not_wraparound() {
+        use spaden_gpusim::{Gpu, GpuConfig};
+        // A block whose offset entry is near u32::MAX: the gather indices
+        // must saturate (modelled OOB, functional zero), not wrap into
+        // some other block's values.
+        let gpu = Gpu::new(GpuConfig::l40());
+        let bitmaps = gpu.alloc(vec![0x3u64]); // two nonzeros, lane 0
+        let offsets = gpu.alloc(vec![u32::MAX - 1, u32::MAX]);
+        let values = gpu.alloc(vec![F16::from_f32(7.0); 4]);
+        gpu.launch(1, |ctx| {
+            let out = decode_matrix_block(ctx, &bitmaps, &offsets, &values, 0);
+            assert_eq!(out[0], (0.0, 0.0), "saturated index reads the default");
+        });
     }
 
     #[test]

@@ -45,6 +45,21 @@ pub enum EngineError {
         /// Devices still alive when the request gave up.
         survivors: usize,
     },
+    /// SimSan's f16 numerical guard rails fired during the run: values
+    /// overflowed to ±Inf, underflowed to zero above the tolerance, or a
+    /// NaN was produced. The output may be poisoned and must not be
+    /// served. Transient in the failover sense — not because a retry of
+    /// the same engine would help (the scalar recompute rounds through
+    /// f16 too), but because a lower ladder rung computing in f32 can
+    /// serve the same request cleanly.
+    NumericalHazard {
+        /// f16 overflow-to-Inf events observed.
+        overflow: usize,
+        /// f16 underflow-to-zero events above the tolerance.
+        underflow: usize,
+        /// NaNs produced or propagated.
+        nan: usize,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -65,6 +80,11 @@ impl std::fmt::Display for EngineError {
             EngineError::DeviceLost { survivors } => {
                 write!(f, "device lost mid-request: {survivors} device(s) still alive")
             }
+            EngineError::NumericalHazard { overflow, underflow, nan } => write!(
+                f,
+                "numerical hazard: {overflow} f16 overflow(s), {underflow} underflow(s), \
+                 {nan} NaN(s) — output may be poisoned"
+            ),
         }
     }
 }
@@ -79,7 +99,8 @@ impl EngineError {
             EngineError::ShapeMismatch { .. } | EngineError::Validation(_) => false,
             EngineError::CorrectionExhausted { .. }
             | EngineError::VerificationFailed { .. }
-            | EngineError::DeviceLost { .. } => true,
+            | EngineError::DeviceLost { .. }
+            | EngineError::NumericalHazard { .. } => true,
         }
     }
 }
@@ -217,6 +238,19 @@ mod tests {
         assert!(EngineError::CorrectionExhausted { block_rows: 1, retries: 3 }.is_transient());
         assert!(EngineError::VerificationFailed { block_rows: 2 }.is_transient());
         assert!(EngineError::DeviceLost { survivors: 0 }.is_transient());
+        // Critical for the serving ladder: a numerical hazard must demote
+        // to the next rung, not fail the request outright.
+        assert!(EngineError::NumericalHazard { overflow: 1, underflow: 0, nan: 0 }
+            .is_transient());
+    }
+
+    #[test]
+    fn numerical_hazard_displays_counts() {
+        let e = EngineError::NumericalHazard { overflow: 2, underflow: 1, nan: 3 };
+        let s = e.to_string();
+        assert!(s.contains("2 f16 overflow"), "{s}");
+        assert!(s.contains("1 underflow"), "{s}");
+        assert!(s.contains("3 NaN"), "{s}");
     }
 
     #[test]

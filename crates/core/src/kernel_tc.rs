@@ -20,7 +20,7 @@ use crate::engine::{timed, EngineError, PrepStats, SpmvEngine, SpmvRun};
 use crate::kernel_cuda::CUDA_BLOCK_PRODUCT_CYCLES;
 use spaden_gpusim::exec::{WarpCtx, WARP_SIZE};
 use spaden_gpusim::fragment::{FragKind, Fragment};
-use spaden_gpusim::half::F16;
+use spaden_gpusim::half::{ConvertHazard, F16};
 use spaden_gpusim::memory::DeviceBuffer;
 use spaden_gpusim::{Gpu, KernelCounters};
 use spaden_sparse::csr::Csr;
@@ -30,6 +30,21 @@ use spaden_sparse::gen::BLOCK_DIM;
 /// [`SpadenEngine::try_run_checked`] gives up with
 /// [`EngineError::CorrectionExhausted`].
 pub const ABFT_MAX_RETRIES: usize = 3;
+
+/// Guards the decode kernels' `u32` index arithmetic: block value bases
+/// are `u32` plus an intra-block offset below 64, so a format within one
+/// block of `u32::MAX` entries could wrap to a bogus in-bounds index on
+/// adversarial block counts. Surfaced as a typed validation error at
+/// prepare time instead of a silent wrap inside the kernel.
+pub(crate) fn check_index_headroom(nnz: usize, bnnz: usize) -> Result<(), EngineError> {
+    let limit = u32::MAX as usize - BLOCK_DIM * BLOCK_DIM;
+    if nnz > limit || bnnz > limit {
+        return Err(EngineError::Validation(format!(
+            "format exceeds u32 index headroom: {nnz} values / {bnnz} blocks (limit {limit})"
+        )));
+    }
+    Ok(())
+}
 
 /// How blocks are packed onto the 16×16 fragment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -78,6 +93,32 @@ pub struct SpadenEngine {
     d_bitmaps: DeviceBuffer<u64>,
     d_block_offsets: DeviceBuffer<u32>,
     d_values: DeviceBuffer<F16>,
+    /// f16 conversion losses `(overflow, underflow, nan)` counted when the
+    /// source values were rounded to f16 at prepare time. Only populated
+    /// when the preparing GPU has SimSan enabled; the checked run surfaces
+    /// them as [`EngineError::NumericalHazard`] — the loss already
+    /// happened, so serving from this format would return poisoned output.
+    prep_hazards: (usize, usize, usize),
+}
+
+/// Counts f16 conversion hazards over the source values (prepare-time
+/// guard rail). Skipped entirely when SimSan is off — prepare stays
+/// zero-cost and behaviour-identical.
+fn conversion_hazards(values: &[f32], gpu: &Gpu) -> (usize, usize, usize) {
+    if !gpu.san_enabled() {
+        return (0, 0, 0);
+    }
+    let tol = gpu.config.san.underflow_tol;
+    let mut counts = (0usize, 0usize, 0usize);
+    for &v in values {
+        match F16::convert_hazard(v, tol) {
+            Some(ConvertHazard::Overflow) => counts.0 += 1,
+            Some(ConvertHazard::Underflow) => counts.1 += 1,
+            Some(ConvertHazard::Nan) => counts.2 += 1,
+            None => {}
+        }
+    }
+    counts
 }
 
 impl SpadenEngine {
@@ -111,7 +152,10 @@ impl SpadenEngine {
         csr.validate().map_err(|e| EngineError::Validation(e.to_string()))?;
         let (format, seconds) = timed(|| BitBsr::from_csr(csr));
         let abft = AbftChecksums::build(&format);
-        Self::from_validated_parts(gpu, format, abft, config, seconds)
+        // Prepare-time guard rail: the f32 → f16 rounding above is where
+        // out-of-range values are silently lost, before any kernel runs.
+        let prep_hazards = conversion_hazards(&csr.values, gpu);
+        Self::from_validated_parts(gpu, format, abft, config, seconds, prep_hazards)
     }
 
     /// Builds an engine from an already-converted bitBSR slice and its
@@ -132,7 +176,12 @@ impl SpadenEngine {
                 format.block_rows
             )));
         }
-        Self::from_validated_parts(gpu, format, abft, config, 0.0)
+        // The f32 source is gone here (the slice is already f16), so only
+        // retained Inf/NaN can still be seen; underflow losses were
+        // counted when the full matrix was prepared.
+        let vals_f32: Vec<f32> = format.values.iter().map(|v| v.to_f32()).collect();
+        let prep_hazards = conversion_hazards(&vals_f32, gpu);
+        Self::from_validated_parts(gpu, format, abft, config, 0.0, prep_hazards)
     }
 
     fn from_validated_parts(
@@ -141,8 +190,10 @@ impl SpadenEngine {
         abft: AbftChecksums,
         config: SpadenConfig,
         prep_seconds: f64,
+        prep_hazards: (usize, usize, usize),
     ) -> Result<Self, EngineError> {
         format.validate().map_err(|e| EngineError::Validation(e.to_string()))?;
+        check_index_headroom(format.nnz(), format.bnnz())?;
         let prep = PrepStats { seconds: prep_seconds, device_bytes: format.bytes() as u64 };
         Ok(SpadenEngine {
             d_block_row_ptr: gpu.alloc(format.block_row_ptr.clone()),
@@ -154,6 +205,7 @@ impl SpadenEngine {
             prep,
             config,
             abft,
+            prep_hazards,
         })
     }
 
@@ -192,12 +244,10 @@ impl SpadenEngine {
                 // Algorithm 3 lines 6-7: direct register writes. Lane `l`'s
                 // two decoded elements are exactly its registers
                 // [reg_base], [reg_base + 1] under the Figure-2 mapping.
-                for lid in 0..WARP_SIZE {
-                    a_frag.write_reg(lid, reg_base, a[lid].0);
-                    a_frag.write_reg(lid, reg_base + 1, a[lid].1);
-                    b_frag.write_reg(lid, reg_base, b[lid].0);
-                    b_frag.write_reg(lid, reg_base + 1, b[lid].1);
-                }
+                // The executor's pair-write checks the base against that
+                // mapping and the values for f16 hazards when SimSan is on.
+                ctx.frag_write_pairs(a_frag, reg_base, &a);
+                ctx.frag_write_pairs(b_frag, reg_base, &b);
                 ctx.ops(2); // register move pairs issue as two instructions
                 if self.config.fragment_io == FragmentIo::SharedMemoryStaged {
                     // Conventional WMMA path: the decoded A portion and the
@@ -211,10 +261,7 @@ impl SpadenEngine {
             None => {
                 // Row exhausted: zero the A portion so the MMA contributes
                 // nothing (computed zeros, not loads).
-                for lid in 0..WARP_SIZE {
-                    a_frag.write_reg(lid, reg_base, 0.0);
-                    a_frag.write_reg(lid, reg_base + 1, 0.0);
-                }
+                ctx.frag_write_pairs(a_frag, reg_base, &[(0.0, 0.0); WARP_SIZE]);
                 ctx.ops(1);
             }
         }
@@ -270,7 +317,32 @@ impl SpadenEngine {
     /// run, and `faults_observed` records every failed verification, so
     /// the modelled time includes the cost of recovery.
     pub fn try_run_checked(&self, gpu: &Gpu, x: &[f32]) -> Result<SpmvRun, EngineError> {
+        if gpu.san_enabled() && self.prep_hazards != (0, 0, 0) {
+            // The format itself is lossy: values overflowed, underflowed,
+            // or NaN'd when rounded to f16 at prepare time. Every run of
+            // this format reproduces the loss, so refuse up front and let
+            // the caller demote to an f32 engine.
+            let (overflow, underflow, nan) = self.prep_hazards;
+            return Err(EngineError::NumericalHazard { overflow, underflow, nan });
+        }
+        let numeric_before = gpu.san_numeric_counts();
         let mut run = self.try_run(gpu, x)?;
+        if gpu.san_enabled() {
+            // SimSan numeric guard rails: any f16 overflow / underflow /
+            // NaN observed during this run taints the output. Don't enter
+            // the ABFT recompute ladder — the scalar path rounds through
+            // f16 too, so a retry reproduces the hazard; surface a typed
+            // error and let the caller demote to an f32 engine instead.
+            let (ovf, unf, nan) = gpu.san_numeric_counts();
+            let (b_ovf, b_unf, b_nan) = numeric_before;
+            if (ovf, unf, nan) != numeric_before {
+                return Err(EngineError::NumericalHazard {
+                    overflow: (ovf - b_ovf) as usize,
+                    underflow: (unf - b_unf) as usize,
+                    nan: (nan - b_nan) as usize,
+                });
+            }
+        }
         let mut bad = self.abft.verify(x, &run.y);
         let mut retries = 0;
         while !bad.is_empty() {
@@ -377,7 +449,9 @@ impl SpadenEngine {
             } else {
                 hi0
             };
-            let (len0, len1) = (hi0 - lo0, hi1 - hi0);
+            // Saturating: a corrupt (non-monotonic) pointer pair must not
+            // wrap to a near-usize::MAX trip count.
+            let (len0, len1) = (hi0.saturating_sub(lo0), hi1.saturating_sub(hi0));
 
             // Algorithm 3 line 1: initialise fragments.
             let mut a_frag = Fragment::new(FragKind::MatrixA);
@@ -757,6 +831,105 @@ mod tests {
             }
             other => panic!("expected CorrectionExhausted, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn index_headroom_guard_rejects_oversized_formats() {
+        assert!(check_index_headroom(1000, 100).is_ok());
+        match check_index_headroom(u32::MAX as usize, 100) {
+            Err(EngineError::Validation(msg)) => assert!(msg.contains("headroom"), "{msg}"),
+            other => panic!("expected Validation, got {other:?}"),
+        }
+        assert!(check_index_headroom(100, u32::MAX as usize).is_err());
+    }
+
+    #[test]
+    fn checked_run_surfaces_numerical_hazard_under_san() {
+        use spaden_gpusim::SanConfig;
+        let csr = gen::random_uniform(64, 64, 500, 251);
+        let mut cfg = GpuConfig::l40();
+        cfg.san = SanConfig::on();
+        let gpu = Gpu::new(cfg);
+        let eng = SpadenEngine::prepare(&gpu, &csr);
+        // A well-scaled x verifies cleanly even with the sanitizer on.
+        let ok = eng.try_run_checked(&gpu, &vec![1.0f32; 64]).expect("clean input verifies");
+        assert!(ok.y.iter().all(|v| v.is_finite()));
+        // x past the f16 range: the vector-fragment writes overflow to
+        // Inf, and the checked run must refuse to return the poisoned y
+        // with a typed diagnosis instead of burning ABFT retries.
+        match eng.try_run_checked(&gpu, &vec![1e6f32; 64]) {
+            Err(EngineError::NumericalHazard { overflow, .. }) => {
+                assert!(overflow > 0, "the overflow count attributes the hazard")
+            }
+            other => panic!("expected NumericalHazard, got {:?}", other.map(|_| ())),
+        }
+        // Without the sanitizer the same input can only surface as generic
+        // correction exhaustion after the full retry ladder.
+        let gpu_off = Gpu::new(GpuConfig::l40());
+        let eng_off = SpadenEngine::prepare(&gpu_off, &csr);
+        match eng_off.try_run_checked(&gpu_off, &vec![1e6f32; 64]) {
+            Err(EngineError::CorrectionExhausted { .. }) => {}
+            other => panic!("expected CorrectionExhausted, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn checked_run_surfaces_prepare_time_underflow() {
+        use spaden_gpusim::SanConfig;
+        // Values below the f16 subnormal floor are rounded to zero when the
+        // matrix is packed into bitBSR at prepare time; no run-time scan can
+        // see them. The checked run must still refuse to serve the format.
+        let mut csr = gen::random_uniform(64, 64, 500, 257);
+        for v in &mut csr.values {
+            *v = 1e-9;
+        }
+        let mut cfg = GpuConfig::l40();
+        cfg.san = SanConfig::on();
+        let gpu = Gpu::new(cfg);
+        let eng = SpadenEngine::prepare(&gpu, &csr);
+        match eng.try_run_checked(&gpu, &vec![1.0f32; 64]) {
+            Err(EngineError::NumericalHazard { underflow, .. }) => {
+                assert!(underflow > 0, "the underflow count attributes the loss")
+            }
+            other => panic!("expected NumericalHazard, got {:?}", other.map(|_| ())),
+        }
+        // With the sanitizer off the lossy format runs (and happens to
+        // verify: y is exactly zero on both the f16 and f64 paths), which
+        // is precisely the silent-poisoning mode SimSan exists to catch.
+        let gpu_off = Gpu::new(GpuConfig::l40());
+        let eng_off = SpadenEngine::prepare(&gpu_off, &csr);
+        assert_eq!(eng_off.prep_hazards, (0, 0, 0), "hazard scan is gated on san");
+        let r = eng_off.try_run_checked(&gpu_off, &vec![1.0f32; 64]).expect("san-off run");
+        assert!(r.y.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn san_on_clean_run_is_bit_identical_to_san_off() {
+        use spaden_gpusim::SanConfig;
+        let csr = gen::generate_blocked(
+            256,
+            160,
+            Placement::Banded { bandwidth: 6 },
+            &FillDist::Uniform { lo: 1, hi: 64 },
+            253,
+        );
+        let x: Vec<f32> = (0..256).map(|i| ((i % 19) as f32) * 0.25 - 2.0).collect();
+        let run = |san: bool| {
+            let mut cfg = GpuConfig::l40();
+            if san {
+                cfg.san = SanConfig::on();
+            }
+            let gpu = Gpu::new(cfg);
+            let eng = SpadenEngine::prepare(&gpu, &csr);
+            let r = eng.run(&gpu, &x);
+            assert!(gpu.take_san_reports().is_empty());
+            (r.y.iter().map(|v| v.to_bits()).collect::<Vec<_>>(), r.counters)
+        };
+        let (y_off, mut c_off) = run(false);
+        let (y_on, c_on) = run(true);
+        assert_eq!(y_off, y_on, "sanitizer must not perturb results");
+        c_off.san_reports = c_on.san_reports; // the only permitted delta (both zero here)
+        assert_eq!(c_off, c_on, "sanitizer must not perturb counters");
     }
 
     #[test]

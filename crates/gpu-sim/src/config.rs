@@ -7,6 +7,7 @@
 //! figure.
 
 use crate::fault::FaultConfig;
+use crate::san::SanConfig;
 
 /// Architectural parameters of one simulated GPU.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +47,9 @@ pub struct GpuConfig {
     /// Fault-injection rates (all zero on the stock presets: no injection,
     /// no behaviour change). See [`crate::fault`].
     pub faults: FaultConfig,
+    /// SimSan shadow-state sanitizer (off on the stock presets:
+    /// zero-cost, bit-identical behaviour). See [`crate::san`].
+    pub san: SanConfig,
 }
 
 impl GpuConfig {
@@ -72,6 +76,7 @@ impl GpuConfig {
             atomic_ops_per_s: 2.0e10,
             launch_overhead_s: 3e-6,
             faults: FaultConfig::disabled(),
+            san: SanConfig::disabled(),
         }
     }
 
@@ -96,6 +101,7 @@ impl GpuConfig {
             atomic_ops_per_s: 1.0e10,
             launch_overhead_s: 3e-6,
             faults: FaultConfig::disabled(),
+            san: SanConfig::disabled(),
         }
     }
 

@@ -38,6 +38,10 @@ pub struct KernelCounters {
     /// Faults *observed* by software-level checks (e.g. ABFT verification
     /// in the engine layer); merged into run counters by callers.
     pub faults_observed: u64,
+    /// Sanitizer reports emitted during this launch (zero unless SimSan is
+    /// enabled in [`crate::san::SanConfig`] — and zero on a clean kernel
+    /// even then).
+    pub san_reports: u64,
 }
 
 impl KernelCounters {
@@ -58,6 +62,7 @@ impl KernelCounters {
         self.warps += other.warps;
         self.faults_injected += other.faults_injected;
         self.faults_observed += other.faults_observed;
+        self.san_reports += other.san_reports;
     }
 
     /// Total DRAM traffic in bytes.

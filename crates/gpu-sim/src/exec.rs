@@ -18,6 +18,7 @@ use crate::fragment::Fragment;
 use crate::memory::{
     coalesce_into, DeviceBuffer, DeviceOutput, DeviceScalar, L2Cache, SECTOR_BYTES,
 };
+use crate::san::{self, SanCtx, SanReport, ShadowState};
 use spaden_sparse::par;
 
 /// Threads per warp.
@@ -38,34 +39,81 @@ pub struct Gpu {
     // repeated launches (e.g. ABFT recovery retries) draw independent
     // fault sites. Only advanced when fault injection is enabled.
     launch_salt: std::sync::atomic::AtomicU64,
+    // SimSan shadow state: allocation table, report sink and numeric
+    // tallies. `Some` exactly when `config.san.enabled`.
+    shadow: Option<ShadowState>,
 }
 
 impl Gpu {
     /// Creates a GPU with the given configuration.
     pub fn new(config: GpuConfig) -> Self {
+        let shadow = config.san.enabled.then(ShadowState::default);
         Gpu {
             config,
             next_addr: std::sync::atomic::AtomicU64::new(0x1000_0000),
             launch_salt: std::sync::atomic::AtomicU64::new(0),
+            shadow,
         }
     }
 
     fn bump(&self, bytes: u64) -> u64 {
         // 256-byte allocation alignment, like cudaMalloc.
-        let aligned = bytes.div_ceil(256) * 256;
-        self.next_addr.fetch_add(aligned, std::sync::atomic::Ordering::Relaxed)
+        self.next_addr.fetch_add(san::aligned256(bytes), std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Copies host data into a fresh device buffer.
     pub fn alloc<T: DeviceScalar>(&self, data: Vec<T>) -> DeviceBuffer<T> {
-        let base = self.bump(data.len() as u64 * T::BYTES);
+        let bytes = data.len() as u64 * T::BYTES;
+        let base = self.bump(bytes);
+        if let Some(sh) = &self.shadow {
+            sh.register(base, bytes, san::aligned256(bytes));
+        }
         DeviceBuffer::with_base(base, data)
     }
 
     /// Allocates a zeroed output vector.
     pub fn alloc_output(&self, len: usize) -> DeviceOutput {
-        let base = self.bump(len as u64 * 4);
+        let bytes = len as u64 * 4;
+        let base = self.bump(bytes);
+        if let Some(sh) = &self.shadow {
+            sh.register(base, bytes, san::aligned256(bytes));
+        }
         DeviceOutput::with_base(base, len)
+    }
+
+    /// Releases a device buffer in the SimSan shadow table (a no-op with
+    /// the sanitizer off — the simulator itself never reuses addresses).
+    /// Subsequent kernel accesses are use-after-free; a second `free` of
+    /// the same buffer is allocator misuse.
+    pub fn free<T: DeviceScalar>(&self, buf: &DeviceBuffer<T>) {
+        if let Some(sh) = &self.shadow {
+            sh.free(buf.base());
+        }
+    }
+
+    /// [`Gpu::free`] for output vectors.
+    pub fn free_output(&self, out: &DeviceOutput) {
+        if let Some(sh) = &self.shadow {
+            sh.free(out.base());
+        }
+    }
+
+    /// True when SimSan is on for this GPU.
+    pub fn san_enabled(&self) -> bool {
+        self.shadow.is_some()
+    }
+
+    /// Drains every sanitizer report accumulated so far (empty when
+    /// SimSan is off).
+    pub fn take_san_reports(&self) -> Vec<SanReport> {
+        self.shadow.as_ref().map(|sh| sh.take_reports()).unwrap_or_default()
+    }
+
+    /// Cumulative `(f16 overflow, f16 underflow, NaN)` hazard counts.
+    /// Monotonic — engines snapshot around a run to attribute hazards to
+    /// it without consuming the report sink.
+    pub fn san_numeric_counts(&self) -> (u64, u64, u64) {
+        self.shadow.as_ref().map(|sh| sh.numeric_counts()).unwrap_or_default()
     }
 
     /// Launches `nwarps` instances of `kernel` and returns merged counters.
@@ -80,7 +128,12 @@ impl Gpu {
         } else {
             0
         };
-        let mut merged = par::map_indexed(SHARDS, |s| {
+        // With SimSan on, snapshot the allocation table once per launch
+        // (kernels cannot allocate mid-launch), so per-warp checks are
+        // lock-free and the hot path stays untouched when it is off.
+        let san_cfg = self.config.san;
+        let san_allocs = self.shadow.as_ref().map(|sh| sh.snapshot());
+        let results = par::map_indexed(SHARDS, |s| {
             let lo = nwarps * s / SHARDS;
             let hi = nwarps * (s + 1) / SHARDS;
             let mut ctx = WarpCtx {
@@ -90,6 +143,7 @@ impl Gpu {
                 l2: L2Cache::new(shard_l2),
                 scratch: Vec::with_capacity(64),
                 injector: None,
+                san: san_allocs.as_ref().map(|a| SanCtx::new(san_cfg, a.clone())),
             };
             for w in lo..hi {
                 ctx.warp_id = w;
@@ -100,16 +154,31 @@ impl Gpu {
                 } else {
                     None
                 };
+                if let Some(san) = &mut ctx.san {
+                    san.begin_warp(w);
+                }
                 kernel(&mut ctx);
             }
-            ctx.counters
-        })
-        .into_iter()
-        .fold(KernelCounters::default(), |mut a, b| {
-            a.merge(&b);
-            a
+            (ctx.counters, ctx.san)
         });
+        let mut merged = KernelCounters::default();
+        let mut reports = Vec::new();
+        let mut writes = Vec::new();
+        // Shards are merged in fixed order, so report order is the global
+        // warp order regardless of host threading.
+        for (c, s) in results {
+            merged.merge(&c);
+            if let Some(s) = s {
+                reports.extend(s.reports);
+                writes.extend(s.writes);
+            }
+        }
         merged.warps = nwarps as u64;
+        if let Some(sh) = &self.shadow {
+            reports.extend(san::cross_warp_conflicts(&mut writes));
+            merged.san_reports = reports.len() as u64;
+            sh.absorb(reports);
+        }
         merged
     }
 }
@@ -126,6 +195,7 @@ pub struct WarpCtx {
     l2: L2Cache,
     scratch: Vec<u64>,
     injector: Option<FaultInjector>,
+    san: Option<SanCtx>,
 }
 
 impl WarpCtx {
@@ -133,6 +203,56 @@ impl WarpCtx {
     #[inline]
     pub fn ops(&mut self, n: u64) {
         self.counters.cuda_ops += n;
+    }
+
+    // Hazard injection for one value-type read instruction: perturbs one
+    // lane's index past the allocation (OOB) or into the alignment tail
+    // (uninit read). The perturbed access is coalesced (real traffic) but
+    // suppressed functionally — silent garbage, exactly what SimSan exists
+    // to make loud.
+    fn inject_read_hazards<T: DeviceScalar>(
+        &mut self,
+        buf: &DeviceBuffer<T>,
+        idx: &mut [Option<u32>; WARP_SIZE],
+    ) {
+        let (active, n) = active_lanes(idx);
+        let Some(inj) = self.injector.as_mut() else { return };
+        if n == 0 {
+            return;
+        }
+        let oob_rate = inj.config().oob_read_rate;
+        let uninit_rate = inj.config().uninit_read_rate;
+        let len = buf.len() as u64;
+        let alloc_elems = san::aligned256(len * T::BYTES) / T::BYTES;
+        if inj.chance(oob_rate) {
+            idx[active[inj.below(n)]] = Some(alloc_elems as u32);
+            self.counters.faults_injected += 1;
+        }
+        if inj.chance(uninit_rate) {
+            let pad = (alloc_elems - len) as usize;
+            if pad > 0 {
+                idx[active[inj.below(n)]] = Some((len as usize + inj.below(pad)) as u32);
+                self.counters.faults_injected += 1;
+            }
+        }
+    }
+
+    // SimSan check of one warp-wide read instruction (no-op when off).
+    fn san_check_read<T: DeviceScalar>(
+        &mut self,
+        buf: &DeviceBuffer<T>,
+        idx: &[Option<u32>; WARP_SIZE],
+        op: &'static str,
+    ) {
+        if let Some(s) = &mut self.san {
+            s.check_read(
+                buf.base(),
+                buf.len(),
+                T::BYTES,
+                idx.iter().enumerate().filter_map(|(l, i)| i.map(|i| (l, i as u64))),
+                op,
+            );
+        }
     }
 
     // Draws load faults for one value-type gather whose coalesced sectors
@@ -198,16 +318,27 @@ impl WarpCtx {
         buf: &DeviceBuffer<T>,
         idx: &[Option<u32>; WARP_SIZE],
     ) -> [T; WARP_SIZE] {
+        let mut local;
+        let idx = if T::FLIPPABLE && self.injector.is_some() {
+            local = *idx;
+            self.inject_read_hazards(buf, &mut local);
+            &local
+        } else {
+            idx
+        };
         self.counters.load_insts += 1;
         coalesce_into(
-            idx.iter().flatten().map(|&i| buf.addr(i as usize)),
+            idx.iter().flatten().map(|&i| buf.addr_raw(i as usize)),
             &mut self.scratch,
         );
         self.account_read_sectors();
+        self.san_check_read(buf, idx, "gather");
         let mut out = [T::default(); WARP_SIZE];
         for (lane, i) in idx.iter().enumerate() {
             if let Some(i) = i {
-                out[lane] = buf.get(*i as usize);
+                if (*i as usize) < buf.len() {
+                    out[lane] = buf.get(*i as usize);
+                }
             }
         }
         if T::FLIPPABLE && self.injector.is_some() {
@@ -224,18 +355,29 @@ impl WarpCtx {
         buf: &DeviceBuffer<T>,
         idx: &[Option<u32>; WARP_SIZE],
     ) -> [T; WARP_SIZE] {
+        let mut local;
+        let idx = if T::FLIPPABLE && self.injector.is_some() {
+            local = *idx;
+            self.inject_read_hazards(buf, &mut local);
+            &local
+        } else {
+            idx
+        };
         self.counters.load_insts += 1;
         coalesce_into(
-            idx.iter().flatten().map(|&i| buf.addr(i as usize)),
+            idx.iter().flatten().map(|&i| buf.addr_raw(i as usize)),
             &mut self.scratch,
         );
         let n = self.scratch.len() as u64;
         self.counters.sectors_read += n;
         self.counters.dram_read_bytes += n * SECTOR_BYTES;
+        self.san_check_read(buf, idx, "gather_nocache");
         let mut out = [T::default(); WARP_SIZE];
         for (lane, i) in idx.iter().enumerate() {
             if let Some(i) = i {
-                out[lane] = buf.get(*i as usize);
+                if (*i as usize) < buf.len() {
+                    out[lane] = buf.get(*i as usize);
+                }
             }
         }
         if T::FLIPPABLE && self.injector.is_some() {
@@ -249,9 +391,16 @@ impl WarpCtx {
     pub fn read<T: DeviceScalar>(&mut self, buf: &DeviceBuffer<T>, i: usize) -> T {
         self.counters.load_insts += 1;
         self.scratch.clear();
-        self.scratch.push(buf.addr(i) / SECTOR_BYTES);
+        self.scratch.push(buf.addr_raw(i) / SECTOR_BYTES);
         self.account_read_sectors();
-        buf.get(i)
+        if let Some(s) = &mut self.san {
+            s.check_read(buf.base(), buf.len(), T::BYTES, std::iter::once((0, i as u64)), "read");
+        }
+        if i < buf.len() {
+            buf.get(i)
+        } else {
+            T::default()
+        }
     }
 
     /// Consecutive-pair read covering two elements per active lane
@@ -262,18 +411,43 @@ impl WarpCtx {
         buf: &DeviceBuffer<T>,
         idx: &[Option<u32>; WARP_SIZE],
     ) -> [(T, T); WARP_SIZE] {
+        let mut local;
+        let idx = if T::FLIPPABLE && self.injector.is_some() {
+            local = *idx;
+            self.inject_read_hazards(buf, &mut local);
+            &local
+        } else {
+            idx
+        };
         self.counters.load_insts += 1;
         coalesce_into(
             idx.iter()
                 .flatten()
-                .flat_map(|&i| [buf.addr(i as usize), buf.addr(i as usize + 1)]),
+                .flat_map(|&i| [buf.addr_raw(i as usize), buf.addr_raw(i as usize + 1)]),
             &mut self.scratch,
         );
         self.account_read_sectors();
+        if let Some(s) = &mut self.san {
+            s.check_read(
+                buf.base(),
+                buf.len(),
+                T::BYTES,
+                idx.iter()
+                    .enumerate()
+                    .filter_map(|(l, i)| i.map(|i| (l, i as u64)))
+                    .flat_map(|(l, i)| [(l, i), (l, i + 1)]),
+                "gather_pair",
+            );
+        }
         let mut out = [(T::default(), T::default()); WARP_SIZE];
         for (lane, i) in idx.iter().enumerate() {
             if let Some(i) = i {
-                out[lane] = (buf.get(*i as usize), buf.get(*i as usize + 1));
+                let i = *i as usize;
+                if i + 1 < buf.len() {
+                    out[lane] = (buf.get(i), buf.get(i + 1));
+                } else if i < buf.len() {
+                    out[lane] = (buf.get(i), T::default());
+                }
             }
         }
         if T::FLIPPABLE && self.injector.is_some() {
@@ -300,6 +474,26 @@ impl WarpCtx {
     /// `out[idx]`. Writes stream through L2 to DRAM (no read allocation).
     pub fn scatter(&mut self, out: &DeviceOutput, writes: &[Option<(u32, f32)>; WARP_SIZE]) {
         self.counters.store_insts += 1;
+        let mut local;
+        let writes = match self.injector.as_mut() {
+            Some(inj) if inj.config().lane_race_rate > 0.0 => {
+                local = *writes;
+                // Duplicate one active lane's target onto another's: two
+                // lanes now store to one element (last writer wins), and
+                // the victim's own element silently stays unwritten.
+                let rate = inj.config().lane_race_rate;
+                let (active, n) = active_lanes_w(&local);
+                if n >= 2 && inj.chance(rate) {
+                    let ai = inj.below(n);
+                    let bi = (ai + 1 + inj.below(n - 1)) % n;
+                    let (a, b) = (active[ai], active[bi]);
+                    local[b] = Some((local[a].unwrap().0, local[b].unwrap().1));
+                    self.counters.faults_injected += 1;
+                }
+                &local
+            }
+            _ => writes,
+        };
         coalesce_into(
             writes.iter().flatten().map(|&(i, _)| out.addr(i as usize)),
             &mut self.scratch,
@@ -307,16 +501,27 @@ impl WarpCtx {
         let n = self.scratch.len() as u64;
         self.counters.sectors_written += n;
         self.counters.dram_write_bytes += n * SECTOR_BYTES;
+        if let Some(s) = &mut self.san {
+            s.check_writes(
+                out.base(),
+                out.len(),
+                writes.iter().enumerate().filter_map(|(l, w)| w.map(|(i, _)| (l, i as u64))),
+                false,
+                "scatter",
+            );
+        }
         for w in writes.iter().flatten() {
-            out.store(w.0 as usize, w.1);
+            if (w.0 as usize) < out.len() {
+                out.store(w.0 as usize, w.1);
+            }
         }
     }
 
     /// Warp-wide atomic float add (CUDA `atomicAdd`): one atomic operation
     /// per active lane, write traffic for the unique sectors.
     pub fn atomic_add(&mut self, out: &DeviceOutput, writes: &[Option<(u32, f32)>; WARP_SIZE]) {
-        let active = writes.iter().flatten().count() as u64;
-        self.counters.atomic_ops += active;
+        let nactive = writes.iter().flatten().count() as u64;
+        self.counters.atomic_ops += nactive;
         coalesce_into(
             writes.iter().flatten().map(|&(i, _)| out.addr(i as usize)),
             &mut self.scratch,
@@ -324,7 +529,46 @@ impl WarpCtx {
         let n = self.scratch.len() as u64;
         self.counters.sectors_written += n;
         self.counters.dram_write_bytes += n * SECTOR_BYTES;
-        for w in writes.iter().flatten() {
+        // Invalid-atomic injection: one lane's add is demoted to a plain
+        // store (a non-read-modify-write update — lost-update corruption).
+        let demoted = match self.injector.as_mut() {
+            Some(inj) if inj.config().invalid_atomic_rate > 0.0 => {
+                let rate = inj.config().invalid_atomic_rate;
+                let (active, na) = active_lanes_w(writes);
+                if na > 0 && inj.chance(rate) {
+                    self.counters.faults_injected += 1;
+                    Some(active[inj.below(na)])
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        if let Some(s) = &mut self.san {
+            s.check_writes(
+                out.base(),
+                out.len(),
+                writes
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(l, w)| w.map(|(i, _)| (l, i as u64)))
+                    .filter(|&(l, _)| Some(l) != demoted),
+                true,
+                "atomic_add",
+            );
+            if let Some(lane) = demoted {
+                if let Some((i, _)) = writes[lane] {
+                    // Log both the atomic intent and the plain act, so the
+                    // post-pass reports a deterministic atomic-conflict.
+                    s.log_demoted_atomic(out.base(), i as u64, lane);
+                }
+            }
+        }
+        for (lane, w) in writes.iter().enumerate() {
+            let Some(w) = w else { continue };
+            if (w.0 as usize) >= out.len() {
+                continue;
+            }
             let dropped = match self.injector.as_mut() {
                 Some(inj) => {
                     let rate = inj.config().dropped_atomic_rate;
@@ -335,6 +579,8 @@ impl WarpCtx {
             if dropped {
                 // The op was issued and counted; its effect is lost.
                 self.counters.faults_injected += 1;
+            } else if Some(lane) == demoted {
+                out.store(w.0 as usize, w.1);
             } else {
                 out.fetch_add(w.0 as usize, w.1);
             }
@@ -345,6 +591,10 @@ impl WarpCtx {
     pub fn mma_16x16x16(&mut self, d: &mut Fragment, a: &Fragment, b: &Fragment, c: &Fragment) {
         self.counters.mma_m16n16k16 += 1;
         crate::mma::mma_sync(d, a, b, c);
+        if let Some(s) = &mut self.san {
+            // Per-block numeric guard rail: non-finite accumulators.
+            s.check_mma_result(&d.regs);
+        }
         if let Some(inj) = self.injector.as_mut() {
             let rate = inj.config().fragment_corrupt_rate;
             if inj.chance(rate) {
@@ -354,6 +604,41 @@ impl WarpCtx {
                 d.regs[lane][reg] = d.regs[lane][reg].flip_high_bit(r);
                 self.counters.faults_injected += 1;
             }
+        }
+    }
+
+    /// Warp-wide fragment pair-write: lane `l` stores `vals[l]` into its
+    /// registers `[reg_base]`, `[reg_base + 1]` — the direct register
+    /// access of Algorithm 3 lines 6-7. Adds no counters (the kernels bill
+    /// register moves through [`WarpCtx::ops`], exactly as before), but
+    /// with SimSan on the register base is checked against the
+    /// reverse-engineered m16n16k16 mapping and every value is classified
+    /// for f16 conversion hazards.
+    pub fn frag_write_pairs(
+        &mut self,
+        frag: &mut Fragment,
+        reg_base: usize,
+        vals: &[(f32, f32); WARP_SIZE],
+    ) {
+        // Fragment-misuse injection: one lane's pair lands on a register
+        // base off the diagonal mapping — the operand tile is silently
+        // wrong, which only the sanitizer's mapping checker makes loud.
+        let mut bases = [reg_base; WARP_SIZE];
+        if let Some(inj) = self.injector.as_mut() {
+            let rate = inj.config().frag_misuse_rate;
+            if rate > 0.0 && inj.chance(rate) {
+                // `^ 2` maps both valid bases {0, 6} to invalid ones {2, 4}.
+                bases[inj.below(WARP_SIZE)] = reg_base ^ 2;
+                self.counters.faults_injected += 1;
+            }
+        }
+        if let Some(s) = &mut self.san {
+            let opt: [Option<(f32, f32)>; WARP_SIZE] = vals.map(Some);
+            s.check_frag_pairs(bases.iter().copied().enumerate(), &opt, "frag_write");
+        }
+        for (lane, &(v0, v1)) in vals.iter().enumerate() {
+            frag.write_reg(lane, bases[lane], v0);
+            frag.write_reg(lane, bases[lane] + 1, v1);
         }
     }
 
@@ -426,6 +711,19 @@ fn active_lanes(idx: &[Option<u32>; WARP_SIZE]) -> ([usize; WARP_SIZE], usize) {
     let mut n = 0;
     for (lane, i) in idx.iter().enumerate() {
         if i.is_some() {
+            active[n] = lane;
+            n += 1;
+        }
+    }
+    (active, n)
+}
+
+// `active_lanes` for a write set.
+fn active_lanes_w(writes: &[Option<(u32, f32)>; WARP_SIZE]) -> ([usize; WARP_SIZE], usize) {
+    let mut active = [0usize; WARP_SIZE];
+    let mut n = 0;
+    for (lane, w) in writes.iter().enumerate() {
+        if w.is_some() {
             active[n] = lane;
             n += 1;
         }
@@ -741,6 +1039,249 @@ mod tests {
         assert_eq!(c1, c2);
         let bits = |v: &[f32]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
         assert_eq!(bits(&y1), bits(&y2));
+    }
+
+    fn san_gpu(faults: crate::fault::FaultConfig) -> Gpu {
+        use crate::san::SanConfig;
+        let mut cfg = GpuConfig::l40();
+        cfg.faults = faults;
+        cfg.san = SanConfig::on();
+        Gpu::new(cfg)
+    }
+
+    #[test]
+    fn san_clean_run_is_bit_identical_to_sanitizer_off() {
+        use crate::fault::FaultConfig;
+        let run = |san: bool| {
+            let g = if san { san_gpu(FaultConfig::disabled()) } else { gpu() };
+            let buf = g.alloc((0..4096u32).map(|i| i as f32 * 0.5).collect::<Vec<_>>());
+            let out = g.alloc_output(64);
+            let mut c = g.launch(128, |ctx| {
+                let base = (ctx.warp_id * 31 % 4000) as u32;
+                let vals = ctx.gather(&buf, &lanes_from(base..base + 32));
+                let s = ctx.reduce_sum(&vals);
+                let mut w = [None; WARP_SIZE];
+                w[0] = Some(((ctx.warp_id % 64) as u32, s));
+                ctx.atomic_add(&out, &w);
+            });
+            assert!(g.take_san_reports().is_empty(), "clean kernel: no reports");
+            // The only permitted counter difference is the report tally
+            // itself, and on a clean kernel it is zero too.
+            assert_eq!(c.san_reports, 0);
+            c.san_reports = 0;
+            (c, out.to_vec().iter().map(|f| f.to_bits()).collect::<Vec<_>>())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn san_catches_injected_oob_and_uninit_reads() {
+        use crate::fault::FaultConfig;
+        use crate::san::HazardKind;
+        // 100 f32 = 400 data bytes in a 512-byte allocation: both the
+        // alignment tail and past-the-end targets exist.
+        let g = san_gpu(FaultConfig {
+            seed: 5,
+            oob_read_rate: 1.0,
+            uninit_read_rate: 1.0,
+            ..FaultConfig::disabled()
+        });
+        let buf = g.alloc(vec![1.0f32; 100]);
+        let c = g.launch(4, |ctx| {
+            ctx.gather(&buf, &lanes_from(0..32u32));
+        });
+        assert_eq!(c.faults_injected, 8, "both kinds fire on all 4 warps");
+        let reports = g.take_san_reports();
+        for kind in [HazardKind::OutOfBounds, HazardKind::UninitRead] {
+            let r = reports
+                .iter()
+                .find(|r| r.kind == kind)
+                .unwrap_or_else(|| panic!("{kind} not reported"));
+            assert!(r.warp.is_some() && r.lane.is_some() && r.addr.is_some(), "{r}");
+        }
+        // Injection without the sanitizer: silent (no panic, no report).
+        let mut cfg = GpuConfig::l40();
+        cfg.faults = FaultConfig { seed: 5, oob_read_rate: 1.0, ..FaultConfig::disabled() };
+        let g2 = Gpu::new(cfg);
+        let buf2 = g2.alloc(vec![1.0f32; 100]);
+        g2.launch(4, |ctx| {
+            ctx.gather(&buf2, &lanes_from(0..32u32));
+        });
+        assert!(g2.take_san_reports().is_empty());
+    }
+
+    #[test]
+    fn san_catches_injected_lane_race() {
+        use crate::fault::FaultConfig;
+        use crate::san::HazardKind;
+        let g = san_gpu(FaultConfig {
+            seed: 9,
+            lane_race_rate: 1.0,
+            ..FaultConfig::disabled()
+        });
+        let out = g.alloc_output(64);
+        let c = g.launch(1, |ctx| {
+            let mut w = [None; WARP_SIZE];
+            for l in 0..16 {
+                w[l] = Some((l as u32, l as f32));
+            }
+            ctx.scatter(&out, &w);
+        });
+        assert_eq!(c.faults_injected, 1);
+        let reports = g.take_san_reports();
+        let r = reports.iter().find(|r| r.kind == HazardKind::LaneRace).expect("lane race");
+        assert_eq!(r.op, "scatter");
+        assert!(r.lane.is_some() && r.addr.is_some());
+    }
+
+    #[test]
+    fn san_catches_injected_invalid_atomic() {
+        use crate::fault::FaultConfig;
+        use crate::san::HazardKind;
+        let g = san_gpu(FaultConfig {
+            seed: 3,
+            invalid_atomic_rate: 1.0,
+            ..FaultConfig::disabled()
+        });
+        let out = g.alloc_output(8);
+        // All warps hammer one element atomically; the demoted lane's
+        // plain store must surface as an atomic conflict.
+        let c = g.launch(4, |ctx| {
+            let mut w = [None; WARP_SIZE];
+            for l in 0..4 {
+                w[l] = Some((0u32, 1.0f32));
+            }
+            ctx.atomic_add(&out, &w);
+        });
+        assert_eq!(c.faults_injected, 4, "one demotion per warp");
+        let reports = g.take_san_reports();
+        assert!(
+            reports.iter().any(|r| r.kind == HazardKind::AtomicConflict),
+            "demoted atomic must be reported: {reports:?}"
+        );
+    }
+
+    #[test]
+    fn san_catches_injected_fragment_misuse() {
+        use crate::fault::FaultConfig;
+        use crate::fragment::{FragKind, Fragment};
+        use crate::san::HazardKind;
+        let g = san_gpu(FaultConfig {
+            seed: 21,
+            frag_misuse_rate: 1.0,
+            ..FaultConfig::disabled()
+        });
+        let c = g.launch(1, |ctx| {
+            let mut a = Fragment::new(FragKind::MatrixA);
+            ctx.frag_write_pairs(&mut a, 0, &[(1.0, 2.0); WARP_SIZE]);
+            ctx.frag_write_pairs(&mut a, 6, &[(3.0, 4.0); WARP_SIZE]);
+        });
+        assert_eq!(c.faults_injected, 2);
+        let reports = g.take_san_reports();
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            assert_eq!(r.kind, HazardKind::FragmentMapping);
+            assert_eq!(r.op, "frag_write");
+            assert!(r.lane.is_some());
+        }
+    }
+
+    #[test]
+    fn san_reports_use_after_free_and_double_free() {
+        use crate::fault::FaultConfig;
+        use crate::san::HazardKind;
+        let g = san_gpu(FaultConfig::disabled());
+        let buf = g.alloc(vec![1.0f32; 32]);
+        g.free(&buf);
+        let c = g.launch(1, |ctx| {
+            ctx.gather(&buf, &lanes_from(0..32u32));
+        });
+        assert_eq!(c.san_reports, 1);
+        g.free(&buf); // allocator misuse, host-side
+        let reports = g.take_san_reports();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].kind, HazardKind::UseAfterFree);
+        assert_eq!(reports[1].kind, HazardKind::AllocMisuse);
+        assert!(reports[1].warp.is_none());
+    }
+
+    #[test]
+    fn san_catches_cross_warp_write_race() {
+        use crate::fault::FaultConfig;
+        use crate::san::HazardKind;
+        let g = san_gpu(FaultConfig::disabled());
+        let out = g.alloc_output(4);
+        // Every warp plain-stores to element 0: a cross-warp race the
+        // post-pass must flag exactly once.
+        let c = g.launch(8, |ctx| {
+            let mut w = [None; WARP_SIZE];
+            w[0] = Some((0u32, ctx.warp_id as f32));
+            ctx.scatter(&out, &w);
+        });
+        assert_eq!(c.san_reports, 1);
+        let reports = g.take_san_reports();
+        assert_eq!(reports[0].kind, HazardKind::WriteRace);
+        assert_eq!(reports[0].op, "store");
+    }
+
+    #[test]
+    fn san_catches_write_then_read_race() {
+        use crate::fault::FaultConfig;
+        use crate::san::HazardKind;
+        let g = san_gpu(FaultConfig::disabled());
+        let out = g.alloc_output(32);
+        // A read-side alias of the output at the same addresses.
+        let alias = DeviceBuffer::with_base(out.base(), vec![0.0f32; 32]);
+        g.launch(1, |ctx| {
+            let mut w = [None; WARP_SIZE];
+            w[0] = Some((5u32, 1.0f32));
+            ctx.scatter(&out, &w);
+            ctx.gather(&alias, &lanes_from(std::iter::once(5u32)));
+        });
+        let reports = g.take_san_reports();
+        assert!(
+            reports.iter().any(|r| r.kind == HazardKind::WriteReadRace),
+            "store-then-gather of one address must be flagged: {reports:?}"
+        );
+    }
+
+    #[test]
+    fn san_mma_scan_flags_nonfinite_accumulators() {
+        use crate::fault::FaultConfig;
+        use crate::fragment::{FragKind, Fragment};
+        use crate::san::HazardKind;
+        let g = san_gpu(FaultConfig::disabled());
+        g.launch(1, |ctx| {
+            let mut a = Fragment::new(FragKind::MatrixA);
+            a.set(0, 0, f32::INFINITY);
+            let mut b = Fragment::new(FragKind::MatrixB);
+            b.set(0, 0, 0.0); // Inf * 0 = NaN
+            b.set(0, 1, 1.0); // Inf * 1 = Inf
+            let acc = Fragment::new(FragKind::Accumulator);
+            let mut d = Fragment::new(FragKind::Accumulator);
+            ctx.mma_16x16x16(&mut d, &a, &b, &acc);
+        });
+        let kinds: Vec<_> = g.take_san_reports().iter().map(|r| r.kind).collect();
+        assert!(kinds.contains(&HazardKind::F16Overflow), "{kinds:?}");
+        assert!(kinds.contains(&HazardKind::NanProduced), "{kinds:?}");
+        let (ovf, _, nan) = g.san_numeric_counts();
+        assert!(ovf >= 1 && nan >= 1);
+    }
+
+    #[test]
+    fn san_numeric_counts_accumulate_from_frag_writes() {
+        use crate::fault::FaultConfig;
+        use crate::fragment::{FragKind, Fragment};
+        let g = san_gpu(FaultConfig::disabled());
+        g.launch(1, |ctx| {
+            let mut a = Fragment::new(FragKind::MatrixA);
+            let mut vals = [(1.0f32, 1.0f32); WARP_SIZE];
+            vals[3] = (1e6, 1.0); // f16 overflow
+            vals[7] = (1e-9, 1.0); // underflow above tolerance
+            ctx.frag_write_pairs(&mut a, 0, &vals);
+        });
+        assert_eq!(g.san_numeric_counts(), (1, 1, 0));
+        assert_eq!(g.take_san_reports().len(), 2);
     }
 
     #[test]

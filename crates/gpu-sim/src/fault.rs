@@ -45,6 +45,23 @@ pub struct FaultConfig {
     pub stuck_lane_rate: f64,
     /// Probability per atomic lane-op that the update is lost.
     pub dropped_atomic_rate: f64,
+    /// Probability per value gather that one lane's index is perturbed
+    /// past the end of the allocation (SimSan hazard injection: an
+    /// out-of-bounds read, suppressed to a default value functionally).
+    pub oob_read_rate: f64,
+    /// Probability per value gather that one lane's index is perturbed
+    /// into the allocated-but-uninitialized alignment tail.
+    pub uninit_read_rate: f64,
+    /// Probability per scatter that one lane's target is duplicated onto
+    /// another lane's (an intra-warp write/write race).
+    pub lane_race_rate: f64,
+    /// Probability per atomic instruction that one lane's add is demoted
+    /// to a plain store (an invalid atomic: the update to that element is
+    /// not read-modify-write).
+    pub invalid_atomic_rate: f64,
+    /// Probability per fragment pair-write that one lane uses a register
+    /// base inconsistent with the m16n16k16 mapping.
+    pub frag_misuse_rate: f64,
 }
 
 impl Default for FaultConfig {
@@ -62,10 +79,17 @@ impl FaultConfig {
             fragment_corrupt_rate: 0.0,
             stuck_lane_rate: 0.0,
             dropped_atomic_rate: 0.0,
+            oob_read_rate: 0.0,
+            uninit_read_rate: 0.0,
+            lane_race_rate: 0.0,
+            invalid_atomic_rate: 0.0,
+            frag_misuse_rate: 0.0,
         }
     }
 
-    /// All four fault kinds at the same `rate`.
+    /// The four silent-corruption fault kinds at the same `rate` (hazard
+    /// injection stays off — this is the chaos-testing profile ABFT and
+    /// the serving ladder are evaluated under).
     pub fn uniform(seed: u64, rate: f64) -> Self {
         FaultConfig {
             seed,
@@ -73,6 +97,22 @@ impl FaultConfig {
             fragment_corrupt_rate: rate,
             stuck_lane_rate: rate,
             dropped_atomic_rate: rate,
+            ..FaultConfig::disabled()
+        }
+    }
+
+    /// The five SimSan hazard-injection kinds at the same `rate` (the
+    /// silent-corruption kinds stay off). Used to prove the sanitizer
+    /// catches each seeded hazard class with the right report kind.
+    pub fn hazards(seed: u64, rate: f64) -> Self {
+        FaultConfig {
+            seed,
+            oob_read_rate: rate,
+            uninit_read_rate: rate,
+            lane_race_rate: rate,
+            invalid_atomic_rate: rate,
+            frag_misuse_rate: rate,
+            ..FaultConfig::disabled()
         }
     }
 
@@ -83,6 +123,11 @@ impl FaultConfig {
             || self.fragment_corrupt_rate > 0.0
             || self.stuck_lane_rate > 0.0
             || self.dropped_atomic_rate > 0.0
+            || self.oob_read_rate > 0.0
+            || self.uninit_read_rate > 0.0
+            || self.lane_race_rate > 0.0
+            || self.invalid_atomic_rate > 0.0
+            || self.frag_misuse_rate > 0.0
     }
 }
 
@@ -165,6 +210,21 @@ mod tests {
         assert!(c.enabled());
         assert_eq!(c.mem_bit_flip_rate, 0.25);
         assert_eq!(c.dropped_atomic_rate, 0.25);
+        assert_eq!(c.oob_read_rate, 0.0, "uniform leaves hazard injection off");
+        assert_eq!(c.frag_misuse_rate, 0.0);
+    }
+
+    #[test]
+    fn hazards_enables_only_hazard_kinds() {
+        let c = FaultConfig::hazards(7, 0.25);
+        assert!(c.enabled());
+        assert_eq!(c.oob_read_rate, 0.25);
+        assert_eq!(c.uninit_read_rate, 0.25);
+        assert_eq!(c.lane_race_rate, 0.25);
+        assert_eq!(c.invalid_atomic_rate, 0.25);
+        assert_eq!(c.frag_misuse_rate, 0.25);
+        assert_eq!(c.mem_bit_flip_rate, 0.0, "silent-corruption kinds stay off");
+        assert_eq!(c.dropped_atomic_rate, 0.0);
     }
 
     #[test]

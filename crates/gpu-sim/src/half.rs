@@ -122,6 +122,45 @@ impl F16 {
     pub fn is_zero(self) -> bool {
         (self.0 & 0x7fff) == 0
     }
+
+    /// Classifies what rounding `value` through f16 does to it — the
+    /// numerical guard rail behind SimSan's per-block hazard reports:
+    ///
+    /// * NaN in, NaN out → [`ConvertHazard::Nan`];
+    /// * infinite in, or finite in and infinite out (the f16 range tops
+    ///   out at 65504) → [`ConvertHazard::Overflow`];
+    /// * nonzero in with `|value| >= underflow_tol`, zero out →
+    ///   [`ConvertHazard::Underflow`] (smaller magnitudes are treated as
+    ///   negligible noise, not lost signal);
+    /// * everything else → `None` (at worst ordinary rounding error).
+    pub fn convert_hazard(value: f32, underflow_tol: f32) -> Option<ConvertHazard> {
+        if value.is_nan() {
+            return Some(ConvertHazard::Nan);
+        }
+        if value.is_infinite() {
+            return Some(ConvertHazard::Overflow);
+        }
+        let h = F16::from_f32(value);
+        if h.is_infinite() {
+            return Some(ConvertHazard::Overflow);
+        }
+        if h.is_zero() && value != 0.0 && value.abs() >= underflow_tol {
+            return Some(ConvertHazard::Underflow);
+        }
+        None
+    }
+}
+
+/// How an f32 → f16 conversion loses information (beyond ordinary
+/// rounding). See [`F16::convert_hazard`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConvertHazard {
+    /// The value left the f16 range and became ±Inf.
+    Overflow = 0,
+    /// A non-negligible value rounded to zero.
+    Underflow = 1,
+    /// A NaN entered (or survived) the f16 datapath.
+    Nan = 2,
 }
 
 impl From<f32> for F16 {
@@ -229,6 +268,26 @@ mod tests {
             assert!(rel <= 2.0f32.powi(-11) + 1e-9, "v={v} r={r} rel={rel}");
             v *= 1.37;
         }
+    }
+
+    #[test]
+    fn convert_hazard_classification() {
+        let tol = 1e-12;
+        assert_eq!(F16::convert_hazard(1.0, tol), None);
+        assert_eq!(F16::convert_hazard(0.0, tol), None);
+        assert_eq!(F16::convert_hazard(-0.0, tol), None);
+        assert_eq!(F16::convert_hazard(65504.0, tol), None, "f16::MAX is representable");
+        assert_eq!(F16::convert_hazard(1e6, tol), Some(ConvertHazard::Overflow));
+        assert_eq!(F16::convert_hazard(-1e6, tol), Some(ConvertHazard::Overflow));
+        assert_eq!(F16::convert_hazard(f32::INFINITY, tol), Some(ConvertHazard::Overflow));
+        assert_eq!(F16::convert_hazard(f32::NAN, tol), Some(ConvertHazard::Nan));
+        // 1e-9 rounds to zero (below the 2^-25 threshold) and is above tol.
+        assert_eq!(F16::convert_hazard(1e-9, tol), Some(ConvertHazard::Underflow));
+        assert_eq!(F16::convert_hazard(-1e-9, tol), Some(ConvertHazard::Underflow));
+        // Below the tolerance: tolerated noise.
+        assert_eq!(F16::convert_hazard(1e-20, tol), None);
+        // Subnormal f16 values survive the conversion: no hazard.
+        assert_eq!(F16::convert_hazard(2.0f32.powi(-20), tol), None);
     }
 
     #[test]

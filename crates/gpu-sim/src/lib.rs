@@ -30,6 +30,7 @@ pub mod fragment;
 pub mod half;
 pub mod memory;
 pub mod mma;
+pub mod san;
 pub mod timing;
 
 pub use config::GpuConfig;
@@ -38,6 +39,7 @@ pub use device::{DeviceEvent, DeviceFaultConfig, SimDevice};
 pub use exec::{Gpu, WarpCtx, WARP_SIZE};
 pub use fault::{FaultConfig, FaultInjector};
 pub use fragment::{FragKind, Fragment, FRAG_DIM, REGS_PER_LANE};
-pub use half::F16;
+pub use half::{ConvertHazard, F16};
 pub use memory::{DeviceBuffer, DeviceOutput, DeviceScalar};
+pub use san::{HazardKind, SanConfig, SanReport};
 pub use timing::{estimate_time, SimTime};

@@ -92,6 +92,20 @@ impl<T: DeviceScalar> DeviceBuffer<T> {
         self.base + i as u64 * T::BYTES
     }
 
+    /// Like [`DeviceBuffer::addr`] but without the bounds assertion — used
+    /// by the executor, where an out-of-range index is a *modelled* event
+    /// (coalesced, and reported by SimSan) rather than a host bug.
+    #[inline]
+    pub fn addr_raw(&self, i: usize) -> u64 {
+        self.base + i as u64 * T::BYTES
+    }
+
+    /// Base device address.
+    #[inline]
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
     /// Element value (functional read; traffic accounting happens in
     /// [`crate::exec::WarpCtx`]).
     #[inline]
@@ -141,6 +155,12 @@ impl DeviceOutput {
     #[inline]
     pub fn addr(&self, i: usize) -> u64 {
         self.base + i as u64 * 4
+    }
+
+    /// Base device address.
+    #[inline]
+    pub fn base(&self) -> u64 {
+        self.base
     }
 
     /// Number of elements.

@@ -1,0 +1,160 @@
+//! Property tests for SimSan across the whole engine registry.
+//!
+//! Two properties, each swept over seeds rather than a single fixture:
+//!
+//! 1. **Zero-cost-when-off**: with no faults injected, turning the
+//!    sanitizer on never changes a single output bit and never reports a
+//!    violation, for every engine in the registry on every seeded matrix.
+//! 2. **Detection**: each hazard class the fault injector can seed is
+//!    caught with the matching report kind, for every seed.
+
+use spaden::SpadenEngine;
+use spaden_gpusim::{FaultConfig, Gpu, GpuConfig, HazardKind, SanConfig};
+use spaden_plan::registry::{try_build_engine, ALL_ENGINES};
+use spaden_sparse::gen::{self, FillDist, Placement};
+use spaden_sparse::Csr;
+
+fn make_x(n: usize, seed: u64) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(2654435761).wrapping_add(seed * 977);
+            (h % 256) as f32 / 128.0 - 1.0
+        })
+        .collect()
+}
+
+/// A small structurally-varied matrix per seed: block placement, fill and
+/// shape all rotate so the sweep covers dense blocks, scattered scalar
+/// blocks and banded structure.
+fn seeded_matrix(seed: u64) -> Csr {
+    match seed % 3 {
+        0 => gen::generate_blocked(
+            384,
+            420,
+            Placement::Banded { bandwidth: 4 },
+            &FillDist::Dense,
+            seed,
+        ),
+        1 => gen::generate_blocked(
+            384,
+            520,
+            Placement::Scattered,
+            &FillDist::Uniform { lo: 1, hi: 12 },
+            seed,
+        ),
+        _ => gen::random_uniform(320, 288, 3000, seed),
+    }
+}
+
+#[test]
+fn san_on_is_bit_identical_and_silent_for_every_engine() {
+    for seed in [11u64, 42, 97, 256] {
+        let csr = seeded_matrix(seed);
+        let x = make_x(csr.ncols, seed);
+        for kind in ALL_ENGINES {
+            let run = |san: bool| {
+                let mut cfg = GpuConfig::l40();
+                if san {
+                    cfg.san = SanConfig::on();
+                }
+                let gpu = Gpu::new(cfg);
+                let eng = try_build_engine(kind, &gpu, &csr).expect("valid matrix builds");
+                let r = eng.try_run(&gpu, &x).expect("clean run succeeds");
+                let reports = gpu.take_san_reports();
+                assert!(
+                    reports.is_empty(),
+                    "seed {seed} {}: unexpected san reports: {reports:?}",
+                    kind.name()
+                );
+                r.y.iter().map(|v| v.to_bits()).collect::<Vec<u32>>()
+            };
+            assert_eq!(
+                run(false),
+                run(true),
+                "seed {seed} {}: sanitizer perturbed the output",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_injected_hazard_class_is_detected_with_the_right_kind() {
+    let d = FaultConfig::disabled();
+    // (class, fault config, engine, expected report kind). The atomic
+    // class runs on Gunrock — the one engine whose scatter phase uses
+    // atomics; everything else exercises the Spaden tensor-core path.
+    let classes: [(&str, FaultConfig, bool, HazardKind); 5] = [
+        ("oob-read", FaultConfig { oob_read_rate: 0.05, ..d }, false, HazardKind::OutOfBounds),
+        ("uninit-read", FaultConfig { uninit_read_rate: 0.05, ..d }, false, HazardKind::UninitRead),
+        ("lane-race", FaultConfig { lane_race_rate: 0.05, ..d }, false, HazardKind::LaneRace),
+        (
+            "invalid-atomic",
+            FaultConfig { invalid_atomic_rate: 0.05, ..d },
+            true,
+            HazardKind::AtomicConflict,
+        ),
+        (
+            "frag-misuse",
+            FaultConfig { frag_misuse_rate: 0.05, ..d },
+            false,
+            HazardKind::FragmentMapping,
+        ),
+    ];
+    for seed in [3u64, 29, 151] {
+        let csr = gen::generate_blocked(
+            768,
+            1100,
+            Placement::Scattered,
+            &FillDist::Uniform { lo: 8, hi: 40 },
+            seed,
+        );
+        let x = make_x(csr.ncols, seed);
+        for (class, faults, use_gunrock, expected) in &classes {
+            let mut cfg = GpuConfig::l40();
+            cfg.san = SanConfig::on();
+            cfg.faults = FaultConfig { seed, ..*faults };
+            let gpu = Gpu::new(cfg);
+            let kind = if *use_gunrock {
+                spaden_plan::registry::EngineKind::Gunrock
+            } else {
+                spaden_plan::registry::EngineKind::Spaden
+            };
+            let eng = try_build_engine(kind, &gpu, &csr).expect("valid matrix builds");
+            let _ = eng.try_run(&gpu, &x); // corrupted output is expected
+            let reports = gpu.take_san_reports();
+            assert!(
+                reports.iter().any(|r| r.kind == *expected),
+                "seed {seed} class {class}: expected a {expected:?} report, got {:?}",
+                reports.iter().map(|r| r.kind).collect::<Vec<_>>()
+            );
+        }
+    }
+}
+
+#[test]
+fn f16_range_violations_always_surface_as_numerical_hazards() {
+    for seed in [7u64, 77, 177] {
+        let csr = gen::random_uniform(96, 96, 900, seed);
+        let mut cfg = GpuConfig::l40();
+        cfg.san = SanConfig::on();
+        let gpu = Gpu::new(cfg);
+        let eng = SpadenEngine::try_prepare(&gpu, &csr).unwrap();
+        // Run-time hazard: x past the f16 max overflows at fragment load.
+        match eng.try_run_checked(&gpu, &vec![1e6f32; 96]) {
+            Err(spaden::EngineError::NumericalHazard { overflow, .. }) => assert!(overflow > 0),
+            other => panic!("seed {seed}: expected overflow hazard, got {:?}", other.map(|_| ())),
+        }
+        // Prepare-time hazard: values below the f16 subnormal floor are
+        // lost when the matrix is packed; the checked run must refuse.
+        let mut tiny = csr.clone();
+        for v in &mut tiny.values {
+            *v = 1e-9;
+        }
+        let eng = SpadenEngine::try_prepare(&gpu, &tiny).unwrap();
+        match eng.try_run_checked(&gpu, &vec![1.0f32; 96]) {
+            Err(spaden::EngineError::NumericalHazard { underflow, .. }) => assert!(underflow > 0),
+            other => panic!("seed {seed}: expected underflow hazard, got {:?}", other.map(|_| ())),
+        }
+    }
+}

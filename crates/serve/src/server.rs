@@ -925,6 +925,32 @@ mod tests {
         );
     }
 
+    #[test]
+    fn f16_hazard_demotes_off_tensor_core_rung() {
+        // With SimSan on, a request vector past the f16 range makes the
+        // top rung refuse with a typed NumericalHazard instead of serving
+        // Inf-poisoned output; the hazard is transient, so the ladder
+        // descends and an f32-capable rung serves a finite answer.
+        use spaden_gpusim::SanConfig;
+        let csr = gen::random_uniform(128, 96, 1800, 901);
+        let mut cfg = GpuConfig::l40();
+        cfg.san = SanConfig::on();
+        let mut srv = SpmvServer::new(Gpu::new(cfg), ServeConfig::default());
+        let h = srv.register(&csr).expect("clean matrix registers under san");
+        let x = vec![1e5f32; 96];
+        let ok = srv
+            .serve(Request { matrix: h, x: x.clone(), deadline_s: Some(1.0) })
+            .expect("ladder resolves the hazard");
+        assert_ne!(ok.rung, Rung::SpadenChecked, "poisoned rung must not serve");
+        assert!(ok.y.iter().all(|v| v.is_finite()));
+        let oracle = csr.spmv_f64(&x).unwrap();
+        for (r, (a, o)) in ok.y.iter().zip(&oracle).enumerate() {
+            let tol = 1e-2f64.max(o.abs() * 2e-2);
+            assert!((*a as f64 - o).abs() <= tol, "row {r}: {a} vs {o}");
+        }
+        assert!(srv.stats().failures[Rung::SpadenChecked as usize] > 0);
+    }
+
     fn sharded_server(devices: usize) -> (SpmvServer, MatrixHandle, Csr) {
         let csr = gen::random_uniform(256, 96, 3200, 907);
         let cfg = ServeConfig { shard_devices: devices, ..ServeConfig::default() };

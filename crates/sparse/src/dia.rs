@@ -50,6 +50,65 @@ impl Dia {
         Dia { nrows: csr.nrows, ncols: csr.ncols, offsets: present, values }
     }
 
+    /// Validated conversion: checks `csr` first, builds, and re-checks the
+    /// result.
+    pub fn try_from_csr(csr: &Csr) -> SparseResult<Self> {
+        csr.validate()?;
+        let dia = Self::from_csr(csr);
+        dia.validate()?;
+        Ok(dia)
+    }
+
+    /// Verifies the invariants the SpMV path relies on: `values` is exactly
+    /// `ndiags * nrows` long, offsets are strictly ascending (sorted, no
+    /// duplicate diagonals) and inside the matrix band
+    /// `-(nrows-1) ..= ncols-1`, and slots that map outside the matrix hold
+    /// `0.0` (a nonzero there is silently dropped data).
+    pub fn validate(&self) -> SparseResult<()> {
+        let want = self.offsets.len() * self.nrows;
+        if self.values.len() != want {
+            return Err(SparseError::LengthMismatch {
+                what: format!(
+                    "values ({}) vs ndiags * nrows = {want}",
+                    self.values.len()
+                ),
+            });
+        }
+        if let Some(w) = self.offsets.windows(2).find(|w| w[0] >= w[1]) {
+            return Err(SparseError::MalformedOffsets {
+                what: format!(
+                    "diagonal offsets not strictly increasing ({} then {})",
+                    w[0], w[1]
+                ),
+            });
+        }
+        for &d in &self.offsets {
+            let lo = -(self.nrows as i64 - 1);
+            let hi = self.ncols as i64 - 1;
+            if (d as i64) < lo || (d as i64) > hi {
+                return Err(SparseError::MalformedOffsets {
+                    what: format!("diagonal offset {d} outside band [{lo}, {hi}]"),
+                });
+            }
+        }
+        for (k, &d) in self.offsets.iter().enumerate() {
+            for r in 0..self.nrows {
+                let c = r as i64 + d as i64;
+                let inside = c >= 0 && (c as usize) < self.ncols;
+                let v = self.values[k * self.nrows + r];
+                if !inside && v != 0.0 {
+                    return Err(SparseError::IndexOutOfBounds {
+                        row: r,
+                        col: c.max(0) as usize,
+                        nrows: self.nrows,
+                        ncols: self.ncols,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Number of stored diagonals.
     pub fn ndiags(&self) -> usize {
         self.offsets.len()
@@ -134,6 +193,43 @@ mod tests {
         let d = Dia::from_csr(&c);
         assert_eq!(d.spmv(&[1.0, 1.0, 1.0, 1.0]).unwrap(), vec![3.0, 3.0]);
         assert_eq!(d.to_csr(), c);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        let m = crate::gen::banded(64, 3, 4, 35);
+        assert!(Dia::from_csr(&m).validate().is_ok());
+        assert!(Dia::try_from_csr(&m).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_unsorted_offsets() {
+        let mut d = Dia::from_csr(&crate::gen::banded(32, 2, 3, 39));
+        d.offsets.reverse();
+        assert!(matches!(d.validate(), Err(SparseError::MalformedOffsets { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_offset_outside_band() {
+        let mut d = Dia::from_csr(&crate::gen::banded(32, 2, 3, 41));
+        *d.offsets.last_mut().unwrap() = 1000; // ncols is 32
+        assert!(matches!(d.validate(), Err(SparseError::MalformedOffsets { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_values_length() {
+        let mut d = Dia::from_csr(&crate::gen::banded(32, 2, 3, 43));
+        d.values.pop();
+        assert!(matches!(d.validate(), Err(SparseError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_nonzero_out_of_matrix_slot() {
+        let mut d = Dia::from_csr(&crate::gen::banded(32, 2, 3, 45));
+        // Find a superdiagonal: its last rows map past the right edge.
+        let k = d.offsets.iter().position(|&o| o > 0).unwrap();
+        d.values[k * d.nrows + (d.nrows - 1)] = 5.0;
+        assert!(matches!(d.validate(), Err(SparseError::IndexOutOfBounds { .. })));
     }
 
     #[test]

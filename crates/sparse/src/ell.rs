@@ -42,6 +42,51 @@ impl Ell {
         Ell { nrows: csr.nrows, ncols: csr.ncols, width, col_idx, values }
     }
 
+    /// Validated conversion: checks `csr` first, builds, and re-checks the
+    /// result, so a malformed input surfaces as a typed error rather than a
+    /// silently corrupt ELL deep inside a kernel.
+    pub fn try_from_csr(csr: &Csr) -> SparseResult<Self> {
+        csr.validate()?;
+        let ell = Self::from_csr(csr);
+        ell.validate()?;
+        Ok(ell)
+    }
+
+    /// Verifies every structural invariant the SpMV path relies on:
+    /// `col_idx` and `values` are both `nrows * width` long, every
+    /// non-padding column index is `< ncols`, and padding slots hold the
+    /// `0.0` value the layout promises (a nonzero behind [`ELL_PAD`] is
+    /// silently dropped data). Mirrors `Csr::validate`.
+    pub fn validate(&self) -> SparseResult<()> {
+        let want = self.nrows * self.width;
+        if self.col_idx.len() != want || self.values.len() != want {
+            return Err(SparseError::LengthMismatch {
+                what: format!(
+                    "col_idx ({}) / values ({}) vs nrows * width = {want}",
+                    self.col_idx.len(),
+                    self.values.len()
+                ),
+            });
+        }
+        for (slot, (&c, &v)) in self.col_idx.iter().zip(&self.values).enumerate() {
+            if c == ELL_PAD {
+                if v != 0.0 {
+                    return Err(SparseError::LengthMismatch {
+                        what: format!("padding slot {slot} holds nonzero value {v}"),
+                    });
+                }
+            } else if c as usize >= self.ncols {
+                return Err(SparseError::IndexOutOfBounds {
+                    row: slot % self.nrows.max(1),
+                    col: c as usize,
+                    nrows: self.nrows,
+                    ncols: self.ncols,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Stored (non-padding) entries.
     pub fn nnz(&self) -> usize {
         self.col_idx.iter().filter(|&&c| c != ELL_PAD).count()
@@ -129,6 +174,42 @@ mod tests {
         let e = Ell::from_csr(&c);
         assert_eq!(e.width, 0);
         assert_eq!(e.spmv(&[0.0; 3]).unwrap(), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        assert!(Ell::from_csr(&csr()).validate().is_ok());
+        assert!(Ell::try_from_csr(&csr()).is_ok());
+        assert!(Ell::from_csr(&Csr::empty(3, 3)).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_column() {
+        let mut e = Ell::from_csr(&csr());
+        e.col_idx[0] = 99; // ncols is 4
+        assert!(matches!(e.validate(), Err(SparseError::IndexOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_array_lengths() {
+        let mut e = Ell::from_csr(&csr());
+        e.values.pop();
+        assert!(matches!(e.validate(), Err(SparseError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_nonzero_padding() {
+        let mut e = Ell::from_csr(&csr());
+        let pad = e.col_idx.iter().position(|&c| c == ELL_PAD).unwrap();
+        e.values[pad] = 7.0; // value hidden behind the sentinel = dropped data
+        assert!(matches!(e.validate(), Err(SparseError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn try_from_csr_rejects_malformed_input() {
+        let mut bad = csr();
+        bad.col_idx[0] = 99;
+        assert!(Ell::try_from_csr(&bad).is_err());
     }
 
     #[test]

@@ -216,6 +216,112 @@ pub fn generate_blocked(
     coo.to_csr()
 }
 
+/// One numerical edge case: a named matrix plus the input vector that
+/// tickles it.
+#[derive(Debug, Clone)]
+pub struct EdgeCase {
+    /// Short identifier printed in reports ("f16-overflow", "all-empty"...).
+    pub name: &'static str,
+    /// The matrix.
+    pub matrix: Csr,
+    /// Input vector of length `matrix.ncols`.
+    pub x: Vec<f32>,
+}
+
+/// Numerical and structural edge cases for the f16 guard rails: values
+/// straddling the f16 representable range (overflow to Inf above ~65504,
+/// underflow to zero below ~6e-8), mixed-sign cancellation, f32 denormals,
+/// and degenerate structure (empty rows and columns, 1×1, zero nnz). Every
+/// case is small enough to push through the full serving ladder in tests.
+pub fn numerical_edge_corpus() -> Vec<EdgeCase> {
+    let n = 32;
+    let mut corpus = Vec::new();
+
+    // Benign magnitudes: a control case that must never trip a guard rail.
+    corpus.push(EdgeCase {
+        name: "benign",
+        matrix: banded(n, 2, 3, 0xed6e_0001),
+        x: (0..n).map(|i| (i as f32 * 0.13).sin()).collect(),
+    });
+
+    // x entries beyond f16 max (~65504): converting x for the tensor-core
+    // path rounds them to +Inf, so 0 * Inf NaNs poison the accumulators.
+    // The f32 reference stays finite (1e2 * 1e5 = 1e7).
+    let mut coo = Coo::new(n, n);
+    for r in 0..n {
+        coo.push(r as u32, r as u32, 1e2);
+        coo.push(r as u32, ((r + 1) % n) as u32, -1e2);
+    }
+    corpus.push(EdgeCase {
+        name: "f16-overflow",
+        matrix: coo.to_csr(),
+        x: vec![1e5; n],
+    });
+
+    // Matrix values below the f16 subnormal floor (~6e-8) but far above
+    // the sanitizer's negligibility tolerance: they round to zero in f16,
+    // a silent signal loss.
+    let mut coo = Coo::new(n, n);
+    for r in 0..n {
+        coo.push(r as u32, r as u32, 1e-9);
+    }
+    corpus.push(EdgeCase {
+        name: "f16-underflow",
+        matrix: coo.to_csr(),
+        x: vec![1.0; n],
+    });
+
+    // Mixed-sign cancellation: each row sums +big -big +1, so the true
+    // answer is 1.0 but intermediate magnitudes sit near the f16 edge.
+    let mut coo = Coo::new(n, n);
+    for r in 0..n {
+        let r32 = r as u32;
+        coo.push(r32, r32, 6.0e4);
+        coo.push(r32, ((r + 1) % n) as u32, -6.0e4);
+        coo.push(r32, ((r + 2) % n) as u32, 1.0);
+    }
+    corpus.push(EdgeCase {
+        name: "cancellation",
+        matrix: coo.to_csr(),
+        x: vec![1.0; n],
+    });
+
+    // f32 denormals (~1e-40): exercise flush-to-zero behaviour without
+    // Inf/NaN risk.
+    let mut coo = Coo::new(n, n);
+    for r in 0..n {
+        coo.push(r as u32, r as u32, 1.0e-40);
+    }
+    corpus.push(EdgeCase {
+        name: "denormal",
+        matrix: coo.to_csr(),
+        x: vec![1.0; n],
+    });
+
+    // Structure: half the rows and columns are empty.
+    let mut coo = Coo::new(n, n);
+    for r in (0..n).step_by(2) {
+        coo.push(r as u32, r as u32, 1.0);
+    }
+    corpus.push(EdgeCase {
+        name: "empty-rows-cols",
+        matrix: coo.to_csr(),
+        x: vec![1.0; n],
+    });
+
+    // Degenerate shapes.
+    let mut coo = Coo::new(1, 1);
+    coo.push(0, 0, 2.5);
+    corpus.push(EdgeCase { name: "one-by-one", matrix: coo.to_csr(), x: vec![4.0] });
+    corpus.push(EdgeCase {
+        name: "zero-nnz",
+        matrix: Csr::empty(n, n),
+        x: vec![1.0; n],
+    });
+
+    corpus
+}
+
 /// Uniformly random matrix with `nnz` draws (duplicates combined, so the
 /// realised nnz can be slightly lower).
 pub fn random_uniform(nrows: usize, ncols: usize, nnz: usize, seed: u64) -> Csr {
@@ -454,6 +560,40 @@ mod tests {
             }
             assert!(diag > off, "row {r} not diagonally dominant");
         }
+    }
+
+    #[test]
+    fn edge_corpus_cases_are_well_formed() {
+        let corpus = numerical_edge_corpus();
+        assert!(corpus.len() >= 7);
+        let mut names = std::collections::HashSet::new();
+        for case in &corpus {
+            assert!(case.matrix.validate().is_ok(), "{}", case.name);
+            assert_eq!(case.x.len(), case.matrix.ncols, "{}", case.name);
+            assert!(names.insert(case.name), "duplicate case name {}", case.name);
+        }
+    }
+
+    #[test]
+    fn edge_corpus_covers_declared_extremes() {
+        let corpus = numerical_edge_corpus();
+        let get = |n: &str| corpus.iter().find(|c| c.name == n).unwrap();
+
+        // Overflow case: x exceeds f16 max but the f32 reference is finite.
+        let c = get("f16-overflow");
+        let y = c.matrix.spmv(&c.x).unwrap();
+        assert!(y.iter().all(|v| v.is_finite()), "f32 reference must stay finite");
+        assert!(c.x.iter().any(|v| v.abs() > 65504.0));
+
+        // Underflow values sit below the f16 subnormal floor but are
+        // nonzero in f32.
+        let c = get("f16-underflow");
+        let v = c.matrix.values[0];
+        assert!(v != 0.0 && v.abs() < 6e-8);
+
+        // Degenerate shapes exist and multiply correctly in f32.
+        assert_eq!(get("one-by-one").matrix.nnz(), 1);
+        assert_eq!(get("zero-nnz").matrix.nnz(), 0);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use crate::coo::Coo;
 use crate::csr::Csr;
 use crate::ell::{Ell, ELL_PAD};
-use crate::types::SparseResult;
+use crate::types::{SparseError, SparseResult};
 
 /// Hybrid ELL + COO matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,6 +45,54 @@ impl Hyb {
     pub fn from_csr(csr: &Csr) -> Self {
         let width = (csr.mean_degree().ceil() as usize).max(1);
         Self::from_csr_with_width(csr, width)
+    }
+
+    /// Validated conversion: checks `csr` first, builds, and re-checks the
+    /// result.
+    pub fn try_from_csr(csr: &Csr) -> SparseResult<Self> {
+        csr.validate()?;
+        let hyb = Self::from_csr(csr);
+        hyb.validate()?;
+        Ok(hyb)
+    }
+
+    /// Verifies both parts: the ELL part passes [`Ell::validate`], the COO
+    /// part has consistent triplet lengths and in-bounds indices, and both
+    /// parts agree on the matrix shape (the SpMV sums them blindly).
+    pub fn validate(&self) -> SparseResult<()> {
+        self.ell.validate()?;
+        if self.coo.nrows != self.ell.nrows || self.coo.ncols != self.ell.ncols {
+            return Err(SparseError::ShapeMismatch {
+                what: format!(
+                    "COO part is {}x{}, ELL part is {}x{}",
+                    self.coo.nrows, self.coo.ncols, self.ell.nrows, self.ell.ncols
+                ),
+            });
+        }
+        if self.coo.rows.len() != self.coo.cols.len()
+            || self.coo.rows.len() != self.coo.values.len()
+        {
+            return Err(SparseError::LengthMismatch {
+                what: format!(
+                    "COO rows ({}), cols ({}), values ({})",
+                    self.coo.rows.len(),
+                    self.coo.cols.len(),
+                    self.coo.values.len()
+                ),
+            });
+        }
+        for i in 0..self.coo.rows.len() {
+            let (r, c) = (self.coo.rows[i] as usize, self.coo.cols[i] as usize);
+            if r >= self.coo.nrows || c >= self.coo.ncols {
+                return Err(SparseError::IndexOutOfBounds {
+                    row: r,
+                    col: c,
+                    nrows: self.coo.nrows,
+                    ncols: self.coo.ncols,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Total stored entries.
@@ -118,6 +166,38 @@ mod tests {
         let m = crate::gen::random_uniform(100, 100, 550, 45);
         let h = Hyb::from_csr(&m);
         assert_eq!(h.ell.width, (m.mean_degree().ceil() as usize).max(1));
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        let m = crate::gen::scale_free(200, 1500, 1.3, 43);
+        assert!(Hyb::from_csr(&m).validate().is_ok());
+        assert!(Hyb::try_from_csr(&m).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_coo_out_of_bounds() {
+        let m = crate::gen::scale_free(200, 1500, 1.3, 47);
+        let mut h = Hyb::from_csr_with_width(&m, 1); // guarantees a COO part
+        assert!(h.coo.nnz() > 0, "need overflow entries for this test");
+        h.coo.cols[0] = 200; // ncols is 200
+        assert!(matches!(h.validate(), Err(SparseError::IndexOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_shape_disagreement() {
+        let m = crate::gen::scale_free(100, 600, 1.3, 49);
+        let mut h = Hyb::from_csr(&m);
+        h.coo.ncols = 64;
+        assert!(matches!(h.validate(), Err(SparseError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_corrupt_ell_part() {
+        let m = crate::gen::scale_free(100, 600, 1.3, 51);
+        let mut h = Hyb::from_csr(&m);
+        h.ell.values.pop();
+        assert!(h.validate().is_err());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use crate::coo::Coo;
 use crate::csr::Csr;
-use crate::types::{SparseError, SparseResult};
+use crate::types::{validate_offsets, SparseError, SparseResult};
 
 /// Sentinel column for padding slots.
 pub const SELL_PAD: u32 = u32::MAX;
@@ -80,6 +80,91 @@ impl Sell {
             }
         }
         Sell { nrows: csr.nrows, ncols: csr.ncols, chunk, sigma, perm, chunk_ptr, widths, col_idx, values }
+    }
+
+    /// Validated conversion: checks `csr` first, builds, and re-checks the
+    /// result.
+    pub fn try_from_csr(csr: &Csr, chunk: usize, sigma: usize) -> SparseResult<Self> {
+        if chunk == 0 || sigma == 0 {
+            return Err(SparseError::ShapeMismatch {
+                what: format!("chunk = {chunk}, sigma = {sigma}; both must be > 0"),
+            });
+        }
+        csr.validate()?;
+        let sell = Self::from_csr(csr, chunk, sigma);
+        sell.validate()?;
+        Ok(sell)
+    }
+
+    /// Verifies every invariant the sliced SpMV relies on: `perm` is a
+    /// permutation of `0..nrows`, `chunk_ptr` is a well-formed offset array
+    /// over the slot arrays whose per-chunk spans equal `widths[ci] *
+    /// chunk`, `col_idx` and `values` agree in length, non-padding columns
+    /// are `< ncols`, and padding slots hold `0.0`.
+    pub fn validate(&self) -> SparseResult<()> {
+        if self.chunk == 0 {
+            return Err(SparseError::ShapeMismatch { what: "chunk = 0".into() });
+        }
+        let nchunks = self.nrows.div_ceil(self.chunk);
+        if self.widths.len() != nchunks || self.chunk_ptr.len() != nchunks + 1 {
+            return Err(SparseError::LengthMismatch {
+                what: format!(
+                    "widths ({}) / chunk_ptr ({}) vs nchunks = {nchunks}",
+                    self.widths.len(),
+                    self.chunk_ptr.len()
+                ),
+            });
+        }
+        if self.perm.len() != self.nrows {
+            return Err(SparseError::LengthMismatch {
+                what: format!("perm.len() = {}, expected nrows = {}", self.perm.len(), self.nrows),
+            });
+        }
+        let mut seen = vec![false; self.nrows];
+        for &p in &self.perm {
+            if (p as usize) >= self.nrows || seen[p as usize] {
+                return Err(SparseError::MalformedOffsets {
+                    what: format!("perm is not a permutation: row {p} out of range or repeated"),
+                });
+            }
+            seen[p as usize] = true;
+        }
+        if self.col_idx.len() != self.values.len() {
+            return Err(SparseError::LengthMismatch {
+                what: format!(
+                    "col_idx ({}) vs values ({})",
+                    self.col_idx.len(),
+                    self.values.len()
+                ),
+            });
+        }
+        validate_offsets(&self.chunk_ptr, self.col_idx.len(), "chunk_ptr")?;
+        for ci in 0..nchunks {
+            let span = (self.chunk_ptr[ci + 1] - self.chunk_ptr[ci]) as u64;
+            let want = self.widths[ci] as u64 * self.chunk as u64;
+            if span != want {
+                return Err(SparseError::MalformedOffsets {
+                    what: format!("chunk {ci}: span {span} != widths[{ci}] * chunk = {want}"),
+                });
+            }
+        }
+        for (slot, (&c, &v)) in self.col_idx.iter().zip(&self.values).enumerate() {
+            if c == SELL_PAD {
+                if v != 0.0 {
+                    return Err(SparseError::LengthMismatch {
+                        what: format!("padding slot {slot} holds nonzero value {v}"),
+                    });
+                }
+            } else if c as usize >= self.ncols {
+                return Err(SparseError::IndexOutOfBounds {
+                    row: slot,
+                    col: c as usize,
+                    nrows: self.nrows,
+                    ncols: self.ncols,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Stored (non-padding) entries.
@@ -226,5 +311,51 @@ mod tests {
         assert_eq!(s.nnz(), 0);
         assert_eq!(s.spmv(&[0.0; 10]).unwrap(), vec![0.0; 10]);
         assert_eq!(s.to_csr(), m);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        let m = crate::gen::random_uniform(130, 110, 1500, 121);
+        for (c, s) in [(4, 4), (8, 32), (32, 128), (16, 1)] {
+            assert!(Sell::from_csr(&m, c, s).validate().is_ok(), "C={c} sigma={s}");
+        }
+        assert!(Sell::try_from_csr(&m, 8, 32).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_broken_permutation() {
+        let m = crate::gen::random_uniform(64, 64, 500, 131);
+        let mut s = Sell::from_csr(&m, 8, 8);
+        s.perm[0] = s.perm[1]; // repeated row
+        assert!(matches!(s.validate(), Err(SparseError::MalformedOffsets { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_chunk_ptr_width_disagreement() {
+        let m = crate::gen::random_uniform(64, 64, 500, 133);
+        let mut s = Sell::from_csr(&m, 8, 8);
+        s.widths[0] += 1;
+        assert!(matches!(s.validate(), Err(SparseError::MalformedOffsets { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_column_and_dirty_padding() {
+        let m = crate::gen::random_uniform(64, 48, 500, 135);
+        let mut s = Sell::from_csr(&m, 8, 8);
+        let live = s.col_idx.iter().position(|&c| c != SELL_PAD).unwrap();
+        s.col_idx[live] = 48;
+        assert!(matches!(s.validate(), Err(SparseError::IndexOutOfBounds { .. })));
+
+        let mut s = Sell::from_csr(&m, 8, 8);
+        let pad = s.col_idx.iter().position(|&c| c == SELL_PAD).unwrap();
+        s.values[pad] = 3.0;
+        assert!(matches!(s.validate(), Err(SparseError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn try_from_csr_rejects_zero_chunk() {
+        let m = crate::gen::random_uniform(16, 16, 50, 137);
+        assert!(Sell::try_from_csr(&m, 0, 8).is_err());
     }
 }
