@@ -5,7 +5,7 @@
 //!
 //! experiments: table1 fig6 fig7 fig8 fig9a fig9b fig10a fig10b
 //!              ablations extensions reordering faults plan sanitize serve
-//!              verify all
+//!              shard traffic verify all
 //! ```
 //!
 //! `--scale` shrinks every dataset proportionally (default 0.05; use 1.0
@@ -83,7 +83,7 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: repro <table1|fig6|fig7|fig8|fig9a|fig9b|fig10a|fig10b|ablations|extensions|reordering|faults|verify|all> \
-                 [--scale S] [--gpu l40|v100|both]   (also: plan sanitize serve shard)"
+                 [--scale S] [--gpu l40|v100|both]   (also: plan sanitize serve shard traffic)"
             );
             std::process::exit(2);
         }
@@ -222,6 +222,23 @@ fn main() {
                 println!("{t}");
             }
             println!("{verdict}");
+        }
+        "traffic" => {
+            // Certifies the overload-control layer: an open-loop Poisson
+            // saturation ladder plus a flash-crowd spike, all seeded and
+            // on the simulated clock. The verdict line asserts >= 99%
+            // availability below saturation, graceful degradation (no
+            // goodput cliff) past it, high-priority protection, zero
+            // unverified results in any brownout mode, and per-seed bit
+            // determinism. CI's traffic-smoke job greps `TRAFFIC OK`.
+            let cfg = spaden_traffic::SweepConfig::default();
+            for gpu in &args.gpus {
+                let (tables, verdict, _) = spaden_bench::traffic_report(gpu, &cfg);
+                for t in tables {
+                    println!("{t}");
+                }
+                println!("{verdict}");
+            }
         }
         "shard" => {
             // Fixed seed so CI's shard-chaos job is reproducible run to

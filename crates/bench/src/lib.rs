@@ -21,6 +21,7 @@ pub mod sanitize;
 pub mod serving;
 pub mod sharding;
 pub mod table;
+pub mod traffic;
 
 pub use experiments::*;
 pub use harness::BenchGroup;
@@ -30,6 +31,7 @@ pub use sanitize::{sanitize_report, SanitizeReport};
 pub use serving::serve_report;
 pub use sharding::shard_report;
 pub use table::Table;
+pub use traffic::traffic_report;
 
 use spaden_sparse::datasets::{Dataset, ALL_DATASETS};
 

@@ -1,0 +1,152 @@
+//! Plan-cache behavior under Zipf churn — the access pattern the traffic
+//! engine's tenant population produces (a hot head of popular matrix
+//! fingerprints over a long cold tail of thousands).
+//!
+//! Three properties:
+//!
+//! 1. **Hit rate scales with budget** under one fixed Zipf-churned access
+//!    sequence: a budget holding only a couple of plans hits rarely, a
+//!    mid budget captures the hot head, an effectively unbounded budget
+//!    approaches the compulsory-miss ceiling — and residency never
+//!    exceeds the budget at any point.
+//! 2. **Eviction never invalidates an in-flight plan**: an `Arc<Plan>`
+//!    held by a caller stays executable (bit-identically) after the
+//!    cache has evicted and forgotten it.
+//! 3. **Cached == fresh bit-identity after heavy churn**: whatever the
+//!    cache did, the plan it returns computes the same bits as a plan
+//!    prepared from scratch.
+
+use spaden_gpusim::{Gpu, GpuConfig};
+use spaden_plan::{Planner, PlanSource};
+use spaden_sparse::gen;
+use spaden_sparse::rng::Pcg64;
+use spaden_sparse::Csr;
+
+/// Fingerprint universe of the churn: large enough that the tail can
+/// never be resident, small enough that the test stays fast.
+const UNIVERSE: usize = 1_500;
+const ACCESSES: usize = 3_000;
+const ZIPF_S: f64 = 1.1;
+
+/// The matrix behind fingerprint `fp`: tiny (planning cost, not SpMV
+/// cost, is what this test exercises) and seeded so any regeneration is
+/// byte-identical.
+fn matrix_for(fp: usize) -> Csr {
+    gen::random_uniform(32, 32, 180, 90_000 + fp as u64)
+}
+
+fn x_for(n: usize) -> Vec<f32> {
+    (0..n).map(|i| ((i * 37 + 11) % 64) as f32 / 32.0 - 1.0).collect()
+}
+
+/// One plan's device footprint, for sizing budgets in plan units.
+fn plan_bytes(gpu: &Gpu) -> u64 {
+    let mut planner = Planner::with_all_engines(u64::MAX);
+    let plan = planner.plan(gpu, &matrix_for(0)).unwrap();
+    let bytes = plan.device_bytes();
+    assert!(bytes > 0, "tiny plans must still account device bytes");
+    bytes
+}
+
+/// The shared access sequence: Zipf draws over the fingerprint universe.
+fn access_sequence() -> Vec<usize> {
+    let mut rng = Pcg64::new(4_242, 17);
+    (0..ACCESSES).map(|_| rng.zipf(UNIVERSE, ZIPF_S)).collect()
+}
+
+#[test]
+fn hit_rate_scales_with_budget_under_zipf_churn() {
+    let gpu = Gpu::new(GpuConfig::l40());
+    let unit = plan_bytes(&gpu);
+    // ~3 plans / ~64 plans / everything.
+    let budgets = [3 * unit + unit / 2, 64 * unit + unit / 2, u64::MAX];
+    let accesses = access_sequence();
+
+    let mut rates = Vec::new();
+    for &budget in &budgets {
+        let mut planner = Planner::with_all_engines(budget);
+        for &fp in &accesses {
+            planner.plan(&gpu, &matrix_for(fp)).unwrap();
+            assert!(
+                budget == u64::MAX || planner.bytes_resident() <= budget,
+                "residency {} exceeds budget {budget}",
+                planner.bytes_resident()
+            );
+        }
+        rates.push(planner.cache_stats().hit_rate());
+    }
+
+    // Ordering: more budget never hurts, and the gap is material.
+    assert!(
+        rates[0] + 0.02 < rates[1] && rates[1] + 0.02 < rates[2],
+        "hit rates must rise with budget: {rates:?}"
+    );
+    // A couple-of-plans cache under a 1500-wide Zipf stream thrashes.
+    assert!(rates[0] < 0.35, "tiny budget hit rate {rates:?}");
+    // The unbounded cache misses only compulsorily: its hit count equals
+    // accesses minus distinct fingerprints touched.
+    let mut distinct: Vec<usize> = accesses.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let ceiling = (ACCESSES - distinct.len()) as f64 / ACCESSES as f64;
+    assert!(
+        (rates[2] - ceiling).abs() < 1e-9,
+        "unbounded cache must hit the compulsory ceiling {ceiling}, got {rates:?}"
+    );
+}
+
+#[test]
+fn eviction_never_invalidates_an_in_flight_plan() {
+    let gpu = Gpu::new(GpuConfig::l40());
+    let unit = plan_bytes(&gpu);
+    let mut planner = Planner::with_all_engines(2 * unit + unit / 2);
+
+    // Take a plan and hold it, as an in-flight request would.
+    let held = planner.plan(&gpu, &matrix_for(7)).unwrap();
+    let x = x_for(32);
+    let before = held.engine.try_run(&gpu, &x).unwrap().y;
+
+    // Churn far past the budget so fingerprint 7 is evicted.
+    for fp in 100..140 {
+        planner.plan(&gpu, &matrix_for(fp)).unwrap();
+    }
+    let (_, source) = planner.plan_traced(&gpu, &matrix_for(7)).unwrap();
+    assert_eq!(source, PlanSource::Prepared, "fp 7 must have been evicted by the churn");
+
+    // The held Arc is untouched by eviction: same engine, same bits.
+    let after = held.engine.try_run(&gpu, &x).unwrap().y;
+    assert_eq!(
+        before.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        after.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "evicted-but-held plan must keep executing bit-identically"
+    );
+}
+
+#[test]
+fn cached_plan_is_bit_identical_to_fresh_after_heavy_churn() {
+    let gpu = Gpu::new(GpuConfig::l40());
+    let unit = plan_bytes(&gpu);
+    let mut churned = Planner::with_all_engines(32 * unit);
+    for &fp in &access_sequence()[..1_000] {
+        churned.plan(&gpu, &matrix_for(fp)).unwrap();
+    }
+
+    // Spot-check the hot head (likely cached) and the tail (likely not):
+    // the churned planner's answer must match a from-scratch planner's,
+    // bit for bit.
+    for fp in [0, 1, 2, 3, 700, 1_400] {
+        let csr = matrix_for(fp);
+        let x = x_for(32);
+        let churned_plan = churned.plan(&gpu, &csr).unwrap();
+        let mut fresh = Planner::with_all_engines(u64::MAX);
+        let fresh_plan = fresh.plan(&gpu, &csr).unwrap();
+        assert_eq!(churned_plan.choice, fresh_plan.choice, "fp {fp}: selection must agree");
+        let a = churned_plan.engine.try_run(&gpu, &x).unwrap().y;
+        let b = fresh_plan.engine.try_run(&gpu, &x).unwrap().y;
+        assert_eq!(
+            a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "fp {fp}: churned cache result must equal fresh result"
+        );
+    }
+}

@@ -72,6 +72,9 @@ pub struct CircuitBreaker {
     pub trips: u64,
     /// Times the breaker recovered HalfOpen → Closed.
     pub recoveries: u64,
+    /// Half-open probes that timed out (neither success nor failure was
+    /// recorded) and re-opened the breaker.
+    pub probe_timeouts: u64,
     /// Total outcomes recorded, successes and failures.
     pub successes: u64,
     /// Total failures recorded.
@@ -90,6 +93,7 @@ impl CircuitBreaker {
             health: 1.0,
             trips: 0,
             recoveries: 0,
+            probe_timeouts: 0,
             successes: 0,
             failures: 0,
         }
@@ -161,6 +165,24 @@ impl CircuitBreaker {
                 true
             }
             BreakerState::Open => false,
+        }
+    }
+
+    /// Records that an allowed probe *timed out* — it was let through
+    /// half-open but resolved as neither success nor failure (e.g. the
+    /// rung's scheduler gave up on the deadline before the kernels
+    /// reported back). The burst may well not be over, so the breaker
+    /// must re-open and restart its cooldown rather than sit in
+    /// `HalfOpen` admitting unchecked traffic forever. Returns `true`
+    /// if this re-opened the breaker; in any other state a timeout is
+    /// deadline pressure, not engine health, and is ignored.
+    pub fn record_probe_timeout(&mut self, now: f64) -> bool {
+        if self.state == BreakerState::HalfOpen {
+            self.probe_timeouts += 1;
+            self.trip(now);
+            true
+        } else {
+            false
         }
     }
 
@@ -246,6 +268,45 @@ mod tests {
         assert_eq!(b.state(), BreakerState::Open);
         assert!(!b.allow(35.0));
         assert_eq!(b.trips, 3);
+    }
+
+    #[test]
+    fn half_open_probe_timeout_reopens_instead_of_hanging() {
+        // Edge case: the probe request is *allowed* but then neither
+        // succeeds nor fails (deadline timeout in the rung's scheduler).
+        // Without an explicit timeout record the breaker would sit in
+        // HalfOpen — which admits every request — even though nothing has
+        // proven the rung healthy.
+        let mut b = breaker();
+        for _ in 0..3 {
+            b.record_failure(0.0);
+        }
+        assert!(b.allow(10.0), "cooldown elapsed: probe allowed");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.record_probe_timeout(12.0), "timed-out probe must re-open");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.probe_timeouts, 1);
+        assert_eq!(b.trips, 2);
+        // The cooldown restarted from the timeout, not the original trip.
+        assert!(!b.allow(20.0), "re-opened: still cooling down");
+        assert!(b.allow(22.0), "new cooldown elapses from the timeout");
+        // A successful probe after the restart closes it normally.
+        b.record_success();
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn probe_timeout_outside_half_open_is_ignored() {
+        let mut b = breaker();
+        assert!(!b.record_probe_timeout(0.0), "closed: timeout is deadline pressure");
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.probe_timeouts, 0);
+        for _ in 0..3 {
+            b.record_failure(0.0);
+        }
+        assert!(!b.record_probe_timeout(1.0), "already open: nothing to re-open");
+        assert_eq!(b.trips, 1);
     }
 
     #[test]

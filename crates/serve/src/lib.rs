@@ -21,8 +21,17 @@
 //! * [`breaker`] — a per-rung [`CircuitBreaker`] that trips after
 //!   consecutive verification failures, sheds load while open, and
 //!   probes its way back (half-open) when the fault burst passes.
-//! * [`queue`] — the [`BoundedQueue`] admission buffer; bursts past its
-//!   capacity are rejected with [`ServeError::Overloaded`].
+//! * [`queue`] — the [`BoundedQueue`] admission buffer (bursts past its
+//!   capacity are rejected with [`ServeError::Overloaded`]) and the
+//!   [`AdmissionQueue`]: three priority lanes, absolute deadline expiry
+//!   checked at dequeue, newest-weakest eviction, typed [`ShedReason`]s.
+//! * [`overload`] — the [`OverloadController`] behind
+//!   [`SpmvServer::run_open_loop`]: an AIMD concurrency limit steering
+//!   observed p99 time-in-system toward the SLO target, plus the
+//!   [`BrownoutMode`] ladder that sheds Low- then Normal-priority
+//!   traffic under sustained overload — degraded modes shed, they never
+//!   skip verification. Disabled by default: the closed-loop paths are
+//!   bit-identical to the pre-overload-control server.
 //! * [`checksum`] — [`CsrChecksums`], f32 block-row checksums so the CSR
 //!   rung is held to the same verified-or-rejected standard as the ABFT
 //!   rungs.
@@ -53,6 +62,7 @@ pub mod breaker;
 pub mod chaos;
 pub mod checksum;
 pub mod device_chaos;
+pub mod overload;
 pub mod queue;
 pub mod server;
 
@@ -62,7 +72,12 @@ pub use device_chaos::{
     device_chaos_sweep, DeviceCellReport, DeviceChaosConfig, DeviceChaosReport, DeviceProfile,
 };
 pub use checksum::CsrChecksums;
-pub use queue::BoundedQueue;
+pub use overload::{BrownoutMode, OverloadConfig, OverloadController, OverloadStats};
+pub use queue::{
+    AdmissionQueue, Admitted, BoundedQueue, Dequeued, Priority, PushOutcome, ShedCounters,
+    ShedReason, PRIORITIES,
+};
 pub use server::{
-    MatrixHandle, Request, Rung, ServeConfig, ServeError, ServeStats, ServedOk, SpmvServer, RUNGS,
+    MatrixHandle, OpenOutcome, OpenRequest, Request, Rung, ServeConfig, ServeError, ServeStats,
+    ServedOk, SpmvServer, RUNGS,
 };

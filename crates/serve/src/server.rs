@@ -45,7 +45,10 @@
 
 use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use crate::checksum::CsrChecksums;
-use crate::queue::BoundedQueue;
+use crate::overload::{OverloadConfig, OverloadController, OverloadStats};
+use crate::queue::{
+    AdmissionQueue, BoundedQueue, Dequeued, Priority, PushOutcome, ShedCounters, ShedReason,
+};
 use spaden::engine::{EngineError, SpmvRun};
 use spaden::{SpadenEngine, SpadenNoTcEngine, SpmvEngine};
 use spaden_baselines::CusparseCsrEngine;
@@ -156,6 +159,11 @@ pub struct ServeConfig {
     pub shard_policy: ShardPolicy,
     /// Device-level fault rates of the fleet (crash/hang/straggler).
     pub device_faults: DeviceFaultConfig,
+    /// Overload-control policy of the open-loop path (adaptive
+    /// concurrency limit + brownout ladder). Disabled by default — the
+    /// closed-loop paths and a disabled controller are bit-identical to
+    /// the pre-overload-control server.
+    pub overload: OverloadConfig,
 }
 
 impl Default for ServeConfig {
@@ -175,6 +183,7 @@ impl Default for ServeConfig {
             shards_per_device: 2,
             shard_policy: ShardPolicy::default(),
             device_faults: DeviceFaultConfig::disabled(),
+            overload: OverloadConfig::default(),
         }
     }
 }
@@ -192,6 +201,48 @@ pub struct Request {
     pub x: Vec<f32>,
     /// Simulated-time budget; `None` uses [`ServeConfig::default_deadline_s`].
     pub deadline_s: Option<f64>,
+}
+
+/// One open-loop arrival: a request plus the traffic metadata the
+/// overload-control layer keys on.
+#[derive(Debug, Clone)]
+pub struct OpenRequest {
+    /// The request itself ([`Request::deadline_s`] is the *budget*,
+    /// counted from arrival — queue wait spends it).
+    pub request: Request,
+    /// Priority class for queue ordering, eviction, and brownout.
+    pub priority: Priority,
+    /// Absolute simulated arrival time. Arrivals must be fed in
+    /// non-decreasing order.
+    pub arrival_s: f64,
+}
+
+/// Resolution of one open-loop arrival.
+#[derive(Debug, Clone)]
+pub struct OpenOutcome {
+    /// Position of the arrival in the input batch.
+    pub index: usize,
+    /// The arrival's priority class.
+    pub priority: Priority,
+    /// The arrival's matrix handle.
+    pub matrix: MatrixHandle,
+    /// Absolute arrival time.
+    pub arrival_s: f64,
+    /// Simulated time spent waiting in the admission queue (zero for
+    /// arrivals shed at admission).
+    pub queue_wait_s: f64,
+    /// Absolute simulated time the arrival was resolved.
+    pub done_s: f64,
+    /// The verified result or typed failure. [`ServedOk::latency_s`] is
+    /// service time only; time-in-system is `done_s - arrival_s`.
+    pub result: Result<ServedOk, ServeError>,
+}
+
+impl OpenOutcome {
+    /// Time from arrival to resolution (what the client experiences).
+    pub fn time_in_system_s(&self) -> f64 {
+        self.done_s - self.arrival_s
+    }
 }
 
 /// A successfully served (checksum-verified) request.
@@ -238,6 +289,10 @@ pub enum ServeError {
     /// Every rung's circuit breaker was open — the service is shedding
     /// load while engines recover.
     Unavailable,
+    /// Deliberately shed by the overload-control layer (queue expiry,
+    /// priority eviction, brownout, adaptive limit) — the request was
+    /// well-formed; the service chose not to spend work on it.
+    Shed(ShedReason),
 }
 
 impl std::fmt::Display for ServeError {
@@ -258,6 +313,7 @@ impl std::fmt::Display for ServeError {
                 write!(f, "failover ladder exhausted after {attempts} attempt(s): {last}")
             }
             ServeError::Unavailable => write!(f, "unavailable: all circuit breakers open"),
+            ServeError::Shed(reason) => write!(f, "shed: {reason}"),
         }
     }
 }
@@ -290,6 +346,10 @@ pub struct ServeStats {
     pub exhausted: u64,
     /// Requests shed with every breaker open.
     pub unavailable: u64,
+    /// Requests shed by the overload-control layer (open-loop path only;
+    /// the per-reason breakdown lives in [`SpmvServer::shed_counters`]
+    /// and [`SpmvServer::overload_stats`]).
+    pub shed: u64,
     /// Total retries across all requests.
     pub retries: u64,
     latencies_s: Vec<f64>,
@@ -364,8 +424,21 @@ pub struct SpmvServer {
     partition_cache: PartitionCache,
     breakers: [CircuitBreaker; RUNGS],
     queue: BoundedQueue<(usize, Request)>,
+    /// Open-loop admission queue (priority classes, expiry at dequeue).
+    open_queue: AdmissionQueue<OpenSlot>,
+    /// Adaptive limit + brownout ladder over the open-loop path.
+    overload: OverloadController,
     stats: ServeStats,
     clock_s: f64,
+}
+
+/// One queued open-loop request.
+struct OpenSlot {
+    index: usize,
+    request: Request,
+    priority: Priority,
+    arrival_s: f64,
+    budget_s: f64,
 }
 
 impl SpmvServer {
@@ -376,6 +449,8 @@ impl SpmvServer {
         let queue = BoundedQueue::new(config.queue_capacity);
         let fleet = (config.shard_devices > 0)
             .then(|| DeviceFleet::new(config.shard_devices, &gpu.config, config.device_faults));
+        let open_queue = AdmissionQueue::new(config.queue_capacity);
+        let overload = OverloadController::new(config.overload);
         SpmvServer {
             gpu,
             config,
@@ -385,6 +460,8 @@ impl SpmvServer {
             partition_cache: PartitionCache::default(),
             breakers,
             queue,
+            open_queue,
+            overload,
             stats: ServeStats::default(),
             clock_s: 0.0,
         }
@@ -568,6 +645,163 @@ impl SpmvServer {
         self.serve_admitted(req)
     }
 
+    /// Shed counters of the open-loop admission queue (expired at
+    /// dequeue, priority-evicted, rejected full/limit).
+    pub fn shed_counters(&self) -> ShedCounters {
+        self.open_queue.counters()
+    }
+
+    /// Counters and state of the overload controller.
+    pub fn overload_stats(&self) -> OverloadStats {
+        self.overload.stats()
+    }
+
+    /// The overload controller's current admission limit and brownout
+    /// mode (diagnostics for reports).
+    pub fn overload_state(&self) -> (usize, crate::overload::BrownoutMode) {
+        (self.overload.limit(), self.overload.mode())
+    }
+
+    /// Serves an open-loop arrival schedule: requests arrive at absolute
+    /// simulated times regardless of whether the server has kept up — the
+    /// regime where overload is real. Between arrivals the server drains
+    /// its admission queue; each arrival then passes the overload gates
+    /// (brownout class shedding, adaptive limit, priority eviction) or is
+    /// shed with a typed [`ServeError::Shed`]. Queue wait spends the
+    /// request's deadline budget, and a request whose budget has fully
+    /// elapsed in queue is shed at dequeue instead of executed.
+    ///
+    /// `arrivals` must be sorted by `arrival_s`. Returns one outcome per
+    /// arrival, in input order. Fully deterministic on the simulated
+    /// clock.
+    pub fn run_open_loop(&mut self, arrivals: Vec<OpenRequest>) -> Vec<OpenOutcome> {
+        let n = arrivals.len();
+        let mut out: Vec<Option<OpenOutcome>> = (0..n).map(|_| None).collect();
+        let mut last_arrival = f64::NEG_INFINITY;
+        for (index, a) in arrivals.into_iter().enumerate() {
+            assert!(
+                a.arrival_s >= last_arrival,
+                "open-loop arrivals must be sorted by arrival time"
+            );
+            last_arrival = a.arrival_s;
+            // Serve backlog until the server catches up to this arrival.
+            // Serving may push the clock past it — the arrival then waits
+            // in queue like any client of a busy server.
+            while self.clock_s < a.arrival_s {
+                if !self.drain_one_open(&mut out) {
+                    break;
+                }
+            }
+            if self.clock_s < a.arrival_s {
+                self.clock_s = a.arrival_s; // idle until the arrival
+            }
+            self.stats.submitted += 1;
+            self.admit_open(index, a, &mut out);
+        }
+        while self.drain_one_open(&mut out) {}
+        out.into_iter().map(|o| o.expect("every arrival resolves")).collect()
+    }
+
+    /// Admission for one open-loop arrival: brownout gate, then the
+    /// priority queue under the adaptive limit.
+    fn admit_open(&mut self, index: usize, a: OpenRequest, out: &mut [Option<OpenOutcome>]) {
+        let matrix = a.request.matrix;
+        let priority = a.priority;
+        let arrival_s = a.arrival_s;
+        let shed = |stats: &mut ServeStats, reason: ShedReason| {
+            stats.shed += 1;
+            Some(OpenOutcome {
+                index,
+                priority,
+                matrix,
+                arrival_s,
+                queue_wait_s: 0.0,
+                done_s: arrival_s,
+                result: Err(ServeError::Shed(reason)),
+            })
+        };
+        if let Some(reason) = self.overload.admission_shed(priority) {
+            out[index] = shed(&mut self.stats, reason);
+            return;
+        }
+        let budget_s = a.request.deadline_s.unwrap_or(self.config.default_deadline_s);
+        let slot = OpenSlot { index, request: a.request, priority, arrival_s, budget_s };
+        let expires = Some(arrival_s + budget_s);
+        match self.open_queue.push(slot, priority, expires, self.overload.limit()) {
+            PushOutcome::Admitted => {}
+            PushOutcome::AdmittedEvicting(victim) => {
+                let v = victim.item;
+                self.stats.shed += 1;
+                out[v.index] = Some(OpenOutcome {
+                    index: v.index,
+                    priority: v.priority,
+                    matrix: v.request.matrix,
+                    arrival_s: v.arrival_s,
+                    queue_wait_s: self.clock_s - v.arrival_s,
+                    done_s: self.clock_s,
+                    result: Err(ServeError::Shed(ShedReason::Evicted { by: priority })),
+                });
+                // An eviction is still a resolved request: its queue time
+                // is evidence for the controller.
+                self.overload.on_complete(self.clock_s - v.arrival_s);
+            }
+            PushOutcome::Rejected(slot, reason) => {
+                out[slot.index] = shed(&mut self.stats, reason);
+            }
+        }
+    }
+
+    /// Dequeues until one entry is *served or failed* (expired entries
+    /// are shed along the way without costing simulated time). Returns
+    /// false when the queue is empty.
+    fn drain_one_open(&mut self, out: &mut [Option<OpenOutcome>]) -> bool {
+        loop {
+            match self.open_queue.pop(self.clock_s) {
+                None => return false,
+                Some(Dequeued::Expired(entry, reason)) => {
+                    let v = entry.item;
+                    let wait = self.clock_s - v.arrival_s;
+                    self.stats.shed += 1;
+                    out[v.index] = Some(OpenOutcome {
+                        index: v.index,
+                        priority: v.priority,
+                        matrix: v.request.matrix,
+                        arrival_s: v.arrival_s,
+                        queue_wait_s: wait,
+                        done_s: self.clock_s,
+                        result: Err(ServeError::Shed(reason)),
+                    });
+                    // A dead-on-dequeue request spent its whole budget in
+                    // queue — strong overload evidence.
+                    self.overload.on_complete(wait);
+                    continue;
+                }
+                Some(Dequeued::Ready(entry)) => {
+                    let slot = entry.item;
+                    let matrix = slot.request.matrix;
+                    let wait = self.clock_s - slot.arrival_s;
+                    // Queue wait spends the budget; the ladder gets what
+                    // remains (positive — expiry was checked at dequeue).
+                    let remaining = slot.budget_s - wait;
+                    let req = Request { deadline_s: Some(remaining), ..slot.request };
+                    let result = self.serve_admitted(req);
+                    let done = self.clock_s;
+                    self.overload.on_complete(done - slot.arrival_s);
+                    out[slot.index] = Some(OpenOutcome {
+                        index: slot.index,
+                        priority: slot.priority,
+                        matrix,
+                        arrival_s: slot.arrival_s,
+                        queue_wait_s: wait,
+                        done_s: done,
+                        result,
+                    });
+                    return true;
+                }
+            }
+        }
+    }
+
     /// The ladder walk for one admitted request.
     fn serve_admitted(&mut self, req: Request) -> Result<ServedOk, ServeError> {
         self.clock_s += self.config.arrival_interval_s;
@@ -621,7 +855,11 @@ impl SpmvServer {
                             // A crash re-priced the remaining work out of
                             // the budget; the scheduler failed fast, so
                             // charge nothing and descend to a cheaper rung
-                            // with the budget marked as binding.
+                            // with the budget marked as binding. If this
+                            // attempt was a half-open probe, the timeout
+                            // re-opens the breaker — an unresolved probe
+                            // must not park it in half-open.
+                            self.breakers[r].record_probe_timeout(self.clock_s);
                             self.stats.skipped_deadline[r] += 1;
                             deadline_bound = true;
                             break;
@@ -1019,5 +1257,188 @@ mod tests {
         let t0 = srv.clock_s();
         srv.serve(Request { matrix: h, x: make_x(96), deadline_s: None }).unwrap();
         assert!(srv.clock_s() > t0);
+    }
+
+    use crate::overload::{BrownoutMode, OverloadConfig};
+
+    fn open(h: MatrixHandle, priority: Priority, arrival_s: f64, deadline_s: f64) -> OpenRequest {
+        OpenRequest {
+            request: Request { matrix: h, x: make_x(96), deadline_s: Some(deadline_s) },
+            priority,
+            arrival_s,
+        }
+    }
+
+    #[test]
+    fn open_loop_below_capacity_serves_everything_with_zero_wait() {
+        let (mut srv, h, _) = clean_server();
+        // Arrivals spaced far wider than one request's service time.
+        let arrivals: Vec<OpenRequest> =
+            (0..6).map(|i| open(h, Priority::Normal, i as f64 * 1e-3, 500e-6)).collect();
+        let out = srv.run_open_loop(arrivals);
+        assert_eq!(out.len(), 6);
+        for o in &out {
+            assert!(o.result.is_ok(), "idle server serves every arrival: {:?}", o.result);
+            assert_eq!(o.queue_wait_s, 0.0, "no backlog below capacity");
+            assert!(o.time_in_system_s() > 0.0);
+        }
+        assert_eq!(srv.stats().shed, 0);
+        assert_eq!(srv.stats().submitted, 6);
+    }
+
+    #[test]
+    fn open_loop_burst_queues_and_expires_dead_requests_without_executing() {
+        let (mut srv, h, _) = clean_server();
+        // A same-instant burst with budgets that only cover a couple of
+        // services' worth of queue wait: the tail is dead by the time it
+        // reaches the head of the queue and must be shed, not executed.
+        let budget = 40e-6;
+        let arrivals: Vec<OpenRequest> =
+            (0..20).map(|_| open(h, Priority::Normal, 0.0, budget)).collect();
+        let attempts_before: u64 = srv.stats().attempts.iter().sum();
+        let out = srv.run_open_loop(arrivals);
+        let served = out.iter().filter(|o| o.result.is_ok()).count();
+        let expired = out
+            .iter()
+            .filter(|o| {
+                matches!(o.result, Err(ServeError::Shed(ShedReason::Expired { .. })))
+            })
+            .count();
+        assert!(served >= 1, "the head of the burst is alive");
+        assert!(expired >= 1, "the tail must expire in queue: {out:?}");
+        assert_eq!(
+            srv.shed_counters().expired[Priority::Normal as usize] as usize,
+            expired
+        );
+        // Expired requests never reached a rung: attempts grew only for
+        // requests that were actually executed.
+        let attempts_after: u64 = srv.stats().attempts.iter().sum();
+        let executed = out.iter().filter(|o| !matches!(o.result, Err(ServeError::Shed(_)))).count();
+        assert!(
+            (attempts_after - attempts_before) as usize <= executed * 2,
+            "expired sheds must not burn rung attempts"
+        );
+        for o in &out {
+            if matches!(o.result, Err(ServeError::Shed(ShedReason::Expired { .. }))) {
+                assert!(o.queue_wait_s >= budget, "expired only after the budget elapsed");
+            }
+        }
+    }
+
+    #[test]
+    fn open_loop_saturation_evicts_low_priority_for_high() {
+        let cfg = ServeConfig { queue_capacity: 4, ..ServeConfig::default() };
+        let csr = gen::random_uniform(128, 96, 1800, 901);
+        let mut srv = SpmvServer::new(Gpu::new(GpuConfig::l40()), cfg);
+        let h = srv.register(&csr).unwrap();
+        // Fill the queue with low-priority work arriving together, then a
+        // high-priority arrival displaces the newest low entry.
+        let mut arrivals: Vec<OpenRequest> =
+            (0..5).map(|_| open(h, Priority::Low, 0.0, 10.0)).collect();
+        arrivals.push(open(h, Priority::High, 0.0, 10.0));
+        let out = srv.run_open_loop(arrivals);
+        // Arrival 4 overflowed the hard bound (all-low queue: rejected),
+        // and the high arrival evicted the newest queued low entry (3).
+        assert!(matches!(
+            out[4].result,
+            Err(ServeError::Shed(ShedReason::QueueFull { capacity: 4 }))
+        ));
+        assert!(matches!(
+            out[3].result,
+            Err(ServeError::Shed(ShedReason::Evicted { by: Priority::High }))
+        ));
+        assert!(out[5].result.is_ok(), "high priority served: {:?}", out[5].result);
+        assert_eq!(srv.shed_counters().evicted[Priority::Low as usize], 1);
+        assert_eq!(srv.shed_counters().rejected_full[Priority::Low as usize], 1);
+    }
+
+    #[test]
+    fn open_loop_brownout_sheds_low_but_never_high() {
+        let cfg = ServeConfig {
+            overload: OverloadConfig {
+                enabled: true,
+                // Impossible target: every window overruns, so the
+                // controller dives to the floor and escalates.
+                target_p99_s: 1e-12,
+                window: 4,
+                min_outstanding: 2,
+                max_outstanding: 8,
+                brownout_after: 1,
+                ..OverloadConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        let csr = gen::random_uniform(128, 96, 1800, 901);
+        let mut srv = SpmvServer::new(Gpu::new(GpuConfig::l40()), cfg);
+        let h = srv.register(&csr).unwrap();
+        let mut arrivals = Vec::new();
+        for i in 0..60 {
+            let p = if i % 3 == 0 { Priority::High } else { Priority::Low };
+            arrivals.push(open(h, p, i as f64 * 1e-3, 500e-6));
+        }
+        let out = srv.run_open_loop(arrivals);
+        let (mode_limit, mode) = srv.overload_state();
+        assert_eq!(mode, BrownoutMode::ShedLowAndNormal, "sustained overrun escalates");
+        assert!(mode_limit <= 2, "limit dives to the floor");
+        let low_shed = out
+            .iter()
+            .filter(|o| {
+                o.priority == Priority::Low
+                    && matches!(o.result, Err(ServeError::Shed(ShedReason::Brownout { .. })))
+            })
+            .count();
+        assert!(low_shed > 0, "brownout sheds low-priority arrivals");
+        for o in out.iter().filter(|o| o.priority == Priority::High) {
+            assert!(
+                !matches!(o.result, Err(ServeError::Shed(ShedReason::Brownout { .. }))),
+                "high priority is never brownout-shed"
+            );
+        }
+        assert!(srv.overload_stats().brownout_escalations >= 2);
+    }
+
+    #[test]
+    fn open_loop_is_deterministic() {
+        let run = || {
+            let (mut srv, h, _) = clean_server();
+            let arrivals: Vec<OpenRequest> = (0..30)
+                .map(|i| {
+                    let p = Priority::ALL[i % 3];
+                    open(h, p, i as f64 * 20e-6, 300e-6)
+                })
+                .collect();
+            let out = srv.run_open_loop(arrivals);
+            let served = out.iter().filter(|o| o.result.is_ok()).count();
+            let latencies: Vec<u64> =
+                out.iter().map(|o| o.time_in_system_s().to_bits()).collect();
+            (served, latencies, srv.clock_s().to_bits(), srv.stats().shed)
+        };
+        assert_eq!(run(), run(), "same schedule, same bits");
+    }
+
+    #[test]
+    fn closed_loop_paths_ignore_the_overload_controller() {
+        // run_batch / serve must behave identically whether or not the
+        // open-loop overload policy is enabled.
+        let csr = gen::random_uniform(128, 96, 1800, 901);
+        let x = make_x(96);
+        let run = |overload: OverloadConfig| {
+            let cfg = ServeConfig { queue_capacity: 4, overload, ..ServeConfig::default() };
+            let mut srv = SpmvServer::new(Gpu::new(GpuConfig::l40()), cfg);
+            let h = srv.register(&csr).unwrap();
+            let reqs: Vec<Request> = (0..7)
+                .map(|_| Request { matrix: h, x: x.clone(), deadline_s: None })
+                .collect();
+            let results = srv.run_batch(reqs);
+            let bits: Vec<Vec<u32>> = results
+                .iter()
+                .filter_map(|r| r.as_ref().ok())
+                .map(|ok| ok.y.iter().map(|v| v.to_bits()).collect())
+                .collect();
+            (bits, srv.clock_s().to_bits(), srv.stats().overloaded)
+        };
+        let off = run(OverloadConfig::default());
+        let on = run(OverloadConfig::on());
+        assert_eq!(off, on, "closed-loop serving is bit-identical with overload control on");
     }
 }

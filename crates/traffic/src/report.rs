@@ -1,0 +1,284 @@
+//! Saturation sweep and the `TRAFFIC` verdict.
+//!
+//! The sweep calibrates the server's closed-loop capacity on the corpus,
+//! then replays one seeded Poisson scenario at a ladder of load
+//! multipliers spanning well-below to well-past saturation, plus a
+//! flash-crowd scenario. The verdict is the conjunction of explicit
+//! checks; `repro traffic` prints them and CI greps for `TRAFFIC OK`:
+//!
+//! 1. availability ≥ 99% at every sub-saturation load;
+//! 2. graceful degradation — goodput past saturation holds a floor
+//!    fraction of peak goodput (shedding dead work, no congestion
+//!    collapse cliff);
+//! 3. high-priority traffic is protected through overload (priority
+//!    dequeue + eviction + brownout shed Low/Normal first);
+//! 4. zero `Ok` results anywhere fail the independent f64 oracle —
+//!    degraded modes shed, they never skip verification;
+//! 5. the flash-crowd spike is absorbed without dragging high-priority
+//!    availability down;
+//! 6. bit determinism — re-running a point reproduces its digest.
+
+use crate::arrival::ArrivalProcess;
+use crate::engine::{calibrate_capacity_rps, run_traffic, TrafficConfig, TrafficSummary};
+use spaden_gpusim::GpuConfig;
+use spaden_serve::Priority;
+
+/// Sweep policy. Multipliers are load levels relative to calibrated
+/// capacity; `sub_saturation` splits them into the "must hold the SLO"
+/// and "must degrade gracefully" regimes.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Seed shared by every point (each point's schedule still differs
+    /// via its rate; determinism is *within* a point).
+    pub seed: u64,
+    /// Simulated horizon per point.
+    pub duration_s: f64,
+    /// Load multipliers relative to calibrated capacity.
+    pub multipliers: Vec<f64>,
+    /// Multipliers at or below this must meet `min_availability`.
+    pub sub_saturation: f64,
+    /// Availability floor below saturation.
+    pub min_availability: f64,
+    /// Goodput floor past saturation, as a fraction of peak goodput.
+    pub cliff_floor: f64,
+    /// High-priority availability floor at every overload point.
+    pub high_floor: f64,
+    /// Whether to run the flash-crowd scenario.
+    pub flash_crowd: bool,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            seed: 20_240,
+            duration_s: 4e-3,
+            multipliers: vec![0.3, 0.6, 0.8, 1.2, 1.6, 2.2],
+            sub_saturation: 0.8,
+            min_availability: 0.99,
+            cliff_floor: 0.70,
+            high_floor: 0.90,
+            flash_crowd: true,
+        }
+    }
+}
+
+/// One sweep point: the load level and its run summary.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Load multiplier relative to calibrated capacity.
+    pub multiplier: f64,
+    /// The run's aggregate outcome.
+    pub summary: TrafficSummary,
+}
+
+/// One verdict check.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// What the check asserts.
+    pub name: &'static str,
+    /// Whether it held.
+    pub pass: bool,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+/// Everything `repro traffic` renders.
+#[derive(Debug, Clone)]
+pub struct TrafficReport {
+    /// Calibrated closed-loop capacity, requests per simulated second.
+    pub capacity_rps: f64,
+    /// The Poisson saturation ladder.
+    pub points: Vec<SweepPoint>,
+    /// The flash-crowd scenario, when enabled.
+    pub flash: Option<TrafficSummary>,
+    /// Highest offered rate that still met `min_availability`.
+    pub max_sustained_rps: f64,
+    /// The verdict checks, in order.
+    pub checks: Vec<Check>,
+}
+
+impl TrafficReport {
+    /// Conjunction of every check.
+    pub fn ok(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+}
+
+/// Runs the full sweep and assembles the verdict with the default
+/// traffic config at each load level.
+pub fn traffic_sweep(gpu: &GpuConfig, cfg: &SweepConfig) -> TrafficReport {
+    let seed = cfg.seed;
+    let duration = cfg.duration_s;
+    traffic_sweep_with(gpu, cfg, |process| TrafficConfig::new(seed, duration, process))
+}
+
+/// Like [`traffic_sweep`] but with a caller-supplied config builder —
+/// lets tests shrink the corpus while exercising the identical sweep and
+/// verdict logic. `build` receives the arrival process of each point and
+/// must keep everything else fixed, or determinism checks lose meaning.
+pub fn traffic_sweep_with(
+    gpu: &GpuConfig,
+    cfg: &SweepConfig,
+    build: impl Fn(ArrivalProcess) -> TrafficConfig,
+) -> TrafficReport {
+    let probe = build(ArrivalProcess::Poisson { rate_rps: 1.0 });
+    let capacity_rps = calibrate_capacity_rps(gpu, &probe);
+
+    let mut points = Vec::with_capacity(cfg.multipliers.len());
+    for &m in &cfg.multipliers {
+        let run_cfg = build(ArrivalProcess::Poisson { rate_rps: m * capacity_rps });
+        points.push(SweepPoint { multiplier: m, summary: run_traffic(gpu, &run_cfg) });
+    }
+
+    let flash = if cfg.flash_crowd {
+        let run_cfg = build(ArrivalProcess::FlashCrowd {
+            base_rps: 0.6 * capacity_rps,
+            spike_rps: 3.0 * capacity_rps,
+            spike_start_s: cfg.duration_s * 0.35,
+            spike_len_s: cfg.duration_s * 0.25,
+        });
+        Some(run_traffic(gpu, &run_cfg))
+    } else {
+        None
+    };
+
+    let max_sustained_rps = points
+        .iter()
+        .filter(|p| p.summary.availability() >= cfg.min_availability)
+        .map(|p| p.summary.offered_rps())
+        .fold(0.0, f64::max);
+
+    let mut checks = Vec::new();
+
+    // 1. Availability below saturation.
+    let worst_sub = points
+        .iter()
+        .filter(|p| p.multiplier <= cfg.sub_saturation)
+        .map(|p| p.summary.availability())
+        .fold(1.0, f64::min);
+    checks.push(Check {
+        name: "availability >= 99% below saturation",
+        pass: worst_sub >= cfg.min_availability,
+        detail: format!("worst sub-saturation availability {worst_sub:.4}"),
+    });
+
+    // 2. Graceful degradation: no goodput cliff past saturation.
+    let peak = points.iter().map(|p| p.summary.goodput_rps()).fold(0.0, f64::max);
+    let worst_over = points
+        .iter()
+        .filter(|p| p.multiplier > 1.0)
+        .map(|p| p.summary.goodput_rps())
+        .fold(f64::INFINITY, f64::min);
+    let ratio = if peak > 0.0 && worst_over.is_finite() { worst_over / peak } else { 0.0 };
+    checks.push(Check {
+        name: "graceful degradation (goodput holds past saturation)",
+        pass: ratio >= cfg.cliff_floor,
+        detail: format!(
+            "worst overload goodput {worst_over:.0} rps = {:.0}% of peak {peak:.0} rps",
+            ratio * 100.0
+        ),
+    });
+
+    // 3. High priority protected through overload.
+    let worst_high = points
+        .iter()
+        .filter(|p| p.multiplier > 1.0)
+        .map(|p| p.summary.availability_of(Priority::High))
+        .fold(1.0, f64::min);
+    checks.push(Check {
+        name: "high-priority availability protected under overload",
+        pass: worst_high >= cfg.high_floor,
+        detail: format!("worst overload High availability {worst_high:.4}"),
+    });
+
+    // 4. Verification is never skipped.
+    let unverified: u64 = points.iter().map(|p| p.summary.unverified_ok).sum::<u64>()
+        + flash.as_ref().map_or(0, |f| f.unverified_ok);
+    let served: u64 = points
+        .iter()
+        .map(|p| p.summary.served_by.iter().sum::<u64>())
+        .sum::<u64>()
+        + flash.as_ref().map_or(0, |f| f.served_by.iter().sum::<u64>());
+    checks.push(Check {
+        name: "zero unverified Ok results in any mode",
+        pass: unverified == 0,
+        detail: format!("{unverified} of {served} served results failed the f64 oracle"),
+    });
+
+    // 5. Flash crowd absorbed.
+    if let Some(f) = &flash {
+        checks.push(Check {
+            name: "flash crowd absorbed (High protected, service continues)",
+            pass: f.availability_of(Priority::High) >= cfg.high_floor
+                && f.availability() >= 0.5,
+            detail: format!(
+                "flash availability {:.4} overall, {:.4} High",
+                f.availability(),
+                f.availability_of(Priority::High)
+            ),
+        });
+    }
+
+    // 6. Bit determinism: replay one overload point (or the first).
+    let replay_m = points
+        .iter()
+        .map(|p| p.multiplier)
+        .find(|&m| m > 1.0)
+        .or_else(|| points.first().map(|p| p.multiplier));
+    if let Some(m) = replay_m {
+        let run_cfg = build(ArrivalProcess::Poisson { rate_rps: m * capacity_rps });
+        let replay = run_traffic(gpu, &run_cfg).digest();
+        let original =
+            points.iter().find(|p| p.multiplier == m).map(|p| p.summary.digest());
+        let first = original.map_or("none".to_string(), |d| format!("{d:016x}"));
+        checks.push(Check {
+            name: "bit-deterministic per seed",
+            pass: original == Some(replay),
+            detail: format!("replay of {m}x digest {replay:016x}, first run {first}"),
+        });
+    }
+
+    TrafficReport { capacity_rps, points, flash, max_sustained_rps, checks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::CorpusConfig;
+
+    // The sweep runs a slimmer corpus and fewer points in tests to keep
+    // the suite fast; `repro traffic` uses the full default.
+    fn run() -> TrafficReport {
+        let cfg = SweepConfig {
+            duration_s: 2e-3,
+            multipliers: vec![0.4, 0.8, 1.6],
+            ..SweepConfig::default()
+        };
+        let gpu = GpuConfig::l40();
+        traffic_sweep_with(&gpu, &cfg, |process| TrafficConfig {
+            corpus: CorpusConfig { matrices: 4, rows: 64, cols: 64, nnz: 700, seed: 7_100 },
+            ..TrafficConfig::new(cfg.seed, cfg.duration_s, process)
+        })
+    }
+
+    #[test]
+    fn sweep_verdict_holds_on_the_default_scenario() {
+        let report = run();
+        assert_eq!(report.points.len(), 3);
+        assert!(report.flash.is_some());
+        for c in &report.checks {
+            assert!(c.pass, "check '{}' failed: {}", c.name, c.detail);
+        }
+        assert!(report.ok());
+        assert!(report.max_sustained_rps > 0.0);
+        assert!(report.capacity_rps > 0.0);
+    }
+
+    #[test]
+    fn overload_points_really_are_overloaded() {
+        let report = run();
+        let over = report.points.iter().find(|p| p.multiplier > 1.0).unwrap();
+        assert!(over.summary.availability() < 0.99, "1.6x must shed");
+        assert!(over.summary.shed_by.iter().sum::<u64>() > 0);
+    }
+}
