@@ -5,12 +5,13 @@
 //!
 //! experiments: table1 fig6 fig7 fig8 fig9a fig9b fig10a fig10b
 //!              ablations extensions reordering faults plan sanitize serve
-//!              shard traffic verify all
+//!              shard traffic evolve verify all
 //! ```
 //!
 //! `--scale` shrinks every dataset proportionally (default 0.05; use 1.0
 //! for paper-size matrices). Figures 6/7 include the two out-of-scope
-//! matrices like the paper; summary rows always exclude them.
+//! matrices like the paper; summary rows always exclude them. `--smoke`
+//! shortens the `evolve` scenario for CI smoke jobs.
 
 use spaden_bench::{
     fig10a, fig10b, fig6, fig7, fig8, fig9a, fig9b, load_datasets, run_sweep, table1,
@@ -22,6 +23,7 @@ struct Args {
     experiment: String,
     scale: f64,
     gpus: Vec<GpuConfig>,
+    smoke: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -29,8 +31,10 @@ fn parse_args() -> Result<Args, String> {
     let experiment = args.next().ok_or("missing experiment name")?;
     let mut scale = 0.05;
     let mut gpus = vec![GpuConfig::l40(), GpuConfig::v100()];
+    let mut smoke = false;
     while let Some(flag) = args.next() {
         match flag.as_str() {
+            "--smoke" => smoke = true,
             "--scale" => {
                 let v = args.next().ok_or("--scale needs a value")?;
                 scale = v.parse().map_err(|_| format!("bad scale: {v}"))?;
@@ -50,7 +54,7 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag: {other}")),
         }
     }
-    Ok(Args { experiment, scale, gpus })
+    Ok(Args { experiment, scale, gpus, smoke })
 }
 
 /// All eight engines: the Figure-6 set plus the Figure-8 ablations.
@@ -83,7 +87,7 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: repro <table1|fig6|fig7|fig8|fig9a|fig9b|fig10a|fig10b|ablations|extensions|reordering|faults|verify|all> \
-                 [--scale S] [--gpu l40|v100|both]   (also: plan sanitize serve shard traffic)"
+                 [--scale S] [--gpu l40|v100|both] [--smoke]   (also: plan sanitize serve shard traffic evolve)"
             );
             std::process::exit(2);
         }
@@ -234,6 +238,29 @@ fn main() {
             let cfg = spaden_traffic::SweepConfig::default();
             for gpu in &args.gpus {
                 let (tables, verdict, _) = spaden_bench::traffic_report(gpu, &cfg);
+                for t in tables {
+                    println!("{t}");
+                }
+                println!("{verdict}");
+            }
+        }
+        "evolve" => {
+            // Certifies the evolving-matrix lifecycle: a scale-free
+            // adjacency matrix takes a seeded stream of verified delta
+            // batches (value-only and structural, a storm cluster, one
+            // injected fault that must roll back) while open-loop read
+            // traffic is served epoch-consistently on top. The verdict
+            // asserts bit-identical compaction, incremental-ABFT
+            // exactness, rollback-not-publish on corruption, zero torn
+            // or stale reads, and the availability bar through the
+            // storm. CI's evolve-smoke job greps `EVOLVE OK`.
+            let cfg = if args.smoke {
+                spaden_bench::EvolveScenario::smoke()
+            } else {
+                spaden_bench::EvolveScenario::default()
+            };
+            for gpu in &args.gpus {
+                let (tables, verdict, _) = spaden_bench::evolve_report(gpu, &cfg);
                 for t in tables {
                     println!("{t}");
                 }

@@ -13,6 +13,7 @@
 //! oracle while measuring, so a table is also an end-to-end correctness
 //! run.
 
+pub mod evolve;
 pub mod experiments;
 pub mod harness;
 pub mod planning;
@@ -23,6 +24,7 @@ pub mod sharding;
 pub mod table;
 pub mod traffic;
 
+pub use evolve::{evolve_report, run_evolve, EvolveReport, EvolveScenario};
 pub use experiments::*;
 pub use harness::BenchGroup;
 pub use planning::{plan_corpus, plan_report, PlanReport};

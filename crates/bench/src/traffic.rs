@@ -60,6 +60,37 @@ pub fn traffic_report(gpu: &GpuConfig, cfg: &SweepConfig) -> (Vec<Table>, String
         push_scenario_row(&mut curve, "flash".into(), f);
     }
 
+    // Time-resolved view: one row per window, one column per scenario.
+    // A brownout episode or transient cliff that the whole-run numbers
+    // average away shows up here as a bad cell.
+    let mut scenarios: Vec<(String, &TrafficSummary)> =
+        report.points.iter().map(|p| (format!("{:.1}x", p.multiplier), &p.summary)).collect();
+    if let Some(f) = &report.flash {
+        scenarios.push(("flash".into(), f));
+    }
+    let mut headers = vec!["window".to_string()];
+    headers.extend(scenarios.iter().map(|(l, _)| format!("{l} av/p99us")));
+    let mut windows = Table::new(
+        format!("Time-resolved availability / p99 ({})", gpu.name),
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    let nwin = scenarios.iter().map(|(_, s)| s.windows.len()).max().unwrap_or(0);
+    for w in 0..nwin {
+        let mut row = Vec::with_capacity(scenarios.len() + 1);
+        for (i, (_, s)) in scenarios.iter().enumerate() {
+            let ws = &s.windows[w];
+            if i == 0 {
+                row.push(format!("[{:.2}, {:.2})ms", ws.start_s * 1e3, ws.end_s * 1e3));
+            }
+            row.push(if ws.offered == 0 {
+                "-".into()
+            } else {
+                format!("{:.3}/{:.0}", ws.availability, ws.p99_s * 1e6)
+            });
+        }
+        windows.push_row(row);
+    }
+
     let mut checks = Table::new(
         format!("Overload-control verdict checks ({})", gpu.name),
         &["check", "pass", "evidence"],
@@ -81,7 +112,7 @@ pub fn traffic_report(gpu: &GpuConfig, cfg: &SweepConfig) -> (Vec<Table>, String
         report.checks.iter().filter(|c| c.pass).count(),
         report.checks.len(),
     );
-    (vec![curve, checks], verdict, report)
+    (vec![curve, windows, checks], verdict, report)
 }
 
 #[cfg(test)]
@@ -97,12 +128,15 @@ mod tests {
             ..SweepConfig::default()
         };
         let (tables, verdict, report) = traffic_report(&GpuConfig::l40(), &cfg);
-        assert_eq!(tables.len(), 2);
+        assert_eq!(tables.len(), 3);
         assert_eq!(report.points.len(), 2);
         assert!(report.ok(), "verdict checks: {:?}", report.checks);
         assert!(verdict.starts_with("TRAFFIC OK"), "{verdict}");
         let rendered = tables[0].to_string();
         assert!(rendered.contains("saturation sweep"));
-        assert!(tables[1].to_string().contains("bit-deterministic"));
+        let windows = tables[1].to_string();
+        assert!(windows.contains("Time-resolved"));
+        assert!(windows.contains("0.5x av/p99us"), "{windows}");
+        assert!(tables[2].to_string().contains("bit-deterministic"));
     }
 }

@@ -41,8 +41,55 @@
 //!   model matches this boundary (see `spaden_gpusim::fault`).
 
 use crate::bitbsr::BitBsr;
+use crate::delta::DeltaBitBsr;
 use spaden_gpusim::half::F16;
 use spaden_sparse::gen::BLOCK_DIM;
+
+/// Recomputed checksum entries of a single block-row, produced by the one
+/// shared accumulation routine so the incremental repair path is
+/// *bit-exactly* the computation [`AbftChecksums::build`] performs.
+#[derive(Default)]
+struct RowEntries {
+    cols: Vec<u32>,
+    sums: Vec<f64>,
+    wsums: Vec<f64>,
+    abs: Vec<f64>,
+    nnz: u32,
+}
+
+/// Accumulates one block-row's checksum entries from its blocks in
+/// ascending block-column order. This mirrors the inner loop of
+/// [`AbftChecksums::build`] exactly — same block order, same `dc`-outer /
+/// `dr`-inner summation, same `a != 0.0` skip — which is what makes
+/// incremental recomputation of a touched block-row equal to a full
+/// rebuild bit for bit: blocks within a block-row cover disjoint column
+/// ranges, so every matrix column's f64 sum is formed in the same order
+/// either way.
+fn row_entries(blocks: &[(u32, u64, [f32; BLOCK_DIM * BLOCK_DIM])]) -> RowEntries {
+    let mut e = RowEntries::default();
+    for (bc, bitmap, dense) in blocks {
+        e.nnz += bitmap.count_ones();
+        for dc in 0..BLOCK_DIM {
+            let col = *bc as usize * BLOCK_DIM + dc;
+            let mut s = 0.0f64;
+            let mut w = 0.0f64;
+            let mut a = 0.0f64;
+            for dr in 0..BLOCK_DIM {
+                let v = dense[dr * BLOCK_DIM + dc] as f64;
+                s += v;
+                w += (dr + 1) as f64 * v;
+                a += v.abs();
+            }
+            if a != 0.0 {
+                e.cols.push(col as u32);
+                e.sums.push(s);
+                e.wsums.push(w);
+                e.abs.push(a);
+            }
+        }
+    }
+    e
+}
 
 /// Column-sum checksums of a bitBSR matrix, one group per block-row.
 ///
@@ -117,6 +164,104 @@ impl AbftChecksums {
             abs,
             nnz_br,
         }
+    }
+
+    /// Builds the checksums of the *logical* matrix of a [`DeltaBitBsr`]
+    /// (base blocks merged with pending side-buffer blocks) — the audit
+    /// reference the incremental repair path is compared against, and,
+    /// because [`DeltaBitBsr::compact`] is bit-identical to a rebuild,
+    /// also exactly `AbftChecksums::build(compacted_format)`.
+    pub fn build_logical(m: &DeltaBitBsr) -> Self {
+        let base = m.base();
+        let mut ptr = Vec::with_capacity(base.block_rows + 1);
+        ptr.push(0u32);
+        let mut cols = Vec::new();
+        let mut sums = Vec::new();
+        let mut wsums = Vec::new();
+        let mut abs = Vec::new();
+        let mut nnz_br = Vec::with_capacity(base.block_rows);
+        for br in 0..base.block_rows {
+            let e = row_entries(&m.logical_block_row(br));
+            cols.extend_from_slice(&e.cols);
+            sums.extend_from_slice(&e.sums);
+            wsums.extend_from_slice(&e.wsums);
+            abs.extend_from_slice(&e.abs);
+            ptr.push(cols.len() as u32);
+            nnz_br.push(e.nnz);
+        }
+        AbftChecksums { nrows: base.nrows, ncols: base.ncols, ptr, cols, sums, wsums, abs, nnz_br }
+    }
+
+    /// Splices freshly recomputed entries for `touched` (sorted, unique
+    /// block-row indices) into the CSR-like entry arrays, leaving every
+    /// untouched block-row's entries byte-identical.
+    fn splice_block_rows(&mut self, touched: &[usize], rows: Vec<RowEntries>) {
+        debug_assert_eq!(touched.len(), rows.len());
+        debug_assert!(touched.windows(2).all(|w| w[0] < w[1]), "touched must be sorted+unique");
+        assert!(
+            touched.iter().all(|&br| br < self.block_rows()),
+            "touched block-row out of range"
+        );
+        let grow: usize = rows.iter().map(|e| e.cols.len()).sum();
+        let mut ptr = Vec::with_capacity(self.ptr.len());
+        ptr.push(0u32);
+        let mut cols = Vec::with_capacity(self.cols.len() + grow);
+        let mut sums = Vec::with_capacity(cols.capacity());
+        let mut wsums = Vec::with_capacity(cols.capacity());
+        let mut abs = Vec::with_capacity(cols.capacity());
+        for br in 0..self.block_rows() {
+            match touched.binary_search(&br) {
+                Ok(i) => {
+                    let e = &rows[i];
+                    cols.extend_from_slice(&e.cols);
+                    sums.extend_from_slice(&e.sums);
+                    wsums.extend_from_slice(&e.wsums);
+                    abs.extend_from_slice(&e.abs);
+                    self.nnz_br[br] = e.nnz;
+                }
+                Err(_) => {
+                    let lo = self.ptr[br] as usize;
+                    let hi = self.ptr[br + 1] as usize;
+                    cols.extend_from_slice(&self.cols[lo..hi]);
+                    sums.extend_from_slice(&self.sums[lo..hi]);
+                    wsums.extend_from_slice(&self.wsums[lo..hi]);
+                    abs.extend_from_slice(&self.abs[lo..hi]);
+                }
+            }
+            ptr.push(cols.len() as u32);
+        }
+        self.ptr = ptr;
+        self.cols = cols;
+        self.sums = sums;
+        self.wsums = wsums;
+        self.abs = abs;
+    }
+
+    /// Incremental repair against the *logical* matrix: recomputes only
+    /// the `touched` block-rows (sorted, unique). The audit mode of
+    /// [`crate::EvolvingMatrix`] proves this exactly equals
+    /// [`AbftChecksums::build_logical`] from scratch.
+    pub fn repair_block_rows(&mut self, m: &DeltaBitBsr, touched: &[usize]) {
+        let rows = touched.iter().map(|&br| row_entries(&m.logical_block_row(br))).collect();
+        self.splice_block_rows(touched, rows);
+    }
+
+    /// Incremental repair against a plain [`BitBsr`] (the *base* format a
+    /// tensor-core engine actually runs on — its in-block splices shift
+    /// values without going through the side buffer).
+    pub fn repair_block_rows_base(&mut self, base: &BitBsr, touched: &[usize]) {
+        let rows = touched
+            .iter()
+            .map(|&br| {
+                let lo = base.block_row_ptr[br] as usize;
+                let hi = base.block_row_ptr[br + 1] as usize;
+                let blocks: Vec<_> = (lo..hi)
+                    .map(|k| (base.block_cols[k], base.bitmaps[k], base.decode_block(k)))
+                    .collect();
+                row_entries(&blocks)
+            })
+            .collect();
+        self.splice_block_rows(touched, rows);
     }
 
     /// Number of block-rows covered.
@@ -324,6 +469,70 @@ mod tests {
             let rebuilt = AbftChecksums::build(&b.slice_block_rows(lo, hi));
             assert_eq!(sliced, rebuilt, "slice {lo}..{hi}");
         }
+    }
+
+    #[test]
+    fn incremental_repair_equals_full_rebuild_bit_for_bit() {
+        use crate::delta::DeltaBitBsr;
+        use spaden_sparse::delta::{apply_to_csr, Delta, DeltaBatch};
+        use spaden_sparse::Pcg64;
+        let mut rng = Pcg64::new(11, 0xabf7);
+        let mut csr = gen::random_uniform(120, 96, 1100, 909);
+        let mut d = DeltaBitBsr::new(BitBsr::from_csr(&csr), 1024);
+        let mut logical = AbftChecksums::build_logical(&d);
+        let mut base_sums = AbftChecksums::build(d.base());
+        for step in 0..8 {
+            let mut deltas = Vec::new();
+            let mut seen = std::collections::BTreeSet::new();
+            while deltas.len() < 13 {
+                let row = rng.below_usize(csr.nrows) as u32;
+                let col = rng.below_usize(csr.ncols) as u32;
+                if seen.insert((row, col)) {
+                    deltas.push(Delta { row, col, value: rng.range_f32(-2.0, 2.0) });
+                }
+            }
+            let batch = DeltaBatch::new(deltas, csr.nrows, csr.ncols).unwrap();
+            csr = apply_to_csr(&csr, &batch).unwrap();
+            d.apply(&batch, None).unwrap();
+            let touched = batch.touched_block_rows();
+            logical.repair_block_rows(&d, &touched);
+            base_sums.repair_block_rows_base(d.base(), &touched);
+            // The audit claim: incremental repair is EXACTLY the from-scratch
+            // build — PartialEq over f64 sums, no tolerance.
+            assert_eq!(logical, AbftChecksums::build_logical(&d), "step {step}: logical");
+            assert_eq!(base_sums, AbftChecksums::build(d.base()), "step {step}: base");
+        }
+        // After compaction the logical checksums ARE the base checksums.
+        d.compact();
+        assert_eq!(*d.base(), BitBsr::from_csr(&csr));
+        assert_eq!(logical, AbftChecksums::build(d.base()));
+    }
+
+    #[test]
+    fn repaired_checksums_still_verify_spmv_output() {
+        use crate::delta::DeltaBitBsr;
+        use spaden_sparse::delta::{apply_to_csr, Delta, DeltaBatch};
+        let csr = gen::random_uniform(64, 64, 500, 515);
+        let mut d = DeltaBitBsr::new(BitBsr::from_csr(&csr), 256);
+        let mut logical = AbftChecksums::build_logical(&d);
+        let batch = DeltaBatch::new(
+            vec![
+                Delta { row: 3, col: 60, value: 1.5 },
+                Delta { row: 40, col: 2, value: -0.75 },
+                Delta { row: 41, col: 5, value: 2.25 },
+            ],
+            64,
+            64,
+        )
+        .unwrap();
+        let next = apply_to_csr(&csr, &batch).unwrap();
+        d.apply(&batch, None).unwrap();
+        logical.repair_block_rows(&d, &batch.touched_block_rows());
+        let x = make_x(64);
+        let y = BitBsr::from_csr(&next).spmv_reference(&x).unwrap();
+        assert!(logical.verify(&x, &y).is_empty(), "repaired sums must accept the new matrix");
+        let y_old = BitBsr::from_csr(&csr).spmv_reference(&x).unwrap();
+        assert!(!logical.verify(&x, &y_old).is_empty(), "and reject the old one");
     }
 
     #[test]

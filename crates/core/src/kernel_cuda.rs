@@ -56,6 +56,24 @@ impl SpadenNoTcEngine {
         }
     }
 
+    /// Builds an engine from an already-converted bitBSR — the evolving-
+    /// matrix path, where the format comes from incremental delta
+    /// application (epoch publish) rather than a fresh conversion.
+    /// Validates the format; prep time is 0 because no conversion ran.
+    pub fn try_from_parts(gpu: &Gpu, format: BitBsr) -> Result<Self, EngineError> {
+        format.validate().map_err(|e| EngineError::Validation(e.to_string()))?;
+        let prep = PrepStats { seconds: 0.0, device_bytes: format.bytes() as u64 };
+        Ok(SpadenNoTcEngine {
+            d_block_row_ptr: gpu.alloc(format.block_row_ptr.clone()),
+            d_block_cols: gpu.alloc(format.block_cols.clone()),
+            d_bitmaps: gpu.alloc(format.bitmaps.clone()),
+            d_block_offsets: gpu.alloc(format.block_offsets.clone()),
+            d_values: gpu.alloc(format.values.clone()),
+            format,
+            prep,
+        })
+    }
+
     /// The converted format.
     pub fn format(&self) -> &BitBsr {
         &self.format

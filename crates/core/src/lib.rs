@@ -41,7 +41,9 @@ pub mod bitbsr;
 pub mod bitcoo;
 pub mod csr_warp16;
 pub mod decode;
+pub mod delta;
 pub mod engine;
+pub mod evolve;
 pub mod kernel_cuda;
 pub mod kernel_tc;
 pub mod sddmm;
@@ -52,7 +54,9 @@ pub use abft::AbftChecksums;
 pub use bitbsr::BitBsr;
 pub use bitcoo::{BitCoo, BitCooEngine};
 pub use csr_warp16::CsrWarp16Engine;
+pub use delta::{ApplyStats, DeltaBitBsr, SideEntry, UpdateFault};
 pub use engine::{prepare_validated, EngineError, PrepStats, SpmvEngine, SpmvRun};
+pub use evolve::{EvolveConfig, EvolveStats, EvolvingMatrix, UpdateReport};
 pub use kernel_cuda::SpadenNoTcEngine;
 pub use kernel_tc::{FragmentIo, Packing, SpadenConfig, SpadenEngine, ABFT_MAX_RETRIES};
 pub use sddmm::SpadenSddmmEngine;

@@ -59,6 +59,37 @@ pub fn gpu_digest(config: &GpuConfig) -> u64 {
     h
 }
 
+/// Digest of the *structural* identity of a fingerprint: dimensions plus
+/// the sparsity-pattern digest, excluding value bits. Two epochs of an
+/// evolving matrix related by a value-only update share this key even
+/// though their full [`MatrixFingerprint::key`]s differ.
+pub fn structure_key(fp: &MatrixFingerprint) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for v in [fp.nrows as u64, fp.ncols as u64, fp.nnz as u64, fp.structure_digest] {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
+/// Result of a structure-aware [`PlanCache::lookup`].
+pub enum Lookup {
+    /// Exact fingerprint match — the plan serves this matrix as-is.
+    Hit(Arc<Plan>),
+    /// No exact match, but a plan for a matrix with the *same sparsity
+    /// structure* (value-only delta away) exists. Its cost-model ranking
+    /// and engine choice are reusable — the selector only reads structure
+    /// — but the prepared engine holds the other matrix's value bits, so
+    /// the caller must re-prepare (or rebuild from parts) before serving.
+    ValueRefresh(Arc<Plan>),
+    /// Nothing structurally related is cached.
+    Miss,
+}
+
 /// Hit/miss/eviction counters (monotonic over the cache's lifetime).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -72,6 +103,12 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Plans rejected because they alone exceed the budget.
     pub uncacheable: u64,
+    /// Lookups that missed on the full fingerprint but matched on the
+    /// structure digest — a value-only update away from a cached plan.
+    pub value_refreshes: u64,
+    /// Cached plans dropped by [`PlanCache::invalidate_update`] because
+    /// the update changed the sparsity structure.
+    pub structural_invalidations: u64,
 }
 
 impl CacheStats {
@@ -88,6 +125,9 @@ impl CacheStats {
 
 struct Entry {
     key: PlanKey,
+    /// Structure-only identity (see [`structure_key`]) for the value-
+    /// refresh lookup path.
+    structure: u64,
     plan: Arc<Plan>,
     bytes: u64,
     last_used: u64,
@@ -150,6 +190,61 @@ impl PlanCache {
         }
     }
 
+    /// Structure-aware lookup for evolving matrices: an exact
+    /// fingerprint hit wins; otherwise a plan whose matrix has the same
+    /// sparsity structure on the same GPU (a value-only update away) is
+    /// returned as [`Lookup::ValueRefresh`] — its ranking and choice are
+    /// reusable, its engine is not. Both flavours refresh recency.
+    pub fn lookup(&mut self, fp: &MatrixFingerprint, config: &GpuConfig) -> Lookup {
+        let key = PlanKey::new(fp, config);
+        self.tick += 1;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.key == key) {
+            e.last_used = self.tick;
+            self.stats.hits += 1;
+            return Lookup::Hit(e.plan.clone());
+        }
+        let structure = structure_key(fp);
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.structure == structure && e.key.gpu == key.gpu)
+        {
+            e.last_used = self.tick;
+            self.stats.value_refreshes += 1;
+            return Lookup::ValueRefresh(e.plan.clone());
+        }
+        self.stats.misses += 1;
+        Lookup::Miss
+    }
+
+    /// Budget hygiene on an epoch advance `old → new`. A *structural*
+    /// update makes the old plan worthless (pattern gone, ranking not
+    /// reusable): the entry is dropped and counted as a
+    /// `structural_invalidation`. A *value-only* update keeps the entry —
+    /// subsequent [`PlanCache::lookup`]s of the new fingerprint reuse its
+    /// selection via [`Lookup::ValueRefresh`] until the refreshed plan is
+    /// inserted and the old epoch's entry ages out by LRU. Returns true
+    /// when an entry was dropped.
+    pub fn invalidate_update(
+        &mut self,
+        old: &MatrixFingerprint,
+        new: &MatrixFingerprint,
+        config: &GpuConfig,
+    ) -> bool {
+        if structure_key(old) == structure_key(new) {
+            return false;
+        }
+        let key = PlanKey::new(old, config);
+        match self.entries.iter().position(|e| e.key == key) {
+            Some(pos) => {
+                self.entries.remove(pos);
+                self.stats.structural_invalidations += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Inserts a plan, evicting least-recently-used entries until it fits.
     /// Returns false (and counts `uncacheable`) if the plan alone exceeds
     /// the budget; re-inserting an existing key refreshes the entry.
@@ -174,7 +269,8 @@ impl PlanCache {
             self.entries.remove(oldest);
             self.stats.evictions += 1;
         }
-        self.entries.push(Entry { key, plan, bytes, last_used: self.tick });
+        let structure = structure_key(&plan.fingerprint);
+        self.entries.push(Entry { key, structure, plan, bytes, last_used: self.tick });
         self.stats.insertions += 1;
         true
     }
@@ -240,6 +336,69 @@ mod tests {
         assert!(!big.insert(k2, p2));
         assert_eq!(big.stats().uncacheable, 1);
         assert!(cache.get(&k1).is_some());
+    }
+
+    #[test]
+    fn value_only_update_is_a_refresh_not_a_miss() {
+        let gpu = Gpu::new(spaden_gpusim::GpuConfig::l40());
+        let csr = gen::random_uniform(64, 64, 600, 21);
+        let mut planner = Planner::new(u64::MAX, vec![EngineKind::Spaden]);
+        let plan = planner.plan(&gpu, &csr).unwrap();
+        let old_fp = plan.fingerprint;
+        let mut cache = PlanCache::new(u64::MAX);
+        assert!(cache.insert(PlanKey::new(&old_fp, &gpu.config), plan));
+        // Same pattern, one value changed: full key differs, structure same.
+        let mut value_only = csr.clone();
+        value_only.values[3] += 0.5;
+        let new_fp = spaden_sparse::fingerprint(&value_only);
+        assert_ne!(old_fp.key(), new_fp.key());
+        assert!(!cache.invalidate_update(&old_fp, &new_fp, &gpu.config), "value-only keeps entry");
+        match cache.lookup(&new_fp, &gpu.config) {
+            Lookup::ValueRefresh(p) => assert_eq!(p.fingerprint.key(), old_fp.key()),
+            _ => panic!("expected ValueRefresh"),
+        }
+        // Exact lookups still hit.
+        assert!(matches!(cache.lookup(&old_fp, &gpu.config), Lookup::Hit(_)));
+        let s = cache.stats();
+        assert_eq!((s.value_refreshes, s.structural_invalidations, s.hits), (1, 0, 1));
+    }
+
+    #[test]
+    fn structural_update_invalidates_the_plan() {
+        let gpu = Gpu::new(spaden_gpusim::GpuConfig::l40());
+        let csr = gen::random_uniform(64, 64, 600, 22);
+        let mut planner = Planner::new(u64::MAX, vec![EngineKind::Spaden]);
+        let plan = planner.plan(&gpu, &csr).unwrap();
+        let old_fp = plan.fingerprint;
+        let mut cache = PlanCache::new(u64::MAX);
+        cache.insert(PlanKey::new(&old_fp, &gpu.config), plan);
+        // Different pattern entirely.
+        let structural = gen::random_uniform(64, 64, 700, 23);
+        let new_fp = spaden_sparse::fingerprint(&structural);
+        assert!(cache.invalidate_update(&old_fp, &new_fp, &gpu.config), "structural drops entry");
+        assert!(matches!(cache.lookup(&new_fp, &gpu.config), Lookup::Miss));
+        assert!(matches!(cache.lookup(&old_fp, &gpu.config), Lookup::Miss), "entry gone");
+        let s = cache.stats();
+        assert_eq!((s.value_refreshes, s.structural_invalidations), (0, 1));
+        assert_eq!(s.misses, 2);
+    }
+
+    #[test]
+    fn structure_lookup_is_gpu_specific() {
+        let l40 = Gpu::new(spaden_gpusim::GpuConfig::l40());
+        let csr = gen::random_uniform(64, 64, 600, 24);
+        let mut planner = Planner::new(u64::MAX, vec![EngineKind::Spaden]);
+        let plan = planner.plan(&l40, &csr).unwrap();
+        let fp = plan.fingerprint;
+        let mut cache = PlanCache::new(u64::MAX);
+        cache.insert(PlanKey::new(&fp, &l40.config), plan);
+        // Same matrix structure on a different GPU must not value-refresh.
+        let mut value_only = csr.clone();
+        value_only.values[0] += 1.0;
+        let new_fp = spaden_sparse::fingerprint(&value_only);
+        let v100 = spaden_gpusim::GpuConfig::v100();
+        let mut c2 = cache;
+        assert!(matches!(c2.lookup(&new_fp, &v100), Lookup::Miss));
     }
 
     #[test]

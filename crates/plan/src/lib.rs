@@ -26,7 +26,7 @@ pub mod cost;
 pub mod planner;
 pub mod registry;
 
-pub use cache::{gpu_digest, CacheStats, PlanCache, PlanKey};
+pub use cache::{gpu_digest, structure_key, CacheStats, Lookup, PlanCache, PlanKey};
 pub use cost::{predict_counters, predict_time, rank_engines, MatrixStats, RankedEngine};
 pub use planner::{Plan, PlanSource, Planner};
 pub use registry::{

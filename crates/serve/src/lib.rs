@@ -17,7 +17,12 @@
 //!   exponential backoff. The sharded rung is enabled by setting
 //!   [`ServeConfig::shard_devices`] and adds crash redistribution, hang
 //!   timeouts, and straggler speculation on a fleet of simulated
-//!   devices.
+//!   devices. Matrices registered through
+//!   [`SpmvServer::register_evolving`] additionally accept verified
+//!   streaming updates ([`SpmvServer::update`]): every commit publishes
+//!   a new immutable epoch snapshot, in-flight requests finish on the
+//!   epoch they were admitted on, and a failed update rolls back
+//!   without publishing anything.
 //! * [`breaker`] — a per-rung [`CircuitBreaker`] that trips after
 //!   consecutive verification failures, sheds load while open, and
 //!   probes its way back (half-open) when the fault burst passes.
@@ -78,6 +83,6 @@ pub use queue::{
     ShedReason, PRIORITIES,
 };
 pub use server::{
-    MatrixHandle, OpenOutcome, OpenRequest, Request, Rung, ServeConfig, ServeError, ServeStats,
-    ServedOk, SpmvServer, RUNGS,
+    MatrixHandle, OpenOutcome, OpenRequest, Request, Rung, ScheduledUpdate, ServeConfig,
+    ServeError, ServeStats, ServedOk, SpmvServer, UpdateOutcome, RUNGS,
 };

@@ -42,6 +42,24 @@
 //! it cannot finish in time — it degrades to a cheaper rung or fails fast
 //! with [`ServeError::DeadlineExceeded`]. Everything is deterministic and
 //! reproducible, including breaker trips and recoveries.
+//!
+//! ## Evolving matrices and epochs
+//!
+//! A matrix registered through [`SpmvServer::register_evolving`] carries
+//! an [`EvolvingMatrix`] update lifecycle. Each committed batch publishes
+//! a new *epoch*: a fresh immutable [`PreparedMatrix`] snapshot swapped
+//! in behind an [`Arc`]. Requests capture the snapshot at admission and
+//! finish on it even if an update lands while they wait in queue — a
+//! read can be at most one epoch stale (the one it was admitted on) and
+//! can never observe a half-applied update. Updates never block reads:
+//! [`SpmvServer::update`] builds and verifies the next epoch off to the
+//! side and a failed verification rolls back by simply not swapping.
+//! Between compactions the snapshot serves the *base* bitBSR on the
+//! Spaden rungs plus a side-buffer tail of new-block entries, verified
+//! against the repaired logical checksums; the sharded rung only runs
+//! for requests admitted on the head epoch (its fleet partition tracks
+//! the head), and stragglers fall to their captured single-device
+//! ladder.
 
 use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use crate::checksum::CsrChecksums;
@@ -50,14 +68,22 @@ use crate::queue::{
     AdmissionQueue, BoundedQueue, Dequeued, Priority, PushOutcome, ShedCounters, ShedReason,
 };
 use spaden::engine::{EngineError, SpmvRun};
-use spaden::{SpadenEngine, SpadenNoTcEngine, SpmvEngine};
+use spaden::{
+    AbftChecksums, EvolveConfig, EvolveStats, EvolvingMatrix, SideEntry, SpadenConfig,
+    SpadenEngine, SpadenNoTcEngine, SpmvEngine, UpdateFault, UpdateReport,
+};
 use spaden_baselines::CusparseCsrEngine;
+use spaden_gpusim::half::F16;
 use spaden_gpusim::{DeviceFaultConfig, FaultConfig, Gpu, GpuConfig};
 use spaden_plan::{predict_time, EngineKind, MatrixStats};
 use spaden_shard::{
-    DeviceFleet, PartitionCache, PartitionCacheStats, ShardError, ShardPolicy, ShardedMatrix,
+    DeviceFleet, PartitionCache, PartitionCacheStats, PartitionKey, ShardError, ShardPolicy,
+    ShardedMatrix,
 };
 use spaden_sparse::csr::Csr;
+use spaden_sparse::delta::{DeltaBatch, DeltaClass, UpdateError};
+use spaden_sparse::{fingerprint, MatrixFingerprint};
+use std::sync::Arc;
 
 /// The failover ladder, strongest (fastest, self-correcting) rung first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -217,6 +243,24 @@ pub struct OpenRequest {
     pub arrival_s: f64,
 }
 
+/// One update event of an open-loop schedule: at `at_s`, apply `batch`
+/// to `matrix` (see [`SpmvServer::run_open_loop_evolving`]). Updates
+/// never block reads — they consume no serving time, and requests
+/// admitted earlier finish on their captured epoch.
+#[derive(Debug, Clone)]
+pub struct ScheduledUpdate {
+    /// Absolute simulated time the update lands. Updates must be fed in
+    /// non-decreasing order; an update ties with an arrival at the same
+    /// instant by landing first.
+    pub at_s: f64,
+    /// Which evolving matrix to update.
+    pub matrix: MatrixHandle,
+    /// The delta batch to apply.
+    pub batch: DeltaBatch,
+    /// Optional seeded splice corruption (chaos hook).
+    pub fault: Option<UpdateFault>,
+}
+
 /// Resolution of one open-loop arrival.
 #[derive(Debug, Clone)]
 pub struct OpenOutcome {
@@ -233,6 +277,10 @@ pub struct OpenOutcome {
     pub queue_wait_s: f64,
     /// Absolute simulated time the arrival was resolved.
     pub done_s: f64,
+    /// Epoch of the matrix snapshot captured at admission — the epoch
+    /// the request was (or would have been) served on. Requests finish
+    /// on their admitted epoch even when updates land while they queue.
+    pub epoch: u64,
     /// The verified result or typed failure. [`ServedOk::latency_s`] is
     /// service time only; time-in-system is `done_s - arrival_s`.
     pub result: Result<ServedOk, ServeError>,
@@ -256,6 +304,24 @@ pub struct ServedOk {
     pub latency_s: f64,
     /// Retries performed across all rungs before success.
     pub retries: u32,
+    /// Epoch of the matrix snapshot that served the request (0 for
+    /// matrices that never update).
+    pub epoch: u64,
+}
+
+/// What one committed [`SpmvServer::update`] did at the serving layer,
+/// on top of the evolve layer's [`UpdateReport`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateOutcome {
+    /// The evolve layer's account of the commit.
+    pub report: UpdateReport,
+    /// A value-only update carried the fleet partition plan across the
+    /// epoch by re-slicing its checksums from the repaired logical sums
+    /// (block-row ranges and per-shard estimates reused verbatim).
+    pub partition_resliced: bool,
+    /// A structural update re-partitioned the matrix for the fleet from
+    /// scratch (the nnz balance may have shifted).
+    pub repartitioned: bool,
 }
 
 /// Typed request failure. The serving invariant is that every request
@@ -293,6 +359,14 @@ pub enum ServeError {
     /// priority eviction, brownout, adaptive limit) — the request was
     /// well-formed; the service chose not to spend work on it.
     Shed(ShedReason),
+    /// A streaming update failed. The matrix's current epoch is
+    /// untouched — rollback is the absence of a commit, so the previous
+    /// epoch keeps serving.
+    Update(UpdateError),
+    /// The handle names a matrix registered without an update lifecycle
+    /// ([`SpmvServer::register`] instead of
+    /// [`SpmvServer::register_evolving`]).
+    NotEvolving(usize),
 }
 
 impl std::fmt::Display for ServeError {
@@ -314,6 +388,10 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::Unavailable => write!(f, "unavailable: all circuit breakers open"),
             ServeError::Shed(reason) => write!(f, "shed: {reason}"),
+            ServeError::Update(e) => write!(f, "update rejected (epoch rolled back): {e}"),
+            ServeError::NotEvolving(h) => {
+                write!(f, "matrix {h} was registered without an update lifecycle")
+            }
         }
     }
 }
@@ -352,6 +430,17 @@ pub struct ServeStats {
     pub shed: u64,
     /// Total retries across all requests.
     pub retries: u64,
+    /// Committed streaming updates (epoch publishes) across all
+    /// evolving matrices.
+    pub updates: u64,
+    /// Updates rejected by post-update verification or compaction
+    /// mismatch — the epoch rolled back and the previous one kept
+    /// serving.
+    pub update_rollbacks: u64,
+    /// Sharded-rung skips for requests admitted on an older epoch than
+    /// the fleet's current partition (served by their captured
+    /// single-device ladder instead — never a torn read).
+    pub epoch_stragglers: u64,
     latencies_s: Vec<f64>,
 }
 
@@ -384,9 +473,12 @@ impl ServeStats {
     }
 }
 
-/// One registered matrix: the single-device ladder engines, the
-/// CSR-rung checksums, and per-rung cost estimates for deadline
-/// admission (the sharded form lives in `SpmvServer::sharded`).
+/// One immutable epoch snapshot of a registered matrix: the
+/// single-device ladder engines, the CSR-rung checksums, and per-rung
+/// cost estimates for deadline admission (the sharded form lives in
+/// `SpmvServer::sharded` and only serves the head epoch). Snapshots are
+/// shared behind an [`Arc`]: requests capture one at admission and
+/// finish on it even if an update publishes a newer epoch meanwhile.
 struct PreparedMatrix {
     nrows: usize,
     ncols: usize,
@@ -401,6 +493,24 @@ struct PreparedMatrix {
     /// Planner-ordered single-device rungs for this matrix (the sharded
     /// rung, when configured, always goes first).
     ladder: [Rung; 3],
+    /// Epoch this snapshot serves (0 = as registered).
+    epoch: u64,
+    /// New-block entries not yet compacted into the base bitBSR. The
+    /// Spaden rungs add their products as a tail after the base kernel;
+    /// the CSR rung's engine already holds the full logical matrix.
+    side: Vec<SideEntry>,
+    /// Checksums of the full logical matrix; present exactly when
+    /// `side` is non-empty (they verify the base-plus-tail output).
+    logical: Option<AbftChecksums>,
+}
+
+/// A registered matrix slot: the head snapshot served to new requests,
+/// the optional update lifecycle, and the head's content fingerprint
+/// (the partition-cache key for value-only plan reslicing).
+struct MatrixEntry {
+    current: Arc<PreparedMatrix>,
+    evolving: Option<Box<EvolvingMatrix>>,
+    fp: MatrixFingerprint,
 }
 
 /// The resilient SpMV server.
@@ -412,9 +522,9 @@ struct PreparedMatrix {
 pub struct SpmvServer {
     gpu: Gpu,
     config: ServeConfig,
-    matrices: Vec<PreparedMatrix>,
-    /// Sharded form of each registered matrix, parallel to `matrices`;
-    /// `None` entries when no fleet is configured.
+    matrices: Vec<MatrixEntry>,
+    /// Sharded form of each registered matrix's *head epoch*, parallel
+    /// to `matrices`; `None` entries when no fleet is configured.
     sharded: Vec<Option<ShardedMatrix>>,
     /// The sharded rung's devices; `None` disables the rung.
     fleet: Option<DeviceFleet>,
@@ -432,13 +542,17 @@ pub struct SpmvServer {
     clock_s: f64,
 }
 
-/// One queued open-loop request.
+/// One queued open-loop request. The matrix snapshot is captured at
+/// admission — the request finishes on its admitted epoch no matter how
+/// many updates publish while it waits.
 struct OpenSlot {
     index: usize,
     request: Request,
     priority: Priority,
     arrival_s: f64,
     budget_s: f64,
+    state: Option<Arc<PreparedMatrix>>,
+    epoch: u64,
 }
 
 impl SpmvServer {
@@ -577,39 +691,226 @@ impl SpmvServer {
             est(scalar.try_run(&self.gpu, &x0).map_err(ServeError::Invalid)?),
             est(csr_eng.try_run(&self.gpu, &x0).map_err(ServeError::Invalid)?),
         ];
-        self.matrices.push(PreparedMatrix {
-            nrows: csr.nrows,
-            ncols: csr.ncols,
+        self.matrices.push(MatrixEntry {
+            current: Arc::new(PreparedMatrix {
+                nrows: csr.nrows,
+                ncols: csr.ncols,
+                spaden,
+                scalar,
+                csr: csr_eng,
+                sums,
+                est_cost_s,
+                ladder,
+                epoch: 0,
+                side: Vec::new(),
+                logical: None,
+            }),
+            evolving: None,
+            fp: fingerprint(csr),
+        });
+        self.sharded.push(sharded);
+        Ok(MatrixHandle(self.matrices.len() - 1))
+    }
+
+    /// [`SpmvServer::register`] plus an attached update lifecycle: the
+    /// matrix accepts verified streaming updates through
+    /// [`SpmvServer::update`], each commit publishing a new epoch.
+    pub fn register_evolving(
+        &mut self,
+        csr: &Csr,
+        config: EvolveConfig,
+    ) -> Result<MatrixHandle, ServeError> {
+        let h = self.register(csr)?;
+        self.matrices[h.0].evolving = Some(Box::new(EvolvingMatrix::new(csr.clone(), config)));
+        Ok(h)
+    }
+
+    /// Output dimension of a registered matrix.
+    pub fn nrows(&self, h: MatrixHandle) -> Option<usize> {
+        self.matrices.get(h.0).map(|e| e.current.nrows)
+    }
+
+    /// Required input dimension of a registered matrix.
+    pub fn ncols(&self, h: MatrixHandle) -> Option<usize> {
+        self.matrices.get(h.0).map(|e| e.current.ncols)
+    }
+
+    /// The planner-ordered single-device ladder for a registered matrix
+    /// (the sharded rung, when configured, always precedes these).
+    pub fn ladder(&self, h: MatrixHandle) -> Option<[Rung; 3]> {
+        self.matrices.get(h.0).map(|e| e.current.ladder)
+    }
+
+    /// Head epoch of a registered matrix (0 until its first committed
+    /// update).
+    pub fn epoch(&self, h: MatrixHandle) -> Option<u64> {
+        self.matrices.get(h.0).map(|e| e.current.epoch)
+    }
+
+    /// Content fingerprint of a registered matrix's head epoch.
+    pub fn fingerprint_of(&self, h: MatrixHandle) -> Option<MatrixFingerprint> {
+        self.matrices.get(h.0).map(|e| e.fp)
+    }
+
+    /// Update-lifecycle counters of an evolving matrix (`None` for
+    /// unknown handles and matrices registered without a lifecycle).
+    pub fn evolve_stats(&self, h: MatrixHandle) -> Option<EvolveStats> {
+        self.matrices.get(h.0).and_then(|e| e.evolving.as_ref()).map(|ev| ev.stats())
+    }
+
+    /// Hit/miss counters of the sharded rung's partition-plan cache.
+    pub fn partition_cache_stats(&self) -> PartitionCacheStats {
+        self.partition_cache.stats()
+    }
+
+    /// Applies one verified update batch to an evolving matrix and, on
+    /// commit, publishes the new epoch: a fresh immutable snapshot is
+    /// swapped in for *new* admissions while in-flight requests finish
+    /// on the snapshot they captured. On any error the previous epoch
+    /// keeps serving untouched — a bad epoch is never published.
+    pub fn update(
+        &mut self,
+        h: MatrixHandle,
+        batch: &DeltaBatch,
+    ) -> Result<UpdateOutcome, ServeError> {
+        self.update_with_fault(h, batch, None)
+    }
+
+    /// [`SpmvServer::update`] with a seeded splice corruption (chaos
+    /// hook). The evolve layer's post-update verification must turn the
+    /// fault into [`ServeError::Update`] + rollback, never a published
+    /// bad epoch.
+    pub fn update_with_fault(
+        &mut self,
+        h: MatrixHandle,
+        batch: &DeltaBatch,
+        fault: Option<UpdateFault>,
+    ) -> Result<UpdateOutcome, ServeError> {
+        let idx = h.0;
+        if self.matrices.get(idx).is_none() {
+            return Err(ServeError::UnknownMatrix(idx));
+        }
+        let Some(mut ev) = self.matrices[idx].evolving.take() else {
+            return Err(ServeError::NotEvolving(idx));
+        };
+        let old_fp = self.matrices[idx].fp;
+        let (old_ladder, old_est) =
+            (self.matrices[idx].current.ladder, self.matrices[idx].current.est_cost_s);
+        let report = match ev.apply(batch, fault) {
+            Ok(r) => r,
+            Err(e) => {
+                // Rollback by non-commit: the evolve layer is unchanged
+                // and the served snapshot was never touched.
+                self.matrices[idx].evolving = Some(ev);
+                if matches!(
+                    e,
+                    UpdateError::VerificationFailed { .. } | UpdateError::CompactionMismatch { .. }
+                ) {
+                    self.stats.update_rollbacks += 1;
+                }
+                return Err(ServeError::Update(e));
+            }
+        };
+
+        // Build the new epoch's snapshot off to the side. Every piece
+        // was verified by the evolve layer before the commit, so engine
+        // construction cannot fail on a published epoch.
+        let new_fp = fingerprint(ev.csr());
+        let spaden = SpadenEngine::try_from_parts(
+            &self.gpu,
+            ev.base().clone(),
+            ev.base_sums().clone(),
+            SpadenConfig::default(),
+        )
+        .expect("a verified epoch rebuilds the tensor-core engine");
+        let scalar = SpadenNoTcEngine::try_from_parts(&self.gpu, ev.base().clone())
+            .expect("a verified epoch rebuilds the scalar engine");
+        let csr_eng = CusparseCsrEngine::try_prepare(&self.gpu, ev.csr())
+            .expect("a verified epoch rebuilds the CSR engine");
+        let sums = CsrChecksums::build(ev.csr());
+        let side = ev.delta().side().to_vec();
+        let logical = (!side.is_empty()).then(|| ev.logical_sums().clone());
+
+        // Fleet partition: a value-only update keeps the structure
+        // digest, so the cached plan's block-row ranges and per-shard
+        // estimates stay valid — only the checksums move, and those are
+        // exact slices of the incrementally repaired logical sums
+        // (bit-identical to a from-scratch build, see the evolve-layer
+        // audit). Re-slice, insert under the new fingerprint, and let
+        // the cached-build path hit. Structural updates re-partition.
+        let mut partition_resliced = false;
+        let mut repartitioned = false;
+        let sharded = match &self.fleet {
+            Some(fleet) => {
+                let nshards = fleet.len() * self.config.shards_per_device.max(1);
+                if report.class == DeltaClass::ValueOnly {
+                    let old_key = PartitionKey::new(&old_fp, &self.gpu.config, nshards);
+                    if let Some(plan) = self.partition_cache.get(&old_key) {
+                        let resliced = Arc::new(plan.resliced(ev.logical_sums()));
+                        let new_key = PartitionKey::new(&new_fp, &self.gpu.config, nshards);
+                        self.partition_cache.insert(new_key, resliced);
+                        partition_resliced = true;
+                    }
+                } else {
+                    repartitioned = true;
+                }
+                Some(
+                    ShardedMatrix::try_new_cached(
+                        &self.gpu.config,
+                        ev.csr(),
+                        nshards,
+                        self.config.shard_policy,
+                        &mut self.partition_cache,
+                    )
+                    .expect("a verified epoch repartitions"),
+                )
+            }
+            None => None,
+        };
+
+        // Ladder order and per-rung cost estimates depend only on the
+        // structure (counter totals are value-independent), so a
+        // value-only update reuses both; a structural one re-derives
+        // them from the new structure.
+        let (ladder, est_cost_s) = if report.class == DeltaClass::ValueOnly {
+            (old_ladder, old_est)
+        } else {
+            let x0 = vec![0.0f32; ev.csr().ncols];
+            let est = |run: SpmvRun| run.time.seconds;
+            let est_cost_s = [
+                match (&sharded, &self.fleet) {
+                    (Some(sm), Some(fleet)) => sm.est_s(fleet.len()),
+                    _ => f64::INFINITY,
+                },
+                est(spaden.try_run(&self.gpu, &x0).expect("verified epoch runs")),
+                est(scalar.try_run(&self.gpu, &x0).expect("verified epoch runs")),
+                est(csr_eng.try_run(&self.gpu, &x0).expect("verified epoch runs")),
+            ];
+            (planned_ladder(&MatrixStats::of(ev.csr()), &self.gpu.config), est_cost_s)
+        };
+
+        // Publish: swap the head snapshot. In-flight requests hold their
+        // own Arc and finish on the epoch they were admitted on.
+        let (nrows, ncols) = (ev.csr().nrows, ev.csr().ncols);
+        let entry = &mut self.matrices[idx];
+        entry.current = Arc::new(PreparedMatrix {
+            nrows,
+            ncols,
             spaden,
             scalar,
             csr: csr_eng,
             sums,
             est_cost_s,
             ladder,
+            epoch: ev.epoch(),
+            side,
+            logical,
         });
-        self.sharded.push(sharded);
-        Ok(MatrixHandle(self.matrices.len() - 1))
-    }
-
-    /// Output dimension of a registered matrix.
-    pub fn nrows(&self, h: MatrixHandle) -> Option<usize> {
-        self.matrices.get(h.0).map(|m| m.nrows)
-    }
-
-    /// Required input dimension of a registered matrix.
-    pub fn ncols(&self, h: MatrixHandle) -> Option<usize> {
-        self.matrices.get(h.0).map(|m| m.ncols)
-    }
-
-    /// The planner-ordered single-device ladder for a registered matrix
-    /// (the sharded rung, when configured, always precedes these).
-    pub fn ladder(&self, h: MatrixHandle) -> Option<[Rung; 3]> {
-        self.matrices.get(h.0).map(|m| m.ladder)
-    }
-
-    /// Hit/miss counters of the sharded rung's partition-plan cache.
-    pub fn partition_cache_stats(&self) -> PartitionCacheStats {
-        self.partition_cache.stats()
+        entry.fp = new_fp;
+        entry.evolving = Some(ev);
+        self.sharded[idx] = sharded;
+        self.stats.updates += 1;
+        Ok(UpdateOutcome { report, partition_resliced, repartitioned })
     }
 
     /// Serves a batch: every request is admitted through the bounded
@@ -675,31 +976,71 @@ impl SpmvServer {
     /// arrival, in input order. Fully deterministic on the simulated
     /// clock.
     pub fn run_open_loop(&mut self, arrivals: Vec<OpenRequest>) -> Vec<OpenOutcome> {
+        self.run_open_loop_evolving(arrivals, Vec::new()).0
+    }
+
+    /// [`SpmvServer::run_open_loop`] with a concurrent update schedule:
+    /// arrivals and updates are merged in time order (an update ties
+    /// with a same-instant arrival by landing first). An update applies
+    /// instantly — it spends no serving time and never blocks reads;
+    /// requests admitted before it finish on their captured epoch, and
+    /// later admissions see the new one. Returns one outcome per
+    /// arrival (input order) plus one result per update (input order).
+    #[allow(clippy::type_complexity)]
+    pub fn run_open_loop_evolving(
+        &mut self,
+        arrivals: Vec<OpenRequest>,
+        updates: Vec<ScheduledUpdate>,
+    ) -> (Vec<OpenOutcome>, Vec<Result<UpdateOutcome, ServeError>>) {
         let n = arrivals.len();
         let mut out: Vec<Option<OpenOutcome>> = (0..n).map(|_| None).collect();
+        let mut applied = Vec::with_capacity(updates.len());
+        let mut arr_it = arrivals.into_iter().enumerate().peekable();
+        let mut upd_it = updates.into_iter().peekable();
         let mut last_arrival = f64::NEG_INFINITY;
-        for (index, a) in arrivals.into_iter().enumerate() {
-            assert!(
-                a.arrival_s >= last_arrival,
-                "open-loop arrivals must be sorted by arrival time"
-            );
-            last_arrival = a.arrival_s;
-            // Serve backlog until the server catches up to this arrival.
-            // Serving may push the clock past it — the arrival then waits
-            // in queue like any client of a busy server.
-            while self.clock_s < a.arrival_s {
+        let mut last_update = f64::NEG_INFINITY;
+        loop {
+            let update_next = match (arr_it.peek(), upd_it.peek()) {
+                (Some((_, a)), Some(u)) => u.at_s <= a.arrival_s,
+                (None, Some(_)) => true,
+                (Some(_), None) => false,
+                (None, None) => break,
+            };
+            // Serve backlog until the server catches up to this event.
+            // Serving may push the clock past it — an arrival then waits
+            // in queue like any client of a busy server (an update does
+            // not wait: it lands the moment its time comes up).
+            let event_s =
+                if update_next { upd_it.peek().unwrap().at_s } else { arr_it.peek().unwrap().1.arrival_s };
+            while self.clock_s < event_s {
                 if !self.drain_one_open(&mut out) {
                     break;
                 }
             }
-            if self.clock_s < a.arrival_s {
-                self.clock_s = a.arrival_s; // idle until the arrival
+            if self.clock_s < event_s {
+                self.clock_s = event_s; // idle until the event
             }
-            self.stats.submitted += 1;
-            self.admit_open(index, a, &mut out);
+            if update_next {
+                let u = upd_it.next().expect("peeked");
+                assert!(
+                    u.at_s >= last_update,
+                    "open-loop updates must be sorted by time"
+                );
+                last_update = u.at_s;
+                applied.push(self.update_with_fault(u.matrix, &u.batch, u.fault));
+            } else {
+                let (index, a) = arr_it.next().expect("peeked");
+                assert!(
+                    a.arrival_s >= last_arrival,
+                    "open-loop arrivals must be sorted by arrival time"
+                );
+                last_arrival = a.arrival_s;
+                self.stats.submitted += 1;
+                self.admit_open(index, a, &mut out);
+            }
         }
         while self.drain_one_open(&mut out) {}
-        out.into_iter().map(|o| o.expect("every arrival resolves")).collect()
+        (out.into_iter().map(|o| o.expect("every arrival resolves")).collect(), applied)
     }
 
     /// Admission for one open-loop arrival: brownout gate, then the
@@ -708,6 +1049,11 @@ impl SpmvServer {
         let matrix = a.request.matrix;
         let priority = a.priority;
         let arrival_s = a.arrival_s;
+        // Epoch consistency: capture the matrix snapshot *at admission*.
+        // The request finishes on this epoch even if updates publish
+        // newer ones while it waits in queue.
+        let state = self.matrices.get(matrix.0).map(|e| e.current.clone());
+        let epoch = state.as_ref().map_or(0, |m| m.epoch);
         let shed = |stats: &mut ServeStats, reason: ShedReason| {
             stats.shed += 1;
             Some(OpenOutcome {
@@ -717,6 +1063,7 @@ impl SpmvServer {
                 arrival_s,
                 queue_wait_s: 0.0,
                 done_s: arrival_s,
+                epoch,
                 result: Err(ServeError::Shed(reason)),
             })
         };
@@ -725,7 +1072,8 @@ impl SpmvServer {
             return;
         }
         let budget_s = a.request.deadline_s.unwrap_or(self.config.default_deadline_s);
-        let slot = OpenSlot { index, request: a.request, priority, arrival_s, budget_s };
+        let slot =
+            OpenSlot { index, request: a.request, priority, arrival_s, budget_s, state, epoch };
         let expires = Some(arrival_s + budget_s);
         match self.open_queue.push(slot, priority, expires, self.overload.limit()) {
             PushOutcome::Admitted => {}
@@ -739,6 +1087,7 @@ impl SpmvServer {
                     arrival_s: v.arrival_s,
                     queue_wait_s: self.clock_s - v.arrival_s,
                     done_s: self.clock_s,
+                    epoch: v.epoch,
                     result: Err(ServeError::Shed(ShedReason::Evicted { by: priority })),
                 });
                 // An eviction is still a resolved request: its queue time
@@ -769,6 +1118,7 @@ impl SpmvServer {
                         arrival_s: v.arrival_s,
                         queue_wait_s: wait,
                         done_s: self.clock_s,
+                        epoch: v.epoch,
                         result: Err(ServeError::Shed(reason)),
                     });
                     // A dead-on-dequeue request spent its whole budget in
@@ -784,7 +1134,10 @@ impl SpmvServer {
                     // remains (positive — expiry was checked at dequeue).
                     let remaining = slot.budget_s - wait;
                     let req = Request { deadline_s: Some(remaining), ..slot.request };
-                    let result = self.serve_admitted(req);
+                    // Serve on the snapshot captured at admission, not
+                    // the head — updates that landed while this request
+                    // queued must not tear its matrix out from under it.
+                    let result = self.serve_on(slot.state, req);
                     let done = self.clock_s;
                     self.overload.on_complete(done - slot.arrival_s);
                     out[slot.index] = Some(OpenOutcome {
@@ -794,6 +1147,7 @@ impl SpmvServer {
                         arrival_s: slot.arrival_s,
                         queue_wait_s: wait,
                         done_s: done,
+                        epoch: slot.epoch,
                         result,
                     });
                     return true;
@@ -802,10 +1156,28 @@ impl SpmvServer {
         }
     }
 
-    /// The ladder walk for one admitted request.
+    /// The ladder walk for one admitted closed-loop request: serves on
+    /// the matrix's head snapshot (closed-loop callers admit and serve
+    /// in one step, so head and admitted epoch coincide).
     fn serve_admitted(&mut self, req: Request) -> Result<ServedOk, ServeError> {
+        let state = self.matrices.get(req.matrix.0).map(|e| e.current.clone());
+        self.serve_on(state, req)
+    }
+
+    /// The ladder walk for one admitted request, on a captured matrix
+    /// snapshot. The snapshot pins the epoch: every single-device rung
+    /// runs this exact matrix. The sharded rung is the one resource that
+    /// tracks the head epoch, so it only runs when the snapshot *is* the
+    /// head — a straggler admitted before an update skips it (counted in
+    /// [`ServeStats::epoch_stragglers`]) and falls to its captured
+    /// single-device ladder, never a torn read.
+    fn serve_on(
+        &mut self,
+        state: Option<Arc<PreparedMatrix>>,
+        req: Request,
+    ) -> Result<ServedOk, ServeError> {
         self.clock_s += self.config.arrival_interval_s;
-        let Some(m) = self.matrices.get(req.matrix.0) else {
+        let Some(m) = state else {
             self.stats.invalid += 1;
             return Err(ServeError::UnknownMatrix(req.matrix.0));
         };
@@ -825,8 +1197,19 @@ impl SpmvServer {
 
         for rung in std::iter::once(Rung::Sharded).chain(m.ladder) {
             let r = rung as usize;
-            if rung == Rung::Sharded && self.fleet.is_none() {
-                continue; // rung not configured; not counted as skipped
+            if rung == Rung::Sharded {
+                if self.fleet.is_none() {
+                    continue; // rung not configured; not counted as skipped
+                }
+                // The fleet's partition serves the head epoch only.
+                let on_head = self
+                    .matrices
+                    .get(req.matrix.0)
+                    .is_some_and(|e| Arc::ptr_eq(&e.current, &m));
+                if !on_head {
+                    self.stats.epoch_stragglers += 1;
+                    continue; // straggler: captured single-device ladder serves
+                }
             }
             if !self.breakers[r].allow(self.clock_s) {
                 self.stats.skipped_breaker[r] += 1;
@@ -867,7 +1250,7 @@ impl SpmvServer {
                         Err(e) => Err(e.to_engine_error()),
                     }
                 } else {
-                    Self::run_rung(&self.gpu, m, rung, &req.x).map(|run| {
+                    Self::run_rung(&self.gpu, &m, rung, &req.x).map(|run| {
                         let seconds = run.time.seconds;
                         (run.y, seconds)
                     })
@@ -880,7 +1263,13 @@ impl SpmvServer {
                         self.stats.served[r] += 1;
                         self.stats.retries += retries as u64;
                         self.stats.latencies_s.push(spent);
-                        return Ok(ServedOk { y, rung, latency_s: spent, retries });
+                        return Ok(ServedOk {
+                            y,
+                            rung,
+                            latency_s: spent,
+                            retries,
+                            epoch: m.epoch,
+                        });
                     }
                     Err(e) => {
                         // A failed attempt still ran the kernels: charge
@@ -933,18 +1322,23 @@ impl SpmvServer {
         x: &[f32],
     ) -> Result<SpmvRun, EngineError> {
         match rung {
-            Rung::Sharded => unreachable!("sharded rung is dispatched in serve_admitted"),
-            Rung::SpadenChecked => m.spaden.try_run_checked(gpu, x),
+            Rung::Sharded => unreachable!("sharded rung is dispatched in serve_on"),
+            Rung::SpadenChecked => {
+                let run = m.spaden.try_run_checked(gpu, x)?;
+                Self::finish_with_side(m, x, run)
+            }
             Rung::SpadenScalar => {
                 let run = m.scalar.try_run(gpu, x)?;
                 let bad = m.spaden.abft().verify(x, &run.y);
                 if bad.is_empty() {
-                    Ok(run)
+                    Self::finish_with_side(m, x, run)
                 } else {
                     Err(EngineError::VerificationFailed { block_rows: bad.len() })
                 }
             }
             Rung::CsrBaseline => {
+                // The CSR engine is prepared from the full logical
+                // matrix — no side tail to add.
                 let run = m.csr.try_run(gpu, x)?;
                 let bad = m.sums.verify(x, &run.y);
                 if bad.is_empty() {
@@ -953,6 +1347,31 @@ impl SpmvServer {
                     Err(EngineError::VerificationFailed { block_rows: bad.len() })
                 }
             }
+        }
+    }
+
+    /// Adds the side-buffer tail to a base-format Spaden run and holds
+    /// the *full* logical output to the repaired logical checksums. A
+    /// snapshot with an empty side is already complete and verified.
+    fn finish_with_side(
+        m: &PreparedMatrix,
+        x: &[f32],
+        mut run: SpmvRun,
+    ) -> Result<SpmvRun, EngineError> {
+        if m.side.is_empty() {
+            return Ok(run);
+        }
+        // Same arithmetic as one kernel entry: the stored f16 value
+        // times the f16-rounded vector element, accumulated in f32.
+        for e in &m.side {
+            run.y[e.row as usize] += e.value.to_f32() * F16::round_f32(x[e.col as usize]);
+        }
+        let sums = m.logical.as_ref().expect("non-empty side stores logical checksums");
+        let bad = sums.verify(x, &run.y);
+        if bad.is_empty() {
+            Ok(run)
+        } else {
+            Err(EngineError::VerificationFailed { block_rows: bad.len() })
         }
     }
 }
@@ -1040,7 +1459,7 @@ mod tests {
         // The second rung's verification must accept its own clean output
         // (the scalar kernel rounds to f16 exactly like the ABFT model).
         let (srv, h, _) = clean_server();
-        let m = &srv.matrices[h.0];
+        let m = &srv.matrices[h.0].current;
         let x = make_x(96);
         let run = m.scalar.try_run(srv.gpu(), &x).unwrap();
         assert!(m.spaden.abft().verify(&x, &run.y).is_empty());
@@ -1049,7 +1468,7 @@ mod tests {
     #[test]
     fn csr_rung_output_passes_f32_checksums() {
         let (srv, h, _) = clean_server();
-        let m = &srv.matrices[h.0];
+        let m = &srv.matrices[h.0].current;
         let x = make_x(96);
         let run = m.csr.try_run(srv.gpu(), &x).unwrap();
         assert!(m.sums.verify(&x, &run.y).is_empty());
@@ -1440,5 +1859,302 @@ mod tests {
         let off = run(OverloadConfig::default());
         let on = run(OverloadConfig::on());
         assert_eq!(off, on, "closed-loop serving is bit-identical with overload control on");
+    }
+
+    // ---- evolving matrices / epoch-consistent serving ----
+
+    use spaden_sparse::delta::Delta;
+
+    fn check_against(csr: &Csr, x: &[f32], y: &[f32]) {
+        let oracle = csr.spmv_f64(x).unwrap();
+        for (r, (a, o)) in y.iter().zip(&oracle).enumerate() {
+            let tol = 1e-2f64.max(o.abs() * 2e-2);
+            assert!((*a as f64 - o).abs() <= tol, "row {r}: {a} vs {o}");
+        }
+    }
+
+    /// A batch overwriting `k` existing entries (value-only by construction).
+    fn value_batch(csr: &Csr, k: usize, scale: f32) -> DeltaBatch {
+        let mut deltas = Vec::new();
+        for row in 0..csr.nrows {
+            let (cols, vals) = csr.row(row);
+            if !cols.is_empty() {
+                deltas.push(Delta {
+                    row: row as u32,
+                    col: cols[0],
+                    value: vals[0] * scale + 0.25,
+                });
+                if deltas.len() == k {
+                    break;
+                }
+            }
+        }
+        assert_eq!(deltas.len(), k, "fixture matrix must have {k} non-empty rows");
+        DeltaBatch::new(deltas, csr.nrows, csr.ncols).unwrap()
+    }
+
+    /// A batch opening `k` brand-new 8x8 blocks (side-buffer entries).
+    fn new_block_batch(csr: &Csr, k: usize) -> DeltaBatch {
+        let bdim = spaden_sparse::gen::BLOCK_DIM;
+        let mut occupied = std::collections::BTreeSet::new();
+        for row in 0..csr.nrows {
+            for &c in csr.row(row).0 {
+                occupied.insert((row / bdim, c as usize / bdim));
+            }
+        }
+        let mut deltas = Vec::new();
+        'outer: for br in 0..csr.nrows.div_ceil(bdim) {
+            for bc in 0..csr.ncols.div_ceil(bdim) {
+                if !occupied.contains(&(br, bc)) {
+                    deltas.push(Delta {
+                        row: (br * bdim) as u32,
+                        col: (bc * bdim) as u32,
+                        value: 1.5,
+                    });
+                    if deltas.len() == k {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert_eq!(deltas.len(), k, "fixture matrix must have {k} empty blocks");
+        DeltaBatch::new(deltas, csr.nrows, csr.ncols).unwrap()
+    }
+
+    fn evolving_server() -> (SpmvServer, MatrixHandle, Csr) {
+        // Banded blocks: dense enough in-band that the canonical ladder
+        // survives planning, with plenty of empty off-band blocks for
+        // new-block (side-buffer) updates. Square 96x96.
+        let csr = gen::generate_blocked(
+            96,
+            50,
+            gen::Placement::Banded { bandwidth: 2 },
+            &gen::FillDist::Uniform { lo: 24, hi: 64 },
+            911,
+        );
+        let mut srv = SpmvServer::new(Gpu::new(GpuConfig::l40()), ServeConfig::default());
+        let h = srv
+            .register_evolving(
+                &csr,
+                EvolveConfig { side_capacity: 64, compact_threshold: 64, audit: true },
+            )
+            .expect("valid matrix registers");
+        (srv, h, csr)
+    }
+
+    #[test]
+    fn value_only_update_publishes_a_new_epoch_that_serves_verified() {
+        let (mut srv, h, csr) = evolving_server();
+        assert_eq!(srv.epoch(h), Some(0));
+        let batch = value_batch(&csr, 9, 2.0);
+        let outcome = srv.update(h, &batch).expect("clean update commits");
+        assert_eq!(outcome.report.class, DeltaClass::ValueOnly);
+        assert_eq!(srv.epoch(h), Some(1));
+        assert_eq!(srv.stats().updates, 1);
+        let x = make_x(96);
+        let ok = srv.serve(Request { matrix: h, x: x.clone(), deadline_s: None }).unwrap();
+        assert_eq!(ok.epoch, 1);
+        let truth = spaden_sparse::delta::apply_to_csr(&csr, &batch).unwrap();
+        check_against(&truth, &x, &ok.y);
+    }
+
+    #[test]
+    fn structural_update_serves_base_plus_side_tail_verified() {
+        let (mut srv, h, csr) = evolving_server();
+        let batch = new_block_batch(&csr, 5);
+        let outcome = srv.update(h, &batch).expect("clean update commits");
+        assert_eq!(outcome.report.class, DeltaClass::Structural);
+        assert!(!outcome.report.compacted, "threshold 64 must not compact 5 entries");
+        assert_eq!(outcome.report.apply.side_inserts, 5);
+        let x = make_x(96);
+        let ok = srv.serve(Request { matrix: h, x: x.clone(), deadline_s: None }).unwrap();
+        // Served by the top Spaden rung: base kernel + side tail.
+        assert_eq!(ok.rung, Rung::SpadenChecked);
+        assert_eq!(ok.epoch, 1);
+        let truth = spaden_sparse::delta::apply_to_csr(&csr, &batch).unwrap();
+        check_against(&truth, &x, &ok.y);
+        // The scalar and CSR rungs serve the same logical matrix.
+        srv.trip_rung(Rung::SpadenChecked);
+        let ok = srv.serve(Request { matrix: h, x: x.clone(), deadline_s: None }).unwrap();
+        assert_eq!(ok.rung, Rung::SpadenScalar);
+        check_against(&truth, &x, &ok.y);
+        srv.trip_rung(Rung::SpadenChecked);
+        srv.trip_rung(Rung::SpadenScalar);
+        let ok = srv.serve(Request { matrix: h, x: x.clone(), deadline_s: None }).unwrap();
+        assert_eq!(ok.rung, Rung::CsrBaseline);
+        check_against(&truth, &x, &ok.y);
+    }
+
+    #[test]
+    fn injected_update_fault_rolls_back_and_the_old_epoch_keeps_serving() {
+        let (mut srv, h, csr) = evolving_server();
+        let batch = value_batch(&csr, 7, 3.0);
+        let err = srv
+            .update_with_fault(h, &batch, Some(UpdateFault { delta_index: 3, bit: 9 }))
+            .expect_err("corrupted splice must be rejected");
+        match err {
+            ServeError::Update(UpdateError::VerificationFailed { epoch: 0, .. }) => {}
+            other => panic!("expected Update(VerificationFailed), got {other:?}"),
+        }
+        assert_eq!(srv.epoch(h), Some(0), "bad epoch must never publish");
+        assert_eq!(srv.stats().update_rollbacks, 1);
+        assert_eq!(srv.evolve_stats(h).unwrap().rollbacks, 1);
+        // The pre-update matrix still serves, verified.
+        let x = make_x(96);
+        let ok = srv.serve(Request { matrix: h, x: x.clone(), deadline_s: None }).unwrap();
+        assert_eq!(ok.epoch, 0);
+        check_against(&csr, &x, &ok.y);
+        // The identical batch without the fault commits afterwards.
+        srv.update(h, &batch).expect("clean retry commits");
+        assert_eq!(srv.epoch(h), Some(1));
+    }
+
+    #[test]
+    fn update_on_non_evolving_matrix_is_typed() {
+        let (mut srv, h, csr) = clean_server();
+        let batch = value_batch(&csr, 1, 1.0);
+        match srv.update(h, &batch) {
+            Err(ServeError::NotEvolving(0)) => {}
+            other => panic!("expected NotEvolving, got {other:?}"),
+        }
+        match srv.update(MatrixHandle(9), &batch) {
+            Err(ServeError::UnknownMatrix(9)) => {}
+            other => panic!("expected UnknownMatrix, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn open_loop_requests_finish_on_their_admitted_epoch() {
+        let (mut srv, h, csr) = evolving_server();
+        let batch = value_batch(&csr, 9, -1.5);
+        let truth = spaden_sparse::delta::apply_to_csr(&csr, &batch).unwrap();
+        // A same-instant burst admitted at epoch 0; the update lands
+        // while the backlog drains, then a late arrival sees epoch 1.
+        let mut arrivals: Vec<OpenRequest> =
+            (0..6).map(|_| open(h, Priority::Normal, 0.0, 10.0)).collect();
+        arrivals.push(open(h, Priority::Normal, 1e-3, 10.0));
+        let updates = vec![ScheduledUpdate {
+            at_s: 1e-6,
+            matrix: h,
+            batch,
+            fault: None,
+        }];
+        let (out, applied) = srv.run_open_loop_evolving(arrivals, updates);
+        assert_eq!(applied.len(), 1);
+        applied[0].as_ref().expect("scheduled update commits");
+        let x = make_x(96);
+        for o in &out[..6] {
+            assert_eq!(o.epoch, 0, "burst was admitted before the update");
+            let ok = o.result.as_ref().expect("admitted burst serves");
+            assert_eq!(ok.epoch, 0);
+            // Epoch consistency: the pre-update matrix answered, even
+            // for requests *served* after the update committed.
+            check_against(&csr, &x, &ok.y);
+        }
+        let late = &out[6];
+        assert_eq!(late.epoch, 1, "late arrival admitted on the new epoch");
+        check_against(&truth, &x, &late.result.as_ref().unwrap().y);
+        // At least one burst request was served after the update landed
+        // (the update applies instantly at t=1us; draining six requests
+        // takes far longer).
+        assert!(
+            out[..6].iter().filter(|o| o.done_s > 1e-6).count() >= 1,
+            "fixture must exercise a stale-epoch service"
+        );
+    }
+
+    fn evolving_sharded_server() -> (SpmvServer, MatrixHandle, Csr) {
+        let csr = gen::random_uniform(256, 96, 1200, 907);
+        let cfg = ServeConfig { shard_devices: 4, ..ServeConfig::default() };
+        let mut srv = SpmvServer::new(Gpu::new(GpuConfig::l40()), cfg);
+        let h = srv
+            .register_evolving(
+                &csr,
+                EvolveConfig { side_capacity: 64, compact_threshold: 64, audit: true },
+            )
+            .expect("valid matrix registers");
+        (srv, h, csr)
+    }
+
+    #[test]
+    fn value_only_update_reslices_the_partition_plan() {
+        let (mut srv, h, csr) = evolving_sharded_server();
+        let misses_before = srv.partition_cache_stats().misses;
+        let batch = value_batch(&csr, 9, 0.5);
+        let outcome = srv.update(h, &batch).expect("clean update commits");
+        assert!(outcome.partition_resliced, "value-only update must carry the plan across");
+        assert!(!outcome.repartitioned);
+        assert_eq!(
+            srv.partition_cache_stats().misses,
+            misses_before,
+            "the resliced plan must hit, not re-partition"
+        );
+        // The resliced checksums accept the sharded rung's output.
+        let x = make_x(96);
+        let ok = srv.serve(Request { matrix: h, x: x.clone(), deadline_s: None }).unwrap();
+        assert_eq!(ok.rung, Rung::Sharded);
+        assert_eq!(ok.epoch, 1);
+        let truth = spaden_sparse::delta::apply_to_csr(&csr, &batch).unwrap();
+        check_against(&truth, &x, &ok.y);
+        assert_eq!(srv.stats().epoch_stragglers, 0);
+    }
+
+    #[test]
+    fn structural_update_repartitions_for_the_fleet() {
+        let (mut srv, h, csr) = evolving_sharded_server();
+        let batch = new_block_batch(&csr, 4);
+        let outcome = srv.update(h, &batch).expect("clean update commits");
+        assert!(outcome.repartitioned);
+        assert!(!outcome.partition_resliced);
+        let x = make_x(96);
+        let ok = srv.serve(Request { matrix: h, x: x.clone(), deadline_s: None }).unwrap();
+        assert_eq!(ok.rung, Rung::Sharded, "fresh partition serves the new epoch");
+        let truth = spaden_sparse::delta::apply_to_csr(&csr, &batch).unwrap();
+        check_against(&truth, &x, &ok.y);
+    }
+
+    #[test]
+    fn epoch_straggler_skips_the_sharded_rung_but_still_serves() {
+        let (mut srv, h, csr) = evolving_sharded_server();
+        let batch = value_batch(&csr, 5, 4.0);
+        // Burst admitted at epoch 0, update lands mid-drain: stragglers
+        // must skip the head-epoch fleet and serve on their captured
+        // single-device ladder.
+        let arrivals: Vec<OpenRequest> =
+            (0..5).map(|_| open(h, Priority::Normal, 0.0, 10.0)).collect();
+        let updates =
+            vec![ScheduledUpdate { at_s: 1e-6, matrix: h, batch, fault: None }];
+        let (out, applied) = srv.run_open_loop_evolving(arrivals, updates);
+        applied[0].as_ref().expect("scheduled update commits");
+        let x = make_x(96);
+        let mut straggled = 0;
+        for o in &out {
+            let ok = o.result.as_ref().expect("every burst request serves");
+            assert_eq!(ok.epoch, 0);
+            check_against(&csr, &x, &ok.y);
+            if ok.rung != Rung::Sharded {
+                straggled += 1;
+            }
+        }
+        assert!(straggled >= 1, "fixture must exercise the straggler path");
+        assert_eq!(srv.stats().epoch_stragglers as usize, straggled);
+    }
+
+    #[test]
+    fn run_open_loop_is_bit_identical_to_the_evolving_loop_without_updates() {
+        let run = |evolving: bool| {
+            let (mut srv, h, _) = clean_server();
+            let arrivals: Vec<OpenRequest> = (0..20)
+                .map(|i| open(h, Priority::ALL[i % 3], i as f64 * 20e-6, 300e-6))
+                .collect();
+            let out = if evolving {
+                srv.run_open_loop_evolving(arrivals, Vec::new()).0
+            } else {
+                srv.run_open_loop(arrivals)
+            };
+            let bits: Vec<u64> = out.iter().map(|o| o.time_in_system_s().to_bits()).collect();
+            (bits, srv.clock_s().to_bits(), srv.stats().shed)
+        };
+        assert_eq!(run(false), run(true), "empty update schedule must change nothing");
     }
 }

@@ -36,6 +36,23 @@ pub struct PartitionPlan {
     pub est_s: Vec<f64>,
 }
 
+impl PartitionPlan {
+    /// Carries this plan across a *value-only* matrix update: the
+    /// sparsity structure is unchanged, so the balanced block-row
+    /// ranges and the measured per-shard estimates stay valid — only
+    /// the checksums move. `full` must be the updated matrix's full
+    /// checksums (e.g. the incrementally repaired logical sums of an
+    /// evolving matrix, which are bit-identical to a from-scratch
+    /// build); each shard's slice is re-cut from it.
+    pub fn resliced(&self, full: &AbftChecksums) -> PartitionPlan {
+        PartitionPlan {
+            ranges: self.ranges.clone(),
+            sums: self.ranges.iter().map(|r| full.slice_block_rows(r.start, r.end)).collect(),
+            est_s: self.est_s.clone(),
+        }
+    }
+}
+
 /// Cache key: matrix fingerprint x GPU configuration x shard count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PartitionKey {
@@ -157,6 +174,35 @@ mod tests {
         assert!(cache.get(&keys[0]).is_some());
         assert!(cache.get(&keys[2]).is_some());
         assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn resliced_plan_recuts_checksums_and_keeps_ranges() {
+        use spaden::BitBsr;
+        let csr = gen::random_uniform(64, 64, 500, 81);
+        let full = AbftChecksums::build(&BitBsr::from_csr(&csr));
+        let ranges = vec![0..3, 3..8];
+        let plan = PartitionPlan {
+            ranges: ranges.clone(),
+            sums: ranges.iter().map(|r| full.slice_block_rows(r.start, r.end)).collect(),
+            est_s: vec![1e-6, 2e-6],
+        };
+        // A value-only update: same structure, different values.
+        let mut next = csr.clone();
+        next.values[0] *= 2.0;
+        next.values[250] = -7.5;
+        let next_full = AbftChecksums::build(&BitBsr::from_csr(&next));
+        let resliced = plan.resliced(&next_full);
+        assert_eq!(resliced.ranges, plan.ranges);
+        assert_eq!(resliced.est_s, plan.est_s);
+        for (i, r) in ranges.iter().enumerate() {
+            assert_eq!(
+                resliced.sums[i],
+                next_full.slice_block_rows(r.start, r.end),
+                "shard {i} checksums must be exact slices of the new matrix"
+            );
+        }
+        assert_ne!(resliced.sums[0], plan.sums[0], "values moved, checksums must move");
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod coo;
 pub mod csc;
 pub mod csr;
 pub mod datasets;
+pub mod delta;
 pub mod dense;
 pub mod dia;
 pub mod ell;
@@ -52,6 +53,7 @@ pub use coo::Coo;
 pub use csc::Csc;
 pub use csr::Csr;
 pub use datasets::{Dataset, DatasetSpec, ALL_DATASETS, IN_SCOPE_DATASETS};
+pub use delta::{Delta, DeltaBatch, DeltaClass, UpdateError};
 pub use dense::Dense;
 pub use dia::Dia;
 pub use ell::Ell;

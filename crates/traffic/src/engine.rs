@@ -14,8 +14,8 @@ use crate::arrival::ArrivalProcess;
 use crate::tenant::{Population, PopulationConfig, TenantAccount};
 use spaden_gpusim::{Gpu, GpuConfig};
 use spaden_serve::{
-    BrownoutMode, OpenRequest, OverloadConfig, OverloadStats, Priority, Request, ServeConfig,
-    ServeError, ShedCounters, SpmvServer, PRIORITIES,
+    BrownoutMode, OpenOutcome, OpenRequest, OverloadConfig, OverloadStats, Priority, Request,
+    ServeConfig, ServeError, ShedCounters, SpmvServer, PRIORITIES,
 };
 use spaden_sparse::rng::Pcg64;
 use spaden_sparse::{gen, Csr};
@@ -59,6 +59,9 @@ pub struct TrafficConfig {
     /// Serving policy. [`TrafficConfig::new`] enables overload control
     /// with the SLO as the p99 target; hand-built configs may differ.
     pub serve: ServeConfig,
+    /// Number of equal time slices for the time-resolved availability
+    /// and p99 curves in [`TrafficSummary::windows`].
+    pub windows: usize,
 }
 
 impl TrafficConfig {
@@ -82,8 +85,77 @@ impl TrafficConfig {
             population,
             corpus: CorpusConfig::default(),
             serve,
+            windows: 8,
         }
     }
+}
+
+/// One equal time slice of a run, bucketed by *arrival* time: how the
+/// service level looked during that window, not just on average. A
+/// transient — a brownout episode, an update storm — that the whole-run
+/// availability would smear away shows up here as one bad window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowStat {
+    /// Window start (absolute simulated time).
+    pub start_s: f64,
+    /// Window end (exclusive; the last window includes the endpoint).
+    pub end_s: f64,
+    /// Arrivals whose arrival time fell in this window.
+    pub offered: u64,
+    /// Of those, verified `Ok` results.
+    pub served: u64,
+    /// Of those, overload sheds.
+    pub shed: u64,
+    /// Of those, non-shed failures.
+    pub failed: u64,
+    /// `served / offered` (1.0 for an empty window).
+    pub availability: f64,
+    /// p99 time-in-system of the window's served arrivals (0 if none).
+    pub p99_s: f64,
+}
+
+/// Buckets outcomes into `n` equal windows over `[0, duration_s)` by
+/// arrival time and computes per-window counts, availability, and p99
+/// time-in-system. Outcomes landing exactly at `duration_s` (or beyond,
+/// from thinning edge cases) fold into the last window.
+pub fn window_stats(outcomes: &[OpenOutcome], duration_s: f64, n: usize) -> Vec<WindowStat> {
+    let n = n.max(1);
+    let width = duration_s / n as f64;
+    let mut windows: Vec<WindowStat> = (0..n)
+        .map(|i| WindowStat {
+            start_s: i as f64 * width,
+            end_s: (i + 1) as f64 * width,
+            offered: 0,
+            served: 0,
+            shed: 0,
+            failed: 0,
+            availability: 1.0,
+            p99_s: 0.0,
+        })
+        .collect();
+    let mut latencies: Vec<Vec<f64>> = vec![Vec::new(); n];
+    for o in outcomes {
+        let i = if width > 0.0 { ((o.arrival_s / width) as usize).min(n - 1) } else { n - 1 };
+        windows[i].offered += 1;
+        match &o.result {
+            Ok(_) => {
+                windows[i].served += 1;
+                latencies[i].push(o.time_in_system_s());
+            }
+            Err(ServeError::Shed(_)) => windows[i].shed += 1,
+            Err(_) => windows[i].failed += 1,
+        }
+    }
+    for (w, lane) in windows.iter_mut().zip(&mut latencies) {
+        if w.offered > 0 {
+            w.availability = w.served as f64 / w.offered as f64;
+        }
+        if !lane.is_empty() {
+            lane.sort_by(f64::total_cmp);
+            w.p99_s = lane[(((lane.len() as f64) * 0.99).ceil() as usize).max(1) - 1];
+        }
+    }
+    windows
 }
 
 /// Aggregate outcome of one traffic run.
@@ -123,6 +195,9 @@ pub struct TrafficSummary {
     pub tenants: Vec<TenantAccount>,
     /// The run's simulated horizon (for rate math).
     pub duration_s: f64,
+    /// Time-resolved service level: [`TrafficConfig::windows`] equal
+    /// slices of the horizon, bucketed by arrival time.
+    pub windows: Vec<WindowStat>,
 }
 
 impl TrafficSummary {
@@ -196,6 +271,13 @@ impl TrafficSummary {
             mix(t.slo_met);
             mix(t.shed);
             mix(t.failed);
+        }
+        for w in &self.windows {
+            mix(w.offered);
+            mix(w.served);
+            mix(w.shed);
+            mix(w.failed);
+            mix(w.p99_s.to_bits());
         }
         h
     }
@@ -291,6 +373,7 @@ pub fn run_traffic(gpu: &GpuConfig, cfg: &TrafficConfig) -> TrafficSummary {
         final_mode: server.overload_state().1,
         tenants: vec![TenantAccount::default(); cfg.population.tenants],
         duration_s: cfg.duration_s,
+        windows: window_stats(&outcomes, cfg.duration_s, cfg.windows),
     };
 
     let mut latencies: [Vec<f64>; PRIORITIES] = [Vec::new(), Vec::new(), Vec::new()];
@@ -391,6 +474,68 @@ mod tests {
         let mut other = cfg.clone();
         other.seed += 1;
         assert_ne!(a.digest(), run_traffic(&gpu, &other).digest(), "seed must matter");
+    }
+
+    #[test]
+    fn windows_tile_the_horizon_and_cover_all_arrivals() {
+        let gpu = GpuConfig::l40();
+        let s = run_traffic(&gpu, &quick_cfg(80_000.0));
+        assert_eq!(s.windows.len(), 8);
+        for (i, w) in s.windows.iter().enumerate() {
+            assert!((w.end_s - w.start_s - s.duration_s / 8.0).abs() < 1e-12, "window {i}");
+            assert_eq!(w.offered, w.served + w.shed + w.failed, "{w:?}");
+            if w.served > 0 {
+                assert!(w.p99_s > 0.0, "served window must have a p99: {w:?}");
+            }
+            assert!((0.0..=1.0).contains(&w.availability));
+        }
+        assert_eq!(s.windows.iter().map(|w| w.offered).sum::<u64>(), s.offered);
+        assert_eq!(
+            s.windows.iter().map(|w| w.served).sum::<u64>(),
+            s.served_by.iter().sum::<u64>()
+        );
+        // The per-window curve is finer than the whole-run number: a run
+        // with sheds must show at least one window below 1.0.
+        if s.availability() < 1.0 {
+            assert!(s.windows.iter().any(|w| w.availability < 1.0));
+        }
+    }
+
+    #[test]
+    fn window_stats_bucket_by_arrival_time() {
+        let outcome = |arrival_s: f64, ok: bool| OpenOutcome {
+            index: 0,
+            priority: Priority::Normal,
+            matrix: spaden_serve::MatrixHandle(0),
+            arrival_s,
+            queue_wait_s: 0.0,
+            done_s: arrival_s + 1e-6,
+            epoch: 0,
+            result: if ok {
+                Ok(spaden_serve::ServedOk {
+                    y: Vec::new(),
+                    rung: spaden_serve::Rung::SpadenChecked,
+                    latency_s: 1e-6,
+                    retries: 0,
+                    epoch: 0,
+                })
+            } else {
+                Err(ServeError::UnknownMatrix(9))
+            },
+        };
+        let outcomes =
+            vec![outcome(0.1, true), outcome(0.4, false), outcome(0.6, true), outcome(1.0, true)];
+        let w = window_stats(&outcomes, 1.0, 2);
+        assert_eq!(w.len(), 2);
+        assert_eq!((w[0].offered, w[0].served, w[0].failed), (2, 1, 1));
+        assert_eq!(w[0].availability, 0.5);
+        // done_s == duration lands in the last window, not out of range.
+        assert_eq!((w[1].offered, w[1].served), (2, 2));
+        assert_eq!(w[1].availability, 1.0);
+        assert!((w[1].p99_s - 1e-6).abs() < 1e-12);
+        // Empty windows read as fully available.
+        let empty = window_stats(&[], 1.0, 3);
+        assert!(empty.iter().all(|w| w.offered == 0 && w.availability == 1.0));
     }
 
     #[test]
