@@ -1,17 +1,20 @@
 //! `repro` — regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro <experiment> [--scale S] [--gpu l40|v100|both]
+//! repro <experiment> [--scale S] [--gpu l40|v100|both] [--seed N]
 //!
 //! experiments: table1 fig6 fig7 fig8 fig9a fig9b fig10a fig10b
 //!              ablations extensions reordering faults plan sanitize serve
-//!              shard traffic evolve verify all
+//!              shard traffic evolve recover verify all
 //! ```
 //!
 //! `--scale` shrinks every dataset proportionally (default 0.05; use 1.0
 //! for paper-size matrices). Figures 6/7 include the two out-of-scope
 //! matrices like the paper; summary rows always exclude them. `--smoke`
-//! shortens the `evolve` scenario for CI smoke jobs.
+//! shortens the `evolve` and `recover` scenarios for CI smoke jobs.
+//! `--seed` overrides the seed of every seeded experiment (chaos,
+//! traffic, shard, evolve, recover) and is echoed in the report header
+//! so any run can be reproduced from its output alone.
 
 use spaden_bench::{
     fig10a, fig10b, fig6, fig7, fig8, fig9a, fig9b, load_datasets, run_sweep, table1,
@@ -24,6 +27,7 @@ struct Args {
     scale: f64,
     gpus: Vec<GpuConfig>,
     smoke: bool,
+    seed: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,9 +36,14 @@ fn parse_args() -> Result<Args, String> {
     let mut scale = 0.05;
     let mut gpus = vec![GpuConfig::l40(), GpuConfig::v100()];
     let mut smoke = false;
+    let mut seed = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--smoke" => smoke = true,
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                seed = Some(v.parse().map_err(|_| format!("bad seed: {v}"))?);
+            }
             "--scale" => {
                 let v = args.next().ok_or("--scale needs a value")?;
                 scale = v.parse().map_err(|_| format!("bad scale: {v}"))?;
@@ -54,7 +63,7 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag: {other}")),
         }
     }
-    Ok(Args { experiment, scale, gpus, smoke })
+    Ok(Args { experiment, scale, gpus, smoke, seed })
 }
 
 /// All eight engines: the Figure-6 set plus the Figure-8 ablations.
@@ -87,13 +96,22 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: repro <table1|fig6|fig7|fig8|fig9a|fig9b|fig10a|fig10b|ablations|extensions|reordering|faults|verify|all> \
-                 [--scale S] [--gpu l40|v100|both] [--smoke]   (also: plan sanitize serve shard traffic evolve)"
+                 [--scale S] [--gpu l40|v100|both] [--smoke] [--seed N]   (also: plan sanitize serve shard traffic evolve recover)"
             );
             std::process::exit(2);
         }
     };
     let scale = args.scale;
-    println!("# Spaden reproduction — experiment `{}` at scale {scale}", args.experiment);
+    match args.seed {
+        Some(s) => println!(
+            "# Spaden reproduction — experiment `{}` at scale {scale}, seed {s}",
+            args.experiment
+        ),
+        None => println!(
+            "# Spaden reproduction — experiment `{}` at scale {scale}, default seeds",
+            args.experiment
+        ),
+    }
 
     match args.experiment.as_str() {
         "table1" => {
@@ -178,17 +196,21 @@ fn main() {
             // every rung (breaker trips, shedding, recovery once the burst
             // passes), tensor-core-only faults spare the scalar/CSR rungs
             // (failover keeps serving one rung down the ladder).
+            let seeds = match args.seed {
+                Some(s) => vec![s, s.wrapping_add(12)],
+                None => vec![11, 23],
+            };
             let uniform = spaden_serve::ChaosConfig {
                 rates: vec![0.0, 1e-2, 5e-2, 2e-1],
                 profile: spaden_serve::FaultProfile::Uniform,
-                seeds: vec![11, 23],
+                seeds: seeds.clone(),
                 requests_per_cell: 32,
                 ..spaden_serve::ChaosConfig::default()
             };
             let tc_only = spaden_serve::ChaosConfig {
                 rates: vec![2e-1, 1.0],
                 profile: spaden_serve::FaultProfile::TensorCoreOnly,
-                seeds: vec![11, 23],
+                seeds,
                 requests_per_cell: 32,
                 ..spaden_serve::ChaosConfig::default()
             };
@@ -235,7 +257,10 @@ fn main() {
             // goodput cliff) past it, high-priority protection, zero
             // unverified results in any brownout mode, and per-seed bit
             // determinism. CI's traffic-smoke job greps `TRAFFIC OK`.
-            let cfg = spaden_traffic::SweepConfig::default();
+            let mut cfg = spaden_traffic::SweepConfig::default();
+            if let Some(s) = args.seed {
+                cfg.seed = s;
+            }
             for gpu in &args.gpus {
                 let (tables, verdict, _) = spaden_bench::traffic_report(gpu, &cfg);
                 for t in tables {
@@ -254,11 +279,14 @@ fn main() {
             // exactness, rollback-not-publish on corruption, zero torn
             // or stale reads, and the availability bar through the
             // storm. CI's evolve-smoke job greps `EVOLVE OK`.
-            let cfg = if args.smoke {
+            let mut cfg = if args.smoke {
                 spaden_bench::EvolveScenario::smoke()
             } else {
                 spaden_bench::EvolveScenario::default()
             };
+            if let Some(s) = args.seed {
+                cfg.seed = s;
+            }
             for gpu in &args.gpus {
                 let (tables, verdict, _) = spaden_bench::evolve_report(gpu, &cfg);
                 for t in tables {
@@ -267,13 +295,48 @@ fn main() {
                 println!("{verdict}");
             }
         }
+        "recover" => {
+            // Certifies crash-consistent durability: kill-at-every-
+            // WAL-record recovery must come back bit-for-bit (epoch,
+            // fingerprint, served result bits), corrupt tails truncate
+            // to a verified epoch, corrupt snapshots fall back to the
+            // older slot, and the reopened server serves zero torn
+            // reads before resuming evolution. Every injected storage
+            // fault's error text is prefixed `injected:` — CI's
+            // recover-smoke job greps `RECOVER OK` and fails on any
+            // WalError outside those lines. Also writes the machine-
+            // readable `recover_report.json`.
+            let mut cfg = if args.smoke {
+                spaden_bench::RecoverScenario::smoke()
+            } else {
+                spaden_bench::RecoverScenario::default()
+            };
+            if let Some(s) = args.seed {
+                cfg.seed = s;
+            }
+            for gpu in &args.gpus {
+                let (tables, verdict, report) = spaden_bench::recover_report(gpu, &cfg);
+                for t in tables {
+                    println!("{t}");
+                }
+                println!("{verdict}");
+                let json = spaden_bench::recover_report_json(gpu, &cfg, &verdict, &report);
+                match std::fs::write("recover_report.json", &json) {
+                    Ok(()) => println!("wrote recover_report.json"),
+                    Err(e) => eprintln!("could not write recover_report.json: {e}"),
+                }
+            }
+        }
         "shard" => {
             // Fixed seed so CI's shard-chaos job is reproducible run to
             // run. The sweep kills a device mid-stream, slows the whole
             // fleet, and rolls hangs across it; the verdict line asserts
             // the SLO (zero silently wrong, >= 90% availability under
             // device loss, speculation beating no-speculation on p99).
-            let cfg = spaden_serve::DeviceChaosConfig::default();
+            let mut cfg = spaden_serve::DeviceChaosConfig::default();
+            if let Some(s) = args.seed {
+                cfg.seeds = vec![s, s.wrapping_add(12)];
+            }
             for gpu in &args.gpus {
                 let (tables, verdict, _) = spaden_bench::shard_report(gpu, &cfg);
                 for t in tables {

@@ -58,6 +58,10 @@ pub struct EvolveScenario {
     pub updates: usize,
     /// Extra update batches crammed into the storm window.
     pub storm: usize,
+    /// Consecutive [`UpdateFault`]-injected batches at mid-run. Every
+    /// one must roll back, with the served epoch unchanged throughout
+    /// the storm (clamped to at least 1).
+    pub fault_storm: usize,
     /// Time slices for the availability curve.
     pub windows: usize,
 }
@@ -72,6 +76,7 @@ impl Default for EvolveScenario {
             edges: 900,
             updates: 8,
             storm: 4,
+            fault_storm: 3,
             windows: 8,
         }
     }
@@ -80,7 +85,7 @@ impl Default for EvolveScenario {
 impl EvolveScenario {
     /// A shorter run for CI smoke jobs — same structure, fewer events.
     pub fn smoke() -> Self {
-        EvolveScenario { duration_s: 2e-3, updates: 5, storm: 3, ..Default::default() }
+        EvolveScenario { duration_s: 2e-3, updates: 5, storm: 3, fault_storm: 2, ..Default::default() }
     }
 }
 
@@ -142,7 +147,7 @@ fn occupied_blocks(csr: &Csr) -> BTreeSet<(u32, u32)> {
 }
 
 /// `k` overwrites of existing entries with fresh values.
-fn value_only_batch(truth: &Csr, rng: &mut Pcg64, k: usize) -> DeltaBatch {
+pub(crate) fn value_only_batch(truth: &Csr, rng: &mut Pcg64, k: usize) -> DeltaBatch {
     let mut deltas = Vec::new();
     let mut seen = BTreeSet::new();
     while deltas.len() < k {
@@ -162,7 +167,7 @@ fn value_only_batch(truth: &Csr, rng: &mut Pcg64, k: usize) -> DeltaBatch {
 /// New edges: `fresh` land in blocks the base format does not have yet
 /// (exercising the side buffer and, past the threshold, compaction) and
 /// `k - fresh` land at absent positions anywhere.
-fn structural_batch(truth: &Csr, rng: &mut Pcg64, k: usize, fresh: usize) -> DeltaBatch {
+pub(crate) fn structural_batch(truth: &Csr, rng: &mut Pcg64, k: usize, fresh: usize) -> DeltaBatch {
     let occupied = occupied_blocks(truth);
     let mut deltas = Vec::new();
     let mut seen = BTreeSet::new();
@@ -199,7 +204,12 @@ fn build_plan(cfg: &EvolveScenario, matrix: spaden_serve::MatrixHandle) -> Evolv
     let mut times: Vec<(f64, bool)> = (0..cfg.updates)
         .map(|i| (cfg.duration_s * (i + 1) as f64 / (cfg.updates + 2) as f64, false))
         .collect();
-    times.push((cfg.duration_s * 0.45 + 1e-9, true)); // faulted batch
+    // The fault storm: consecutive corrupted batches at 45%, spaced so
+    // tightly that nothing else can land between them — every one must
+    // roll back with the served epoch frozen across the whole storm.
+    for j in 0..cfg.fault_storm.max(1) {
+        times.push((cfg.duration_s * 0.45 + 1e-9 + j as f64 * 1e-8, true));
+    }
     for j in 0..cfg.storm {
         // Offset so storm times never tie with the regular cadence —
         // schedule times stay strictly increasing.
@@ -241,7 +251,7 @@ fn build_plan(cfg: &EvolveScenario, matrix: spaden_serve::MatrixHandle) -> Evolv
 
 /// Per-row oracle tolerance for f16 tensor-core accumulation (mirrors
 /// the traffic engine's bound).
-fn oracle_tol(csr: &Csr, row: usize, oracle: f64) -> f64 {
+pub(crate) fn oracle_tol(csr: &Csr, row: usize, oracle: f64) -> f64 {
     let row_nnz = (csr.row_ptr[row + 1] - csr.row_ptr[row]) as f64;
     (2.0f64.powi(-10) * 3.0 * row_nnz.max(1.0) + 1e-4) * oracle.abs().max(1.0)
 }
@@ -329,19 +339,33 @@ pub fn run_evolve(gpu: &GpuConfig, cfg: &EvolveScenario) -> EvolveReport {
 
     let mut checks = Vec::new();
 
-    // 1. Rollback: exactly the faulted batch failed, with the typed
-    // verification error, and no bad epoch was ever published.
+    // 1. Rollback storm: every one of the N consecutive faulted batches
+    // failed with the typed verification error, none was ever published,
+    // and the served epoch was frozen across the whole storm (no clean
+    // batch interleaves with the faulted run).
+    let storm_n = cfg.fault_storm.max(1);
     let rollbacks: Vec<&ServeError> =
         update_results.iter().filter_map(|r| r.as_ref().err()).collect();
-    let typed = matches!(
-        rollbacks.as_slice(),
-        [ServeError::Update(UpdateError::VerificationFailed { .. })]
-    );
+    let typed = rollbacks.len() == storm_n
+        && rollbacks
+            .iter()
+            .all(|e| matches!(e, ServeError::Update(UpdateError::VerificationFailed { .. })));
+    let faulted_idx: Vec<usize> = plan
+        .schedule
+        .iter()
+        .enumerate()
+        .filter_map(|(i, (_, f))| f.then_some(i))
+        .collect();
+    let consecutive = faulted_idx.windows(2).all(|w| w[1] == w[0] + 1);
     let stats = server.evolve_stats(matrix).expect("evolving matrix has stats");
     checks.push(Check {
-        name: "seeded fault rolls the epoch back",
-        pass: typed && stats.rollbacks == 1,
-        detail: format!("{} rollback(s): {rollbacks:?}", rollbacks.len()),
+        name: "fault storm: every injected batch rolls back",
+        pass: typed && consecutive && stats.rollbacks == storm_n as u64,
+        detail: format!(
+            "{} consecutive fault(s), {} rollback(s): {rollbacks:?}",
+            storm_n,
+            rollbacks.len()
+        ),
     });
 
     // 2. Every non-faulted batch committed; the published epoch equals

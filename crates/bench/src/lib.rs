@@ -17,6 +17,7 @@ pub mod evolve;
 pub mod experiments;
 pub mod harness;
 pub mod planning;
+pub mod recover;
 pub mod registry;
 pub mod sanitize;
 pub mod serving;
@@ -28,6 +29,7 @@ pub use evolve::{evolve_report, run_evolve, EvolveReport, EvolveScenario};
 pub use experiments::*;
 pub use harness::BenchGroup;
 pub use planning::{plan_corpus, plan_report, PlanReport};
+pub use recover::{recover_report, recover_report_json, run_recover, RecoverReport, RecoverScenario};
 pub use registry::{build_engine, EngineKind, FIG6_ENGINES, FIG8_ENGINES};
 pub use sanitize::{sanitize_report, SanitizeReport};
 pub use serving::serve_report;

@@ -91,6 +91,28 @@ fn row_entries(blocks: &[(u32, u64, [f32; BLOCK_DIM * BLOCK_DIM])]) -> RowEntrie
     e
 }
 
+/// Borrowed raw arrays of an [`AbftChecksums`] — see
+/// [`AbftChecksums::raw_parts`].
+#[derive(Debug, Clone, Copy)]
+pub struct AbftParts<'a> {
+    /// Matrix rows.
+    pub nrows: usize,
+    /// Matrix columns.
+    pub ncols: usize,
+    /// CSR-like offsets: block-row `br` owns entries `ptr[br]..ptr[br+1]`.
+    pub ptr: &'a [u32],
+    /// Matrix column index per checksum entry.
+    pub cols: &'a [u32],
+    /// Plain column sums (f64).
+    pub sums: &'a [f64],
+    /// Row-weighted column sums (f64).
+    pub wsums: &'a [f64],
+    /// Absolute value mass per column (f64, tolerance scaling).
+    pub abs: &'a [f64],
+    /// Stored nonzeros per block-row.
+    pub nnz_br: &'a [u32],
+}
+
 /// Column-sum checksums of a bitBSR matrix, one group per block-row.
 ///
 /// CSR-like layout: block-row `br` owns entries `ptr[br] .. ptr[br+1]` of
@@ -299,6 +321,68 @@ impl AbftChecksums {
             abs: self.abs[e_lo..e_hi].to_vec(),
             nnz_br: self.nnz_br[lo..hi].to_vec(),
         }
+    }
+
+    /// Borrowed view of the raw checksum arrays, in CSR-entry layout —
+    /// the durability layer's serialization source. Restoring through
+    /// [`AbftChecksums::from_raw_parts`] with these exact arrays yields a
+    /// checksum set that compares `==` (f64-exact) to this one.
+    pub fn raw_parts(&self) -> AbftParts<'_> {
+        AbftParts {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            ptr: &self.ptr,
+            cols: &self.cols,
+            sums: &self.sums,
+            wsums: &self.wsums,
+            abs: &self.abs,
+            nnz_br: &self.nnz_br,
+        }
+    }
+
+    /// Reassembles a checksum set from raw arrays (snapshot restore),
+    /// validating the CSR-entry invariants so a corrupted snapshot can
+    /// never produce a structurally broken verifier. Content integrity
+    /// (the sums actually matching a matrix) is the caller's job — the
+    /// evolve layer's restore path audits them against from-scratch
+    /// builds.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_parts(
+        nrows: usize,
+        ncols: usize,
+        ptr: Vec<u32>,
+        cols: Vec<u32>,
+        sums: Vec<f64>,
+        wsums: Vec<f64>,
+        abs: Vec<f64>,
+        nnz_br: Vec<u32>,
+    ) -> Result<Self, String> {
+        let block_rows = nrows.div_ceil(BLOCK_DIM);
+        if ptr.len() != block_rows + 1 {
+            return Err(format!("ptr length {} != block_rows {} + 1", ptr.len(), block_rows));
+        }
+        if nnz_br.len() != block_rows {
+            return Err(format!("nnz_br length {} != block_rows {}", nnz_br.len(), block_rows));
+        }
+        if ptr.first() != Some(&0) || *ptr.last().expect("non-empty") as usize != cols.len() {
+            return Err("ptr must start at 0 and end at the entry count".into());
+        }
+        if ptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err("ptr must be monotone".into());
+        }
+        if sums.len() != cols.len() || wsums.len() != cols.len() || abs.len() != cols.len() {
+            return Err("entry arrays must have equal length".into());
+        }
+        for br in 0..block_rows {
+            let e = &cols[ptr[br] as usize..ptr[br + 1] as usize];
+            if e.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("block-row {br} columns not sorted unique"));
+            }
+            if e.iter().any(|&c| c as usize >= ncols) {
+                return Err(format!("block-row {br} column out of range"));
+            }
+        }
+        Ok(AbftChecksums { nrows, ncols, ptr, cols, sums, wsums, abs, nnz_br })
     }
 
     /// Checks one block-row of `y` against its checksum. `true` = passes.

@@ -106,6 +106,48 @@ impl DeltaBitBsr {
         DeltaBitBsr { base, side: Vec::new(), side_capacity: side_capacity.max(1) }
     }
 
+    /// Reassembles a delta format from its parts (snapshot restore),
+    /// validating every structural invariant the incremental update path
+    /// relies on: a valid base, a side buffer in merge order with unique
+    /// in-bounds positions, no side entry inside a block the base
+    /// already has, and the capacity bound. Value integrity is the
+    /// caller's job ([`crate::EvolvingMatrix::from_parts`] verifies the
+    /// stored f16 bits against the CSR truth).
+    pub fn from_parts(
+        base: BitBsr,
+        side: Vec<SideEntry>,
+        side_capacity: usize,
+    ) -> Result<Self, String> {
+        base.validate().map_err(|e| format!("restored base invalid: {e}"))?;
+        let side_capacity = side_capacity.max(1);
+        if side.len() > side_capacity {
+            return Err(format!("side length {} exceeds capacity {side_capacity}", side.len()));
+        }
+        for w in side.windows(2) {
+            if w[0].key() >= w[1].key() {
+                return Err("side buffer not in strict merge order".into());
+            }
+        }
+        for e in &side {
+            if e.row as usize >= base.nrows || e.col as usize >= base.ncols {
+                return Err(format!(
+                    "side entry ({}, {}) outside {}x{} matrix",
+                    e.row, e.col, base.nrows, base.ncols
+                ));
+            }
+            let (br, bc, _) = e.key();
+            let lo = base.block_row_ptr[br] as usize;
+            let hi = base.block_row_ptr[br + 1] as usize;
+            if base.block_cols[lo..hi].binary_search(&(bc as u32)).is_ok() {
+                return Err(format!(
+                    "side entry ({}, {}) lies in a block the base already has",
+                    e.row, e.col
+                ));
+            }
+        }
+        Ok(DeltaBitBsr { base, side, side_capacity })
+    }
+
     /// The base bitBSR (what the tensor-core kernel runs on).
     pub fn base(&self) -> &BitBsr {
         &self.base

@@ -50,13 +50,13 @@ pub mod sddmm;
 pub mod spgemm;
 pub mod spmm;
 
-pub use abft::AbftChecksums;
+pub use abft::{AbftChecksums, AbftParts};
 pub use bitbsr::BitBsr;
 pub use bitcoo::{BitCoo, BitCooEngine};
 pub use csr_warp16::CsrWarp16Engine;
 pub use delta::{ApplyStats, DeltaBitBsr, SideEntry, UpdateFault};
 pub use engine::{prepare_validated, EngineError, PrepStats, SpmvEngine, SpmvRun};
-pub use evolve::{EvolveConfig, EvolveStats, EvolvingMatrix, UpdateReport};
+pub use evolve::{EvolveConfig, EvolveStats, EvolvingMatrix, RestoreError, UpdateReport};
 pub use kernel_cuda::SpadenNoTcEngine;
 pub use kernel_tc::{FragmentIo, Packing, SpadenConfig, SpadenEngine, ABFT_MAX_RETRIES};
 pub use sddmm::SpadenSddmmEngine;

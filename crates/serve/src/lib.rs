@@ -83,6 +83,6 @@ pub use queue::{
     ShedReason, PRIORITIES,
 };
 pub use server::{
-    MatrixHandle, OpenOutcome, OpenRequest, Request, Rung, ScheduledUpdate, ServeConfig,
-    ServeError, ServeStats, ServedOk, SpmvServer, UpdateOutcome, RUNGS,
+    MatrixHandle, OpenOutcome, OpenRequest, RecoveryReport, Request, Rung, ScheduledUpdate,
+    ServeConfig, ServeError, ServeStats, ServedOk, SpmvServer, UpdateOutcome, RUNGS,
 };

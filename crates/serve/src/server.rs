@@ -83,6 +83,7 @@ use spaden_shard::{
 use spaden_sparse::csr::Csr;
 use spaden_sparse::delta::{DeltaBatch, DeltaClass, UpdateError};
 use spaden_sparse::{fingerprint, MatrixFingerprint};
+use spaden_store::{recover, DurableStore, SnapshotPolicy, StoreImage, WalError};
 use std::sync::Arc;
 
 /// The failover ladder, strongest (fastest, self-correcting) rung first.
@@ -324,6 +325,40 @@ pub struct UpdateOutcome {
     pub repartitioned: bool,
 }
 
+/// How a [`SpmvServer::recover_evolving`] call went: the storage
+/// layer's account of snapshot selection and replay, minus the matrix
+/// itself (which the server now owns and serves).
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// The epoch the matrix was recovered to (and now serves).
+    pub recovered_epoch: u64,
+    /// Epoch of the snapshot recovery started from.
+    pub snapshot_epoch: u64,
+    /// Snapshot slot used.
+    pub used_slot: usize,
+    /// The newest snapshot was corrupt; recovery fell back to the older
+    /// slot and replayed a longer suffix.
+    pub fell_back: bool,
+    /// Typed errors from snapshot slots that failed verification.
+    pub snapshot_errors: Vec<WalError>,
+    /// Log records replayed through the verified commit path.
+    pub replayed: usize,
+    /// Records skipped as duplicates of already-committed epochs.
+    pub duplicates_skipped: usize,
+    /// The typed error that truncated the log tail, if any.
+    pub tail_error: Option<WalError>,
+    /// CRC-valid records the log scan produced.
+    pub wal_records_seen: usize,
+}
+
+impl RecoveryReport {
+    /// True when recovery was completely clean: newest snapshot, no
+    /// tail damage, nothing skipped abnormally.
+    pub fn clean(&self) -> bool {
+        !self.fell_back && self.snapshot_errors.is_empty() && self.tail_error.is_none()
+    }
+}
+
 /// Typed request failure. The serving invariant is that every request
 /// resolves to [`ServedOk`] or exactly one of these.
 #[derive(Debug, Clone, PartialEq)]
@@ -367,6 +402,11 @@ pub enum ServeError {
     /// ([`SpmvServer::register`] instead of
     /// [`SpmvServer::register_evolving`]).
     NotEvolving(usize),
+    /// Recovery from a crash image failed with a typed storage error
+    /// (no snapshot slot survived the verification gate). Degraded
+    /// recovery — corrupt tail, snapshot fallback — is *not* an error;
+    /// it surfaces in the [`RecoveryReport`] instead.
+    Durability(WalError),
 }
 
 impl std::fmt::Display for ServeError {
@@ -392,6 +432,7 @@ impl std::fmt::Display for ServeError {
             ServeError::NotEvolving(h) => {
                 write!(f, "matrix {h} was registered without an update lifecycle")
             }
+            ServeError::Durability(e) => write!(f, "recovery failed: {e}"),
         }
     }
 }
@@ -511,6 +552,11 @@ struct MatrixEntry {
     current: Arc<PreparedMatrix>,
     evolving: Option<Box<EvolvingMatrix>>,
     fp: MatrixFingerprint,
+    /// Crash-consistent durability, attached by
+    /// [`SpmvServer::register_evolving_durable`]. `None` (the default)
+    /// keeps the serving path byte-for-byte identical to a server
+    /// without the storage subsystem.
+    store: Option<Box<DurableStore>>,
 }
 
 /// The resilient SpMV server.
@@ -707,6 +753,7 @@ impl SpmvServer {
             }),
             evolving: None,
             fp: fingerprint(csr),
+            store: None,
         });
         self.sharded.push(sharded);
         Ok(MatrixHandle(self.matrices.len() - 1))
@@ -723,6 +770,143 @@ impl SpmvServer {
         let h = self.register(csr)?;
         self.matrices[h.0].evolving = Some(Box::new(EvolvingMatrix::new(csr.clone(), config)));
         Ok(h)
+    }
+
+    /// [`SpmvServer::register_evolving`] plus crash-consistent
+    /// durability: the matrix opens checkpointed at epoch 0, every
+    /// committed batch is logged to the write-ahead log before serving
+    /// moves on, and snapshots compact the log per `policy`. Serving
+    /// behaviour is bit-identical to the non-durable registration — the
+    /// store only observes commits.
+    pub fn register_evolving_durable(
+        &mut self,
+        csr: &Csr,
+        config: EvolveConfig,
+        policy: SnapshotPolicy,
+    ) -> Result<MatrixHandle, ServeError> {
+        let h = self.register_evolving(csr, config)?;
+        let ev = self.matrices[h.0].evolving.as_ref().expect("just attached");
+        self.matrices[h.0].store = Some(Box::new(DurableStore::create(ev, policy)));
+        Ok(h)
+    }
+
+    /// Recovers an evolving matrix from a crash image and registers it
+    /// for serving: newest valid snapshot, verified replay of the log
+    /// suffix, full engine rebuild from the recovered parts (base/side
+    /// split preserved — the served f16 bits are the pre-crash bits,
+    /// not a re-rounding), and a fresh checkpoint so the recovered
+    /// server is immediately durable again. Degraded-but-successful
+    /// recovery (corrupt tail truncated, snapshot fallback) reports the
+    /// typed errors in the [`RecoveryReport`]; only the loss of every
+    /// snapshot fails, with [`ServeError::Durability`].
+    pub fn recover_evolving(
+        &mut self,
+        image: &StoreImage,
+        policy: SnapshotPolicy,
+    ) -> Result<(MatrixHandle, RecoveryReport), ServeError> {
+        let outcome = recover(image).map_err(ServeError::Durability)?;
+        let report = RecoveryReport {
+            recovered_epoch: outcome.matrix.epoch(),
+            snapshot_epoch: outcome.snapshot_epoch,
+            used_slot: outcome.used_slot,
+            fell_back: outcome.fell_back,
+            snapshot_errors: outcome.snapshot_errors,
+            replayed: outcome.replayed,
+            duplicates_skipped: outcome.duplicates_skipped,
+            tail_error: outcome.tail_error,
+            wal_records_seen: outcome.wal_records_seen,
+        };
+        let h = self.install_recovered(Box::new(outcome.matrix), policy)?;
+        Ok((h, report))
+    }
+
+    /// Registers a recovered matrix for serving. Engines are built with
+    /// the same `try_from_parts` path a committed update uses, so the
+    /// base bitBSR and side tail serve exactly the recovered bits.
+    fn install_recovered(
+        &mut self,
+        ev: Box<EvolvingMatrix>,
+        policy: SnapshotPolicy,
+    ) -> Result<MatrixHandle, ServeError> {
+        let fp = fingerprint(ev.csr());
+        let spaden = SpadenEngine::try_from_parts(
+            &self.gpu,
+            ev.base().clone(),
+            ev.base_sums().clone(),
+            SpadenConfig::default(),
+        )
+        .map_err(ServeError::Invalid)?;
+        let scalar = SpadenNoTcEngine::try_from_parts(&self.gpu, ev.base().clone())
+            .map_err(ServeError::Invalid)?;
+        let csr_eng =
+            CusparseCsrEngine::try_prepare(&self.gpu, ev.csr()).map_err(ServeError::Invalid)?;
+        let sums = CsrChecksums::build(ev.csr());
+        let side = ev.delta().side().to_vec();
+        let logical = (!side.is_empty()).then(|| ev.logical_sums().clone());
+        let sharded = match &self.fleet {
+            Some(fleet) => Some(
+                ShardedMatrix::try_new_cached(
+                    &self.gpu.config,
+                    ev.csr(),
+                    fleet.len() * self.config.shards_per_device.max(1),
+                    self.config.shard_policy,
+                    &mut self.partition_cache,
+                )
+                .map_err(ServeError::Invalid)?,
+            ),
+            None => None,
+        };
+        let x0 = vec![0.0f32; ev.csr().ncols];
+        let est = |run: SpmvRun| run.time.seconds;
+        let est_cost_s = [
+            match (&sharded, &self.fleet) {
+                (Some(sm), Some(fleet)) => sm.est_s(fleet.len()),
+                _ => f64::INFINITY,
+            },
+            est(spaden.try_run(&self.gpu, &x0).map_err(ServeError::Invalid)?),
+            est(scalar.try_run(&self.gpu, &x0).map_err(ServeError::Invalid)?),
+            est(csr_eng.try_run(&self.gpu, &x0).map_err(ServeError::Invalid)?),
+        ];
+        let ladder = planned_ladder(&MatrixStats::of(ev.csr()), &self.gpu.config);
+        let (nrows, ncols) = (ev.csr().nrows, ev.csr().ncols);
+        // Recovery ends with a checkpoint: a fresh store snapshotted at
+        // the recovered epoch with an empty log, so a second crash
+        // recovers from here with zero replay.
+        let store = DurableStore::create(&ev, policy);
+        self.matrices.push(MatrixEntry {
+            current: Arc::new(PreparedMatrix {
+                nrows,
+                ncols,
+                spaden,
+                scalar,
+                csr: csr_eng,
+                sums,
+                est_cost_s,
+                ladder,
+                epoch: ev.epoch(),
+                side,
+                logical,
+            }),
+            evolving: Some(ev),
+            fp,
+            store: Some(Box::new(store)),
+        });
+        self.sharded.push(sharded);
+        Ok(MatrixHandle(self.matrices.len() - 1))
+    }
+
+    /// A byte-exact capture of an evolving matrix's durable state — the
+    /// crash image recovery would see if the process died now. `None`
+    /// for non-durable registrations.
+    pub fn durable_image(&self, h: MatrixHandle) -> Option<StoreImage> {
+        self.matrices.get(h.0).and_then(|e| e.store.as_ref()).map(|s| s.capture())
+    }
+
+    /// The durable store attached to an evolving matrix, for
+    /// inspection (log size, snapshot size, counters). `None` for
+    /// non-durable registrations.
+    pub fn durable_store(&self, h: MatrixHandle) -> Option<&DurableStore> {
+        self.matrices.get(h.0).and_then(|e| e.store.as_deref())
     }
 
     /// Output dimension of a registered matrix.
@@ -811,6 +995,15 @@ impl SpmvServer {
                 return Err(ServeError::Update(e));
             }
         };
+
+        // Durability: log the committed batch under its new epoch before
+        // publishing. Rejected batches never get here, so the log holds
+        // only verified commits and replay cannot re-introduce a
+        // rolled-back epoch.
+        if let Some(store) = self.matrices[idx].store.as_mut() {
+            store.append_batch(ev.epoch(), batch);
+            store.maybe_snapshot(&ev);
+        }
 
         // Build the new epoch's snapshot off to the side. Every piece
         // was verified by the evolve layer before the commit, so engine
@@ -2156,5 +2349,121 @@ mod tests {
             (bits, srv.clock_s().to_bits(), srv.stats().shed)
         };
         assert_eq!(run(false), run(true), "empty update schedule must change nothing");
+    }
+
+    fn durable_server() -> (SpmvServer, MatrixHandle, Csr) {
+        let csr = gen::generate_blocked(
+            96,
+            50,
+            gen::Placement::Banded { bandwidth: 2 },
+            &gen::FillDist::Uniform { lo: 24, hi: 64 },
+            911,
+        );
+        let mut srv = SpmvServer::new(Gpu::new(GpuConfig::l40()), ServeConfig::default());
+        let h = srv
+            .register_evolving_durable(
+                &csr,
+                EvolveConfig { side_capacity: 64, compact_threshold: 64, audit: true },
+                spaden_store::SnapshotPolicy { snapshot_every: 2 },
+            )
+            .expect("valid matrix registers");
+        (srv, h, csr)
+    }
+
+    #[test]
+    fn durability_off_serving_is_bit_identical_to_durable_serving() {
+        // The store only observes commits; the served bytes must not
+        // depend on whether it is attached.
+        let x = make_x(96);
+        let run = |durable: bool| {
+            let (mut srv, h, csr) = if durable { durable_server() } else { evolving_server() };
+            srv.update(h, &value_batch(&csr, 9, 2.0)).expect("commit");
+            srv.update(h, &new_block_batch(&csr, 3)).expect("commit");
+            let ok = srv.serve(Request { matrix: h, x: x.clone(), deadline_s: None }).unwrap();
+            (ok.y.iter().map(|v| v.to_bits()).collect::<Vec<_>>(), ok.epoch, ok.rung)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn crash_image_recovers_the_exact_epoch_and_serving_resumes() {
+        let (mut srv, h, csr) = durable_server();
+        srv.update(h, &value_batch(&csr, 9, 2.0)).expect("commit");
+        srv.update(h, &new_block_batch(&csr, 4)).expect("commit");
+        srv.update(h, &value_batch(&csr, 5, -1.0)).expect("commit");
+        assert_eq!(srv.epoch(h), Some(3));
+        let x = make_x(96);
+        let before = srv.serve(Request { matrix: h, x: x.clone(), deadline_s: None }).unwrap();
+        let image = srv.durable_image(h).expect("durable registration has an image");
+
+        // "Restart": a fresh server recovers from the crash image.
+        let mut srv2 = SpmvServer::new(Gpu::new(GpuConfig::l40()), ServeConfig::default());
+        let (h2, report) = srv2
+            .recover_evolving(&image, spaden_store::SnapshotPolicy { snapshot_every: 2 })
+            .expect("clean image recovers");
+        assert!(report.clean(), "{report:?}");
+        assert_eq!(report.recovered_epoch, 3);
+        assert_eq!(report.snapshot_epoch, 2);
+        assert_eq!(report.replayed, 1);
+        assert_eq!(srv2.epoch(h2), Some(3));
+        assert_eq!(srv2.fingerprint_of(h2), srv.fingerprint_of(h), "same truth bits");
+        // Recovery re-checkpoints: empty log, snapshot at the tip.
+        let store = srv2.durable_store(h2).unwrap();
+        assert_eq!(store.wal_bytes(), 0);
+        assert!(store.snapshot_bytes() > 0);
+        // Bit-identical serving across the crash.
+        let after = srv2.serve(Request { matrix: h2, x: x.clone(), deadline_s: None }).unwrap();
+        assert_eq!(after.epoch, before.epoch);
+        assert_eq!(
+            after.y.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            before.y.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        // And the recovered matrix keeps evolving.
+        srv2.update(h2, &value_batch(&csr, 3, 0.5)).expect("recovered matrix commits");
+        assert_eq!(srv2.epoch(h2), Some(4));
+    }
+
+    #[test]
+    fn fault_storm_rolls_back_every_update_with_the_served_pointer_unchanged() {
+        // Satellite: N *consecutive* injected faults must produce N
+        // rollbacks while the served snapshot is never even re-published
+        // — the Arc pointer itself stays fixed through the storm.
+        let (mut srv, h, csr) = evolving_server();
+        srv.update(h, &value_batch(&csr, 4, 1.5)).expect("commit");
+        let head = Arc::as_ptr(&srv.matrices[h.0].current);
+        let storm = 4;
+        for i in 0..storm {
+            let batch = value_batch(&csr, 5 + i, 2.0 + i as f32);
+            let err = srv
+                .update_with_fault(h, &batch, Some(UpdateFault { delta_index: 0, bit: 9 }))
+                .expect_err("faulted update must roll back");
+            assert!(matches!(err, ServeError::Update(UpdateError::VerificationFailed { .. })));
+            assert_eq!(
+                Arc::as_ptr(&srv.matrices[h.0].current),
+                head,
+                "storm fault {i} must not touch the served snapshot"
+            );
+            assert_eq!(srv.epoch(h), Some(1));
+        }
+        assert_eq!(srv.stats().update_rollbacks, storm as u64);
+        assert_eq!(srv.evolve_stats(h).unwrap().rollbacks, storm as u64);
+        // The matrix is still healthy after the storm.
+        srv.update(h, &value_batch(&csr, 6, -2.0)).expect("post-storm commit");
+        assert_eq!(srv.epoch(h), Some(2));
+    }
+
+    #[test]
+    fn rolled_back_updates_never_reach_the_log() {
+        let (mut srv, h, csr) = durable_server();
+        srv.update(h, &value_batch(&csr, 4, 1.5)).expect("commit");
+        let appended = srv.durable_store(h).unwrap().records_appended();
+        let wal_bytes = srv.durable_store(h).unwrap().wal_bytes();
+        srv.update_with_fault(h, &value_batch(&csr, 7, 3.0), Some(UpdateFault { delta_index: 1, bit: 9 }))
+            .expect_err("faulted update rolls back");
+        let store = srv.durable_store(h).unwrap();
+        assert_eq!(store.records_appended(), appended, "rollback must not be logged");
+        assert_eq!(store.wal_bytes(), wal_bytes);
+        srv.update(h, &value_batch(&csr, 7, 3.0)).expect("clean retry commits");
+        assert_eq!(srv.durable_store(h).unwrap().records_appended(), appended + 1);
     }
 }

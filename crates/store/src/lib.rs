@@ -1,0 +1,49 @@
+//! # spaden-store — crash-consistent durability for evolving matrices
+//!
+//! PR 7 made matrices *evolve*: verified delta batches advance an
+//! [`spaden::EvolvingMatrix`] epoch by epoch while the server keeps
+//! serving. This crate makes that evolution *durable*: a process crash
+//! at any instant loses at most the in-flight batch, and recovery
+//! provably restores the exact pre-crash epoch — same f32 truth bits,
+//! same f16 format bits, same f64 ABFT checksums, same fingerprint.
+//!
+//! The layout is deliberately boring, modelled in memory as a
+//! [`StoreImage`] so crash schedules are exact byte captures rather
+//! than filesystem races:
+//!
+//! - **WAL** ([`wal`]): one CRC32-framed record per committed epoch,
+//!   carrying the batch's canonical bytes ([`spaden_sparse::DeltaBatch::to_bytes`]).
+//!   Scanning stops at the first framing violation and truncates the
+//!   tail — a torn write costs the torn record, never the log.
+//! - **Snapshots** ([`snapshot`]): full serialized epochs (truth +
+//!   format + checksums + fingerprint key) in two alternating slots.
+//!   The log is only truncated up to the *older* retained slot's epoch,
+//!   so a corrupt newest snapshot falls back with its replay suffix
+//!   intact.
+//! - **Recovery** ([`recovery`]): newest valid snapshot, restored
+//!   through the evolve layer's full verification gate, then ordered
+//!   replay of the log suffix through the same verified commit path
+//!   that produced it. Damage surfaces as typed [`WalError`]s, never as
+//!   silently wrong values.
+//! - **Faults** ([`fault`]): a seeded injector for the storage fault
+//!   model (torn tail, mid-frame truncation, bit rot, duplicated frame,
+//!   lost fsync), so every failure path is exercised deterministically.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod codec;
+pub mod crc;
+pub mod fault;
+pub mod recovery;
+pub mod snapshot;
+pub mod store;
+pub mod wal;
+
+pub use codec::CodecError;
+pub use crc::crc32;
+pub use fault::{inject, StorageFault};
+pub use recovery::{recover, RecoveryOutcome};
+pub use snapshot::SnapshotState;
+pub use store::{DurableStore, SnapshotPolicy, StoreImage};
+pub use wal::{append_record, scan, ScannedRecord, WalError, WalScan};

@@ -1,0 +1,300 @@
+//! Verified recovery: newest valid snapshot, then replay of the log
+//! suffix through the evolve layer's own verified commit path.
+//!
+//! The recovery contract, in order of preference:
+//!
+//! 1. Restore the snapshot with the highest epoch that passes the full
+//!    gate (CRC, decode, whole-matrix f16 verification, checksum
+//!    rebuilds, fingerprint key). If the newest slot is corrupt, fall
+//!    back to the other — the store's truncation rule guarantees its
+//!    replay suffix is still in the log.
+//! 2. Replay log records with `seq > snapshot epoch` in order through
+//!    [`EvolvingMatrix::apply`], which re-runs the `apply_to_csr`
+//!    oracle and block-row verification per batch. Records at or below
+//!    the snapshot epoch are duplicates (retained prefix, or a
+//!    duplicated frame) and are skipped.
+//! 3. A damaged log *tail* — torn frame, bit rot, sequence gap,
+//!    unreplayable payload — ends the replay with a typed error and
+//!    leaves the matrix at the last epoch proven good. It never aborts
+//!    recovery: crash-consistency means a valid prefix always serves.
+//!
+//! Only the loss of every snapshot slot is fatal ([`WalError::NoValidSnapshot`]).
+
+use crate::snapshot::SnapshotState;
+use crate::store::StoreImage;
+use crate::wal::{scan, WalError};
+use spaden::EvolvingMatrix;
+use spaden_sparse::DeltaBatch;
+
+/// What recovery produced and how it got there.
+#[derive(Debug)]
+pub struct RecoveryOutcome {
+    /// The recovered matrix, verified at its final epoch.
+    pub matrix: EvolvingMatrix,
+    /// Epoch of the snapshot recovery started from.
+    pub snapshot_epoch: u64,
+    /// Slot index that snapshot came from.
+    pub used_slot: usize,
+    /// True when the newest slot was corrupt and recovery fell back to
+    /// the other.
+    pub fell_back: bool,
+    /// Typed errors from snapshot slots that failed the gate.
+    pub snapshot_errors: Vec<WalError>,
+    /// Records replayed (committed on top of the snapshot).
+    pub replayed: usize,
+    /// Records skipped as duplicates (`seq <=` the current epoch).
+    pub duplicates_skipped: usize,
+    /// The typed error that ended the replay early, if any.
+    pub tail_error: Option<WalError>,
+    /// CRC-valid records the log scan produced.
+    pub wal_records_seen: usize,
+}
+
+impl RecoveryOutcome {
+    /// The epoch the matrix was recovered to.
+    pub fn epoch(&self) -> u64 {
+        self.matrix.epoch()
+    }
+
+    /// True when recovery was completely clean: newest snapshot used,
+    /// no tail damage.
+    pub fn clean(&self) -> bool {
+        !self.fell_back && self.snapshot_errors.is_empty() && self.tail_error.is_none()
+    }
+}
+
+/// Recovers an evolving matrix from a crash image. Infallible except
+/// when no snapshot slot survives the verification gate.
+pub fn recover(image: &StoreImage) -> Result<RecoveryOutcome, WalError> {
+    // Gate every present slot; keep the best survivor.
+    let mut snapshot_errors = Vec::new();
+    let mut best: Option<(usize, EvolvingMatrix)> = None;
+    for (slot, bytes) in image.slots.iter().enumerate() {
+        let Some(bytes) = bytes else { continue };
+        match SnapshotState::decode(bytes).and_then(SnapshotState::restore) {
+            Ok(m) => {
+                let better = match &best {
+                    None => true,
+                    Some((_, b)) => m.epoch() > b.epoch(),
+                };
+                if better {
+                    best = Some((slot, m));
+                }
+            }
+            Err(reason) => snapshot_errors.push(WalError::SnapshotCorrupt { slot, reason }),
+        }
+    }
+    let Some((used_slot, mut matrix)) = best else {
+        if snapshot_errors.is_empty() {
+            return Err(WalError::NoValidSnapshot);
+        }
+        // Surface the newest slot's failure as the cause.
+        return Err(
+            snapshot_errors
+                .iter()
+                .find(|e| matches!(e, WalError::SnapshotCorrupt { slot, .. } if *slot == image.newest_slot))
+                .cloned()
+                .unwrap_or(WalError::NoValidSnapshot),
+        );
+    };
+    let fell_back = used_slot != image.newest_slot && image.slots[image.newest_slot].is_some();
+    let snapshot_epoch = matrix.epoch();
+
+    // Replay the verified log prefix.
+    let s = scan(&image.wal);
+    let mut tail_error = s.tail;
+    let mut replayed = 0usize;
+    let mut duplicates_skipped = 0usize;
+    for rec in &s.records {
+        if rec.seq <= matrix.epoch() {
+            duplicates_skipped += 1;
+            continue;
+        }
+        if rec.seq != matrix.epoch() + 1 {
+            tail_error = Some(WalError::SeqGap {
+                offset: rec.offset,
+                expected: matrix.epoch() + 1,
+                found: rec.seq,
+            });
+            break;
+        }
+        let batch = match DeltaBatch::from_bytes(&rec.payload, matrix.csr().nrows, matrix.csr().ncols)
+        {
+            Ok(b) => b,
+            Err(e) => {
+                tail_error = Some(WalError::Payload { seq: rec.seq, detail: e.to_string() });
+                break;
+            }
+        };
+        if let Err(e) = matrix.apply(&batch, None) {
+            tail_error = Some(WalError::Payload { seq: rec.seq, detail: e.to_string() });
+            break;
+        }
+        replayed += 1;
+    }
+    Ok(RecoveryOutcome {
+        matrix,
+        snapshot_epoch,
+        used_slot,
+        fell_back,
+        snapshot_errors,
+        replayed,
+        duplicates_skipped,
+        tail_error,
+        wal_records_seen: s.records.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{DurableStore, SnapshotPolicy};
+    use spaden::{EvolveConfig, EvolvingMatrix};
+    use spaden_sparse::{gen, Delta, Pcg64};
+
+    const N: usize = 40;
+
+    fn batch_for(rng: &mut Pcg64) -> DeltaBatch {
+        loop {
+            let deltas: Vec<_> = (0..5)
+                .map(|_| Delta {
+                    row: rng.below_usize(N) as u32,
+                    col: rng.below_usize(N) as u32,
+                    value: rng.range_f32(-1.0, 1.0),
+                })
+                .collect();
+            if let Ok(b) = DeltaBatch::new(deltas, N, N) {
+                return b;
+            }
+        }
+    }
+
+    fn evolved_store(updates: u64, every: u64) -> (EvolvingMatrix, DurableStore) {
+        let csr = gen::random_uniform(N, N, 250, 55);
+        let cfg = EvolveConfig { side_capacity: 128, compact_threshold: 64, audit: true };
+        let mut ev = EvolvingMatrix::new(csr, cfg);
+        let mut store = DurableStore::create(&ev, SnapshotPolicy { snapshot_every: every });
+        let mut rng = Pcg64::new(99, 2);
+        while ev.epoch() < updates {
+            let batch = batch_for(&mut rng);
+            if ev.apply(&batch, None).is_ok() {
+                store.append_batch(ev.epoch(), &batch);
+                store.maybe_snapshot(&ev);
+            }
+        }
+        (ev, store)
+    }
+
+    fn assert_identical(a: &EvolvingMatrix, b: &EvolvingMatrix) {
+        assert_eq!(a.epoch(), b.epoch());
+        assert_eq!(a.csr(), b.csr());
+        assert_eq!(a.base(), b.base());
+        assert_eq!(a.delta().side(), b.delta().side());
+        assert_eq!(a.logical_sums(), b.logical_sums());
+        assert_eq!(a.base_sums(), b.base_sums());
+    }
+
+    #[test]
+    fn clean_image_recovers_bit_identically() {
+        let (ev, store) = evolved_store(11, 4);
+        let out = recover(store.image()).unwrap();
+        assert!(out.clean(), "{out:?}");
+        assert_eq!(out.snapshot_epoch, 8);
+        assert_eq!(out.replayed, 3);
+        assert_eq!(out.duplicates_skipped, 4); // epochs 5..=8 retained for the fallback slot
+        assert_identical(&out.matrix, &ev);
+        // Stats survive the trip too (rollback counts etc. are part of
+        // the snapshot; replays of clean batches add only commits).
+        assert_eq!(out.matrix.stats().updates, ev.stats().updates);
+    }
+
+    #[test]
+    fn corrupt_newest_snapshot_falls_back_with_longer_replay() {
+        let (ev, store) = evolved_store(11, 4);
+        let mut image = store.capture();
+        let newest = image.newest_slot;
+        let bytes = image.slots[newest].as_mut().unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        let out = recover(&image).unwrap();
+        assert!(out.fell_back);
+        assert_eq!(out.used_slot, 1 - newest);
+        assert_eq!(out.snapshot_epoch, 4);
+        assert_eq!(out.replayed, 7); // 5..=11 — the suffix the truncation rule retained
+        assert_eq!(out.snapshot_errors.len(), 1);
+        assert!(matches!(out.snapshot_errors[0], WalError::SnapshotCorrupt { slot, .. } if slot == newest));
+        assert!(out.tail_error.is_none());
+        assert_identical(&out.matrix, &ev);
+    }
+
+    #[test]
+    fn both_snapshots_corrupt_is_fatal_and_typed() {
+        let (_, store) = evolved_store(11, 4);
+        let mut image = store.capture();
+        for slot in &mut image.slots {
+            if let Some(bytes) = slot.as_mut() {
+                let mid = bytes.len() / 3;
+                bytes[mid] ^= 0x01;
+            }
+        }
+        let err = recover(&image).unwrap_err();
+        assert!(matches!(err, WalError::SnapshotCorrupt { .. }), "{err}");
+        let empty = recover(&StoreImage::default()).unwrap_err();
+        assert_eq!(empty, WalError::NoValidSnapshot);
+    }
+
+    #[test]
+    fn torn_tail_recovers_the_prefix_epoch() {
+        let (_, store) = evolved_store(11, 4);
+        let mut image = store.capture();
+        image.wal.truncate(image.wal.len() - 3);
+        let out = recover(&image).unwrap();
+        assert!(matches!(out.tail_error, Some(WalError::TornFrame { .. })));
+        assert_eq!(out.epoch(), 10); // final record (epoch 11) torn away
+        assert_eq!(out.replayed, 2);
+    }
+
+    #[test]
+    fn lost_record_stops_replay_at_the_gap() {
+        let (_, store) = evolved_store(11, 4);
+        let mut image = store.capture();
+        // Splice out the record for epoch 10 (a lost fsync): epoch 11's
+        // record survives but must not be applied over the gap.
+        let s = scan(&image.wal);
+        let rec10 = s.records.iter().find(|r| r.seq == 10).unwrap();
+        let next_off = s
+            .records
+            .iter()
+            .find(|r| r.seq == 11)
+            .map(|r| r.offset)
+            .unwrap();
+        image.wal.drain(rec10.offset..next_off);
+        let out = recover(&image).unwrap();
+        assert!(
+            matches!(out.tail_error, Some(WalError::SeqGap { expected: 10, found: 11, .. })),
+            "{:?}",
+            out.tail_error
+        );
+        assert_eq!(out.epoch(), 9);
+    }
+
+    #[test]
+    fn duplicated_frame_is_skipped_not_reapplied() {
+        let (ev, store) = evolved_store(11, 4);
+        let mut image = store.capture();
+        let s = scan(&image.wal);
+        let rec = s.records.iter().find(|r| r.seq == 9).unwrap();
+        let end = s
+            .records
+            .iter()
+            .find(|r| r.seq == 10)
+            .map(|r| r.offset)
+            .unwrap();
+        let dup = image.wal[rec.offset..end].to_vec();
+        image.wal.extend_from_slice(&dup);
+        let out = recover(&image).unwrap();
+        assert!(out.tail_error.is_none());
+        assert_identical(&out.matrix, &ev);
+        assert_eq!(out.duplicates_skipped, 5); // 4 retained-prefix records + the injected duplicate
+    }
+}

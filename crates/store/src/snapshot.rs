@@ -1,0 +1,234 @@
+//! Epoch snapshots: a full serialized image of an evolving matrix —
+//! CSR truth (f32 bits), bitBSR base (f16 bits), side tail, both ABFT
+//! checksum sets, lifecycle config/stats, epoch, and the matrix
+//! fingerprint key — framed as `MAGIC | version | body | crc32(body)`.
+//!
+//! Restore goes through [`EvolvingMatrix::from_parts`], which re-runs
+//! the full f16-vs-truth verification and rebuilds both checksum sets
+//! from scratch for an `==` comparison; on top of that the fingerprint
+//! key recorded at snapshot time must match the restored truth. A
+//! snapshot that decodes but fails any of these is *corrupt*, not
+//! merely stale — recovery falls back to the previous slot.
+
+use crate::codec::{
+    decode_bitbsr, decode_config, decode_csr, decode_side, decode_stats, decode_sums,
+    encode_bitbsr, encode_config, encode_csr, encode_side, encode_stats, encode_sums, ByteReader,
+    ByteWriter,
+};
+use crate::crc::crc32;
+use spaden::{DeltaBitBsr, EvolvingMatrix};
+use spaden_sparse::fingerprint;
+
+/// Snapshot magic: "SNAP" little-endian.
+pub const SNAPSHOT_MAGIC: u32 = 0x5041_4E53;
+
+/// On-disk snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// A decoded snapshot: every part needed to reassemble an
+/// [`EvolvingMatrix`] plus the fingerprint key of the truth it was
+/// taken from.
+#[derive(Debug, Clone)]
+pub struct SnapshotState {
+    csr: spaden_sparse::Csr,
+    base: spaden::BitBsr,
+    side: Vec<spaden::SideEntry>,
+    side_capacity: usize,
+    logical: spaden::AbftChecksums,
+    base_sums: spaden::AbftChecksums,
+    epoch: u64,
+    config: spaden::EvolveConfig,
+    stats: spaden::EvolveStats,
+    fingerprint_key: u64,
+}
+
+impl SnapshotState {
+    /// Captures the current epoch of a live matrix.
+    pub fn of(ev: &EvolvingMatrix) -> Self {
+        SnapshotState {
+            csr: ev.csr().clone(),
+            base: ev.base().clone(),
+            side: ev.delta().side().to_vec(),
+            side_capacity: ev.delta().side_capacity(),
+            logical: ev.logical_sums().clone(),
+            base_sums: ev.base_sums().clone(),
+            epoch: ev.epoch(),
+            config: ev.config(),
+            stats: ev.stats(),
+            fingerprint_key: fingerprint(ev.csr()).key(),
+        }
+    }
+
+    /// The epoch this snapshot captures.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Serializes to the framed on-disk form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u64(self.epoch);
+        w.put_u64(self.fingerprint_key);
+        w.put_u64(self.side_capacity as u64);
+        encode_config(&mut w, &self.config);
+        encode_stats(&mut w, &self.stats);
+        encode_csr(&mut w, &self.csr);
+        encode_bitbsr(&mut w, &self.base);
+        encode_side(&mut w, &self.side);
+        encode_sums(&mut w, &self.logical);
+        encode_sums(&mut w, &self.base_sums);
+        let body = w.finish();
+        let mut out = Vec::with_capacity(12 + body.len());
+        out.extend_from_slice(&SNAPSHOT_MAGIC.to_le_bytes());
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&body);
+        out.extend_from_slice(&crc32(&body).to_le_bytes());
+        out
+    }
+
+    /// Deserializes a framed snapshot, checking magic, version, and CRC
+    /// before touching the body. The returned state is *decoded but not
+    /// yet trusted* — [`SnapshotState::restore`] runs the verification.
+    pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+        if bytes.len() < 12 {
+            return Err(format!("snapshot too short: {} bytes", bytes.len()));
+        }
+        let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
+        if magic != SNAPSHOT_MAGIC {
+            return Err(format!("bad snapshot magic {magic:#010x}"));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        if version != SNAPSHOT_VERSION {
+            return Err(format!("unsupported snapshot version {version}"));
+        }
+        let body = &bytes[8..bytes.len() - 4];
+        let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+        if crc32(body) != stored {
+            return Err("snapshot CRC mismatch".to_string());
+        }
+        let mut r = ByteReader::new(body);
+        let state = (|| -> Result<SnapshotState, crate::codec::CodecError> {
+            let epoch = r.get_u64()?;
+            let fingerprint_key = r.get_u64()?;
+            let side_capacity = r.get_u64()? as usize;
+            let config = decode_config(&mut r)?;
+            let stats = decode_stats(&mut r)?;
+            let csr = decode_csr(&mut r)?;
+            let base = decode_bitbsr(&mut r)?;
+            let side = decode_side(&mut r)?;
+            let logical = decode_sums(&mut r)?;
+            let base_sums = decode_sums(&mut r)?;
+            r.expect_end()?;
+            Ok(SnapshotState {
+                csr,
+                base,
+                side,
+                side_capacity,
+                logical,
+                base_sums,
+                epoch,
+                config,
+                stats,
+                fingerprint_key,
+            })
+        })()
+        .map_err(|e| format!("snapshot body: {e}"))?;
+        Ok(state)
+    }
+
+    /// Reassembles the evolving matrix, running the full recovery gate:
+    /// structural validation of every part, whole-matrix f16-vs-truth
+    /// verification, `==` checksum rebuilds, and a fingerprint-key check
+    /// of the restored truth against the one recorded at snapshot time.
+    pub fn restore(self) -> Result<EvolvingMatrix, String> {
+        let restored_key = fingerprint(&self.csr).key();
+        if restored_key != self.fingerprint_key {
+            return Err(format!(
+                "fingerprint key mismatch: snapshot recorded {:#018x}, restored truth hashes to {restored_key:#018x}",
+                self.fingerprint_key
+            ));
+        }
+        let delta = DeltaBitBsr::from_parts(self.base, self.side, self.side_capacity)
+            .map_err(|e| format!("delta format: {e}"))?;
+        EvolvingMatrix::from_parts(
+            self.csr,
+            delta,
+            self.logical,
+            self.base_sums,
+            self.epoch,
+            self.config,
+            self.stats,
+        )
+        .map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spaden::{EvolveConfig, EvolvingMatrix};
+    use spaden_sparse::{gen, DeltaBatch, Pcg64};
+
+    fn evolved_matrix() -> EvolvingMatrix {
+        let csr = gen::random_uniform(48, 48, 300, 91);
+        let cfg = EvolveConfig { side_capacity: 64, compact_threshold: 8, audit: true };
+        let mut ev = EvolvingMatrix::new(csr, cfg);
+        let mut rng = Pcg64::new(0xdead, 11);
+        for _ in 0..5 {
+            let deltas: Vec<_> = (0..6)
+                .map(|_| spaden_sparse::Delta {
+                    row: rng.below_usize(48) as u32,
+                    col: rng.below_usize(48) as u32,
+                    value: rng.range_f32(-0.5, 0.5),
+                })
+                .collect();
+            if let Ok(batch) = DeltaBatch::new(deltas, 48, 48) {
+                let _ = ev.apply(&batch, None);
+            }
+        }
+        ev
+    }
+
+    #[test]
+    fn snapshot_roundtrips_and_restores_bit_identically() {
+        let ev = evolved_matrix();
+        assert!(ev.epoch() > 0, "scenario must commit something");
+        let bytes = SnapshotState::of(&ev).encode();
+        let back = SnapshotState::decode(&bytes).unwrap().restore().unwrap();
+        assert_eq!(back.epoch(), ev.epoch());
+        assert_eq!(back.csr(), ev.csr());
+        assert_eq!(back.base(), ev.base());
+        assert_eq!(back.delta().side(), ev.delta().side());
+        assert_eq!(back.logical_sums(), ev.logical_sums());
+        assert_eq!(back.base_sums(), ev.base_sums());
+        assert_eq!(back.stats(), ev.stats());
+    }
+
+    #[test]
+    fn every_single_bit_flip_in_a_snapshot_is_rejected_on_a_sample() {
+        // Exhaustive flips are too slow at full size; a seeded sample of
+        // byte positions across the image gives the same confidence.
+        let ev = evolved_matrix();
+        let bytes = SnapshotState::of(&ev).encode();
+        let mut rng = Pcg64::new(0x51a9, 5);
+        for _ in 0..120 {
+            let mut corrupt = bytes.clone();
+            let byte = rng.below_usize(corrupt.len());
+            corrupt[byte] ^= 1 << rng.below_usize(8);
+            let outcome = SnapshotState::decode(&corrupt).map(SnapshotState::restore);
+            assert!(
+                matches!(outcome, Err(_) | Ok(Err(_))),
+                "flip at byte {byte} slipped through decode+restore"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_snapshots_fail_cleanly() {
+        let ev = evolved_matrix();
+        let bytes = SnapshotState::of(&ev).encode();
+        for cut in [0usize, 3, 11, bytes.len() / 2, bytes.len() - 1] {
+            assert!(SnapshotState::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! The durable store: a write-ahead delta log plus two alternating
+//! snapshot slots over an in-memory byte image.
+//!
+//! The store models a crash-consistent disk layout without touching the
+//! filesystem: [`StoreImage`] is the exact byte state a crash would
+//! leave behind, cloneable at any point to capture a crash site. The
+//! write protocol is
+//!
+//! 1. commit the batch in memory (verified by the evolve layer),
+//! 2. append one WAL record carrying the batch's canonical bytes under
+//!    the new epoch as sequence number,
+//! 3. every `snapshot_every` epochs, serialize a full snapshot into the
+//!    *older* slot and truncate the log.
+//!
+//! Two slots are kept so a corrupt newest snapshot is survivable: the
+//! log is only truncated up to the epoch of the *other retained* slot,
+//! which means falling back to the previous snapshot always leaves a
+//! complete replay suffix.
+
+use crate::snapshot::SnapshotState;
+use crate::wal::{append_record, scan};
+use spaden::EvolvingMatrix;
+use spaden_sparse::DeltaBatch;
+
+/// When to compact the log into a fresh snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotPolicy {
+    /// Install a snapshot whenever `epoch` is a multiple of this (and
+    /// truncate the log). 0 is clamped to 1.
+    pub snapshot_every: u64,
+}
+
+impl Default for SnapshotPolicy {
+    fn default() -> Self {
+        SnapshotPolicy { snapshot_every: 4 }
+    }
+}
+
+/// The bytes a crash would leave behind: two snapshot slots, the
+/// superblock pointer naming the newest, and the log image.
+#[derive(Debug, Clone, Default)]
+pub struct StoreImage {
+    /// Snapshot slot contents (framed snapshot bytes), if ever written.
+    pub slots: [Option<Vec<u8>>; 2],
+    /// Which slot was written most recently (the superblock pointer).
+    pub newest_slot: usize,
+    /// The write-ahead log bytes.
+    pub wal: Vec<u8>,
+}
+
+/// The live durability state attached to one evolving matrix.
+#[derive(Debug, Clone)]
+pub struct DurableStore {
+    image: StoreImage,
+    /// Epoch held by each slot, tracked to pick the truncation point.
+    slot_epochs: [Option<u64>; 2],
+    policy: SnapshotPolicy,
+    /// Monotone counters for reporting.
+    records_appended: u64,
+    snapshots_installed: u64,
+}
+
+impl DurableStore {
+    /// Opens a fresh store checkpointed at the matrix's current epoch:
+    /// slot 0 holds a full snapshot, the log is empty. Recovery from
+    /// this image reproduces `ev` exactly with zero replay.
+    pub fn create(ev: &EvolvingMatrix, policy: SnapshotPolicy) -> Self {
+        let policy = SnapshotPolicy { snapshot_every: policy.snapshot_every.max(1) };
+        let snap = SnapshotState::of(ev);
+        let mut store = DurableStore {
+            image: StoreImage::default(),
+            slot_epochs: [None, None],
+            policy,
+            records_appended: 0,
+            snapshots_installed: 0,
+        };
+        store.image.slots[0] = Some(snap.encode());
+        store.image.newest_slot = 0;
+        store.slot_epochs[0] = Some(snap.epoch());
+        store.snapshots_installed = 1;
+        store
+    }
+
+    /// Logs one *committed* batch under its new epoch. Must be called
+    /// after the in-memory commit succeeded — rejected batches never
+    /// reach the log, so replay cannot re-introduce a rolled-back epoch.
+    pub fn append_batch(&mut self, epoch: u64, batch: &DeltaBatch) {
+        append_record(&mut self.image.wal, epoch, &batch.to_bytes());
+        self.records_appended += 1;
+    }
+
+    /// Installs a snapshot if the policy says this epoch is a
+    /// checkpoint. Returns whether one was installed.
+    pub fn maybe_snapshot(&mut self, ev: &EvolvingMatrix) -> bool {
+        if ev.epoch().is_multiple_of(self.policy.snapshot_every) {
+            self.install_snapshot(ev);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Serializes the matrix's current epoch into the older slot, flips
+    /// the superblock pointer, and truncates the log up to the epoch of
+    /// the slot that *remains* as fallback — never further, so a corrupt
+    /// newest snapshot still has its full replay suffix.
+    pub fn install_snapshot(&mut self, ev: &EvolvingMatrix) {
+        let snap = SnapshotState::of(ev);
+        let target = 1 - self.image.newest_slot;
+        self.image.slots[target] = Some(snap.encode());
+        self.slot_epochs[target] = Some(snap.epoch());
+        self.image.newest_slot = target;
+        self.snapshots_installed += 1;
+        // The other slot is now the fallback; keep every record it may
+        // need. With only one slot ever written, the new snapshot is its
+        // own fallback.
+        let keep_after = self.slot_epochs[1 - target].unwrap_or(snap.epoch());
+        self.truncate_wal_through(keep_after);
+    }
+
+    /// Drops the log prefix of records with `seq <= epoch`.
+    fn truncate_wal_through(&mut self, epoch: u64) {
+        let s = scan(&self.image.wal);
+        debug_assert!(s.tail.is_none(), "the store's own log is always clean");
+        let cut = s
+            .records
+            .iter()
+            .find(|r| r.seq > epoch)
+            .map(|r| r.offset)
+            .unwrap_or(s.valid_len);
+        self.image.wal.drain(..cut);
+    }
+
+    /// A byte-exact capture of the current on-disk state — the crash
+    /// image recovery would see if the process died right now.
+    pub fn image(&self) -> &StoreImage {
+        &self.image
+    }
+
+    /// Clones the crash image (for crash-schedule capture).
+    pub fn capture(&self) -> StoreImage {
+        self.image.clone()
+    }
+
+    /// Current log size in bytes.
+    pub fn wal_bytes(&self) -> usize {
+        self.image.wal.len()
+    }
+
+    /// Size in bytes of the newest snapshot slot.
+    pub fn snapshot_bytes(&self) -> usize {
+        self.image.slots[self.image.newest_slot].as_ref().map_or(0, Vec::len)
+    }
+
+    /// Records appended over the store's lifetime.
+    pub fn records_appended(&self) -> u64 {
+        self.records_appended
+    }
+
+    /// Snapshots installed over the store's lifetime (the opening
+    /// checkpoint counts).
+    pub fn snapshots_installed(&self) -> u64 {
+        self.snapshots_installed
+    }
+
+    /// The configured snapshot policy.
+    pub fn policy(&self) -> SnapshotPolicy {
+        self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spaden::EvolveConfig;
+    use spaden_sparse::{gen, Delta, Pcg64};
+
+    fn batch_for(rng: &mut Pcg64, n: usize) -> DeltaBatch {
+        loop {
+            let deltas: Vec<_> = (0..5)
+                .map(|_| Delta {
+                    row: rng.below_usize(n) as u32,
+                    col: rng.below_usize(n) as u32,
+                    value: rng.range_f32(-1.0, 1.0),
+                })
+                .collect();
+            if let Ok(b) = DeltaBatch::new(deltas, n, n) {
+                return b;
+            }
+        }
+    }
+
+    #[test]
+    fn log_truncation_keeps_the_fallback_suffix() {
+        let n = 40;
+        let csr = gen::random_uniform(n, n, 250, 7);
+        let cfg = EvolveConfig { side_capacity: 128, compact_threshold: 64, audit: true };
+        let mut ev = EvolvingMatrix::new(csr, cfg);
+        let mut store = DurableStore::create(&ev, SnapshotPolicy { snapshot_every: 3 });
+        let mut rng = Pcg64::new(42, 1);
+        let mut committed = 0u64;
+        while committed < 10 {
+            let batch = batch_for(&mut rng, n);
+            if ev.apply(&batch, None).is_ok() {
+                committed += 1;
+                store.append_batch(ev.epoch(), &batch);
+                store.maybe_snapshot(&ev);
+            }
+        }
+        // After epoch 10: snapshots at 3, 6, 9 plus the opening one at 0.
+        // Slots hold epochs 6 and 9; the log must retain every record the
+        // epoch-6 fallback needs (seq 7..=10) and nothing at or before 6.
+        let seqs: Vec<u64> = scan(&store.image().wal).records.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9, 10]);
+        assert_eq!(store.snapshots_installed(), 4);
+        assert_eq!(store.records_appended(), 10);
+        let epochs: Vec<u64> = store
+            .image()
+            .slots
+            .iter()
+            .flatten()
+            .map(|b| SnapshotState::decode(b).unwrap().epoch())
+            .collect();
+        let mut sorted = epochs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![6, 9]);
+        let newest = store.image().newest_slot;
+        let newest_epoch =
+            SnapshotState::decode(store.image().slots[newest].as_ref().unwrap()).unwrap().epoch();
+        assert_eq!(newest_epoch, 9);
+    }
+
+    #[test]
+    fn fresh_store_is_a_zero_replay_checkpoint() {
+        let csr = gen::random_uniform(24, 24, 100, 3);
+        let ev = EvolvingMatrix::new(csr, EvolveConfig::default());
+        let store = DurableStore::create(&ev, SnapshotPolicy::default());
+        assert_eq!(store.wal_bytes(), 0);
+        assert!(store.snapshot_bytes() > 0);
+        let snap = SnapshotState::decode(store.image().slots[0].as_ref().unwrap()).unwrap();
+        assert_eq!(snap.epoch(), 0);
+        let back = snap.restore().unwrap();
+        assert_eq!(back.csr(), ev.csr());
+    }
+}
