@@ -1,0 +1,267 @@
+//! The `repro serve` batching experiment: the same Zipf same-matrix
+//! open-loop workload served per-request and through the SpMM batching
+//! window, side by side.
+//!
+//! Not a paper figure — it certifies the coalescing story layered on the
+//! paper's SpMM kernel: when queued traffic shares a matrix, the batching
+//! window gathers it into one bitBSR×dense sweep, amortising launch and
+//! decode cost across the batch. The verdict asserts the acceptance bar
+//! (≥ `min_speedup`× verified requests/sec at equal-or-better p99 under
+//! peak load), sweeps actually forming, and zero unverified results in
+//! either mode. CI's batch-smoke job greps the `BATCH` verdict line.
+
+use crate::Table;
+use spaden_gpusim::GpuConfig;
+use spaden_serve::BatchConfig;
+use spaden_traffic::{
+    calibrate_capacity_rps, run_traffic, ArrivalProcess, Check, CorpusConfig, TrafficConfig,
+    TrafficSummary,
+};
+
+/// Configuration of the batched-vs-per-request comparison.
+#[derive(Debug, Clone)]
+pub struct BatchBenchConfig {
+    /// Seed shared by both modes of every point — identical arrival
+    /// schedules, so the only variable is the batching window.
+    pub seed: u64,
+    /// Simulated horizon per point.
+    pub duration_s: f64,
+    /// Load multipliers relative to per-request closed-loop capacity.
+    /// The last (peak) multiplier carries the verdict.
+    pub multipliers: Vec<f64>,
+    /// Registered working set. Few matrices + the population's Zipf
+    /// popularity skew = most queued neighbours share a matrix.
+    pub corpus: CorpusConfig,
+    /// Verified-requests/sec advantage the batched mode must show at the
+    /// peak point.
+    pub min_speedup: f64,
+}
+
+impl Default for BatchBenchConfig {
+    fn default() -> Self {
+        BatchBenchConfig {
+            seed: 20_270,
+            duration_s: 4e-3,
+            multipliers: vec![1.0, 2.0, 4.0],
+            corpus: CorpusConfig { matrices: 3, ..CorpusConfig::default() },
+            min_speedup: 2.0,
+        }
+    }
+}
+
+impl BatchBenchConfig {
+    /// A shortened scenario for CI smoke jobs.
+    pub fn smoke() -> Self {
+        BatchBenchConfig {
+            duration_s: 1.5e-3,
+            multipliers: vec![1.0, 4.0],
+            ..BatchBenchConfig::default()
+        }
+    }
+}
+
+/// One load level, served both ways.
+#[derive(Debug, Clone)]
+pub struct BatchPoint {
+    /// Load multiplier relative to per-request capacity.
+    pub multiplier: f64,
+    /// The run with batching disabled (PR-8 per-request behaviour).
+    pub per_request: TrafficSummary,
+    /// The run with the batching window enabled.
+    pub batched: TrafficSummary,
+}
+
+/// Everything the batching experiment renders.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-request closed-loop capacity, requests per simulated second.
+    pub capacity_rps: f64,
+    /// One entry per multiplier.
+    pub points: Vec<BatchPoint>,
+    /// Verdict checks.
+    pub checks: Vec<Check>,
+    /// Verified-goodput ratio (batched / per-request) at the peak point.
+    pub speedup: f64,
+}
+
+impl BatchReport {
+    /// True when every check held.
+    pub fn ok(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+}
+
+/// Worst per-class p99 time-in-system among classes that served traffic.
+fn worst_p99(s: &TrafficSummary) -> f64 {
+    s.p99_s
+        .iter()
+        .zip(&s.served_by)
+        .filter(|&(_, &n)| n > 0)
+        .map(|(&p, _)| p)
+        .fold(0.0, f64::max)
+}
+
+fn point_config(bench: &BatchBenchConfig, rate_rps: f64, batch: BatchConfig) -> TrafficConfig {
+    let mut cfg =
+        TrafficConfig::new(bench.seed, bench.duration_s, ArrivalProcess::Poisson { rate_rps });
+    cfg.corpus = bench.corpus.clone();
+    cfg.serve.batch = batch;
+    cfg
+}
+
+/// Runs the comparison and assembles the verdict checks.
+pub fn run_batch_bench(gpu: &GpuConfig, bench: &BatchBenchConfig) -> BatchReport {
+    let capacity_rps =
+        calibrate_capacity_rps(gpu, &point_config(bench, 1.0, BatchConfig::default()));
+    let points: Vec<BatchPoint> = bench
+        .multipliers
+        .iter()
+        .map(|&m| {
+            let rate = m * capacity_rps;
+            BatchPoint {
+                multiplier: m,
+                per_request: run_traffic(gpu, &point_config(bench, rate, BatchConfig::default())),
+                batched: run_traffic(gpu, &point_config(bench, rate, BatchConfig::on())),
+            }
+        })
+        .collect();
+
+    let peak = points.last().expect("at least one multiplier");
+    let speedup = if peak.per_request.goodput_rps() > 0.0 {
+        peak.batched.goodput_rps() / peak.per_request.goodput_rps()
+    } else {
+        f64::INFINITY
+    };
+    let (p99_b, p99_p) = (worst_p99(&peak.batched), worst_p99(&peak.per_request));
+    let unverified: u64 =
+        points.iter().map(|p| p.per_request.unverified_ok + p.batched.unverified_ok).sum();
+
+    let checks = vec![
+        Check {
+            name: "peak-load goodput advantage",
+            pass: speedup >= bench.min_speedup,
+            detail: format!(
+                "batched {:.0} vs per-request {:.0} rps = {:.2}x (need {:.1}x)",
+                peak.batched.goodput_rps(),
+                peak.per_request.goodput_rps(),
+                speedup,
+                bench.min_speedup
+            ),
+        },
+        Check {
+            name: "equal-or-better p99 at peak",
+            pass: p99_b <= p99_p,
+            detail: format!("batched p99 {:.1}us vs per-request {:.1}us", p99_b * 1e6, p99_p * 1e6),
+        },
+        Check {
+            name: "sweeps form and carry the load",
+            pass: peak.batched.batches > 0 && peak.batched.coalescing_rate() > 0.5,
+            detail: format!(
+                "{} sweeps, mean width {:.1}, {:.0}% of served coalesced",
+                peak.batched.batches,
+                peak.batched.mean_batch_width(),
+                peak.batched.coalescing_rate() * 100.0
+            ),
+        },
+        Check {
+            name: "zero unverified in either mode",
+            pass: unverified == 0,
+            detail: format!("{unverified} Ok results failed the f64 oracle"),
+        },
+        Check {
+            name: "availability no worse when batching",
+            pass: points
+                .iter()
+                .all(|p| p.batched.availability() >= p.per_request.availability() - 1e-9),
+            detail: points
+                .iter()
+                .map(|p| {
+                    format!(
+                        "{:.1}x: {:.3} vs {:.3}",
+                        p.multiplier,
+                        p.batched.availability(),
+                        p.per_request.availability()
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", "),
+        },
+    ];
+    BatchReport { capacity_rps, points, checks, speedup }
+}
+
+/// Runs the experiment on `gpu` and renders the comparison table, the
+/// checks table, and the one-line `BATCH` verdict string.
+pub fn batch_report(gpu: &GpuConfig, bench: &BatchBenchConfig) -> (Vec<Table>, String, BatchReport) {
+    let report = run_batch_bench(gpu, bench);
+
+    let mut curve = Table::new(
+        format!("Batched vs per-request serving ({})", gpu.name),
+        &[
+            "load", "mode", "offered", "goodput", "avail", "p99 us", "sweeps", "width",
+            "coalesce", "fallback", "unverified",
+        ],
+    );
+    for p in &report.points {
+        for (mode, s) in [("single", &p.per_request), ("batched", &p.batched)] {
+            curve.push_row(vec![
+                format!("{:.1}x", p.multiplier),
+                mode.to_string(),
+                s.offered.to_string(),
+                format!("{:.0}", s.goodput_rps()),
+                format!("{:.4}", s.availability()),
+                Table::num(worst_p99(s) * 1e6),
+                s.batches.to_string(),
+                format!("{:.1}", s.mean_batch_width()),
+                format!("{:.0}%", s.coalescing_rate() * 100.0),
+                s.batch_fallbacks.to_string(),
+                s.unverified_ok.to_string(),
+            ]);
+        }
+    }
+
+    let mut checks = Table::new(
+        format!("Batching verdict checks ({})", gpu.name),
+        &["check", "pass", "evidence"],
+    );
+    for c in &report.checks {
+        checks.push_row(vec![
+            c.name.to_string(),
+            if c.pass { "yes" } else { "NO" }.to_string(),
+            c.detail.clone(),
+        ]);
+    }
+
+    let peak = report.points.last().expect("at least one point");
+    let verdict = format!(
+        "BATCH {}: batched {:.0} rps vs per-request {:.0} rps ({:.1}x) at peak load, \
+         p99 {:.0}us vs {:.0}us, {:.0}% coalesced, {}/{} checks passed",
+        if report.ok() { "OK" } else { "FAIL" },
+        peak.batched.goodput_rps(),
+        peak.per_request.goodput_rps(),
+        report.speedup,
+        worst_p99(&peak.batched) * 1e6,
+        worst_p99(&peak.per_request) * 1e6,
+        peak.batched.coalescing_rate() * 100.0,
+        report.checks.iter().filter(|c| c.pass).count(),
+        report.checks.len(),
+    );
+    (vec![curve, checks], verdict, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_and_batching_wins_at_peak_load() {
+        let (tables, verdict, report) = batch_report(&GpuConfig::l40(), &BatchBenchConfig::smoke());
+        assert_eq!(tables.len(), 2);
+        assert!(report.ok(), "verdict checks: {:?}", report.checks);
+        assert!(report.speedup >= 2.0, "speedup {:.2}", report.speedup);
+        assert!(verdict.starts_with("BATCH OK"), "{verdict}");
+        let rendered = tables[0].to_string();
+        assert!(rendered.contains("Batched vs per-request"));
+        assert!(rendered.contains("coalesce"));
+    }
+}

@@ -1,0 +1,218 @@
+//! The `repro bench` experiment: a machine-readable performance summary
+//! of the whole stack, written to `BENCH_9.json`.
+//!
+//! One JSON document captures the numbers a regression dashboard would
+//! track: per-engine geomean GFLOPS on the in-scope Table-1 corpus, SpMM
+//! throughput as a function of batch width K (the amortisation curve the
+//! batching window exploits), served-traffic p50/p99 under light load,
+//! and the plan cache's repeat hit rate.
+
+use crate::{geomean, load_datasets, run_sweep, Table};
+use spaden::SpadenSpmmEngine;
+use spaden_gpusim::{Gpu, GpuConfig};
+use spaden_plan::{PlanSource, Planner};
+use spaden_sparse::dense::Dense;
+use spaden_traffic::{calibrate_capacity_rps, run_traffic, ArrivalProcess, TrafficConfig};
+
+/// Batch widths of the SpMM amortisation curve.
+pub const SPMM_WIDTHS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// One engine's corpus-level throughput.
+#[derive(Debug, Clone)]
+pub struct EngineGflops {
+    /// Engine display name.
+    pub engine: &'static str,
+    /// Geomean modelled GFLOP/s over the in-scope corpus.
+    pub gflops: f64,
+}
+
+/// Everything `repro bench` measures.
+#[derive(Debug, Clone)]
+pub struct BenchSummary {
+    /// Per-engine geomean GFLOPS on the in-scope Table-1 corpus.
+    pub engines: Vec<EngineGflops>,
+    /// Geomean SpMM GFLOPS at each width in [`SPMM_WIDTHS`].
+    pub spmm_gflops: Vec<(usize, f64)>,
+    /// Served-traffic p50 time-in-system (seconds) under light load.
+    pub serve_p50_s: f64,
+    /// Served-traffic p99 time-in-system (seconds) under light load.
+    pub serve_p99_s: f64,
+    /// Plan-cache hit rate on a repeat pass over the corpus.
+    pub plan_repeat_hit_rate: f64,
+}
+
+/// Runs the summary measurements on `gpu`.
+pub fn run_bench_summary(gpu: &GpuConfig, scale: f64, seed: u64) -> BenchSummary {
+    let datasets = load_datasets(scale, false);
+
+    // Per-engine geomean GFLOPS over the Figure-6 engine set.
+    let sweep = run_sweep(gpu.clone(), &datasets, &crate::registry::FIG6_ENGINES);
+    let mut engines: Vec<EngineGflops> = Vec::new();
+    for c in &sweep.cells {
+        if !engines.iter().any(|e| e.engine == c.engine) {
+            let vals =
+                sweep.cells.iter().filter(|x| x.engine == c.engine && x.in_scope).map(|x| x.gflops);
+            engines.push(EngineGflops { engine: c.engine, gflops: geomean(vals) });
+        }
+    }
+
+    // SpMM amortisation curve: geomean GFLOPS per width over the corpus.
+    let spmm_gflops = SPMM_WIDTHS
+        .iter()
+        .map(|&k| {
+            let vals = datasets.iter().map(|ds| {
+                let dev = Gpu::new(gpu.clone());
+                let eng = SpadenSpmmEngine::prepare(&dev, &ds.csr);
+                let b =
+                    Dense::from_fn(ds.csr.ncols, k, |r, c| ((r + 3 * c) % 9) as f32 * 0.25 - 1.0);
+                eng.run(&dev, &b).gflops(ds.csr.nnz(), k)
+            });
+            (k, geomean(vals))
+        })
+        .collect();
+
+    // Serving latency under light load (half of closed-loop capacity).
+    let probe = TrafficConfig::new(seed, 2e-3, ArrivalProcess::Poisson { rate_rps: 1.0 });
+    let cap = calibrate_capacity_rps(gpu, &probe);
+    let summary = run_traffic(
+        gpu,
+        &TrafficConfig::new(seed, 2e-3, ArrivalProcess::Poisson { rate_rps: 0.5 * cap }),
+    );
+    let lanes: Vec<(f64, f64, u64)> = summary
+        .p50_s
+        .iter()
+        .zip(&summary.p99_s)
+        .zip(&summary.served_by)
+        .map(|((&p50, &p99), &n)| (p50, p99, n))
+        .filter(|&(_, _, n)| n > 0)
+        .collect();
+    let serve_p50_s = lanes.iter().map(|&(p, _, _)| p).fold(0.0, f64::max);
+    let serve_p99_s = lanes.iter().map(|&(_, p, _)| p).fold(0.0, f64::max);
+
+    // Plan cache: populate on pass 1, measure hits on pass 2.
+    let dev = Gpu::new(gpu.clone());
+    let mut planner = Planner::with_all_engines(u64::MAX);
+    let (mut repeats, mut hits) = (0usize, 0usize);
+    for pass in 0..2 {
+        for ds in &datasets {
+            if let Ok((_, src)) = planner.plan_traced(&dev, &ds.csr) {
+                if pass == 1 {
+                    repeats += 1;
+                    if src == PlanSource::CacheHit {
+                        hits += 1;
+                    }
+                }
+            }
+        }
+    }
+    let plan_repeat_hit_rate = hits as f64 / repeats.max(1) as f64;
+
+    BenchSummary { engines, spmm_gflops, serve_p50_s, serve_p99_s, plan_repeat_hit_rate }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders the `BENCH_9.json` body.
+pub fn bench_summary_json(gpu: &GpuConfig, scale: f64, seed: u64, s: &BenchSummary) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"gpu\": {},\n  \"scale\": {scale},\n  \"seed\": {seed},\n",
+        json_str(gpu.name)
+    ));
+    out.push_str("  \"engine_gflops\": {\n");
+    for (i, e) in s.engines.iter().enumerate() {
+        out.push_str(&format!(
+            "    {}: {:.3}{}\n",
+            json_str(e.engine),
+            e.gflops,
+            if i + 1 < s.engines.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  },\n  \"spmm_gflops_by_width\": {\n");
+    for (i, (k, g)) in s.spmm_gflops.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{k}\": {:.3}{}\n",
+            g,
+            if i + 1 < s.spmm_gflops.len() { "," } else { "" },
+        ));
+    }
+    out.push_str(&format!(
+        "  }},\n  \"serve_p50_us\": {:.2},\n  \"serve_p99_us\": {:.2},\n  \"plan_cache_repeat_hit_rate\": {:.4}\n}}\n",
+        s.serve_p50_s * 1e6,
+        s.serve_p99_s * 1e6,
+        s.plan_repeat_hit_rate,
+    ));
+    out
+}
+
+/// Renders the human-readable tables shown alongside the JSON.
+pub fn bench_summary_tables(gpu: &GpuConfig, s: &BenchSummary) -> Vec<Table> {
+    let mut engines =
+        Table::new(format!("Corpus geomean GFLOPS ({})", gpu.name), &["engine", "GFLOPS"]);
+    for e in &s.engines {
+        engines.push_row(vec![e.engine.to_string(), Table::num(e.gflops)]);
+    }
+    let mut spmm = Table::new(
+        format!("SpMM amortisation curve ({})", gpu.name),
+        &["K", "GFLOPS", "vs K=1"],
+    );
+    let base = s.spmm_gflops.first().map_or(1.0, |&(_, g)| g).max(1e-12);
+    for &(k, g) in &s.spmm_gflops {
+        spmm.push_row(vec![k.to_string(), Table::num(g), format!("{:.2}x", g / base)]);
+    }
+    let mut summary = Table::new(
+        format!("Serving and planning summary ({})", gpu.name),
+        &["metric", "value"],
+    );
+    summary.push_row(vec!["serve p50".into(), format!("{:.1} us", s.serve_p50_s * 1e6)]);
+    summary.push_row(vec!["serve p99".into(), format!("{:.1} us", s.serve_p99_s * 1e6)]);
+    summary.push_row(vec![
+        "plan cache repeat hit rate".into(),
+        format!("{:.0}%", s.plan_repeat_hit_rate * 100.0),
+    ]);
+    vec![engines, spmm, summary]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_measures_every_section_and_renders_valid_json() {
+        let gpu = GpuConfig::l40();
+        let s = run_bench_summary(&gpu, 0.02, 11);
+        assert!(!s.engines.is_empty());
+        assert!(s.engines.iter().any(|e| e.engine == "Spaden" && e.gflops > 0.0));
+        assert_eq!(s.spmm_gflops.len(), SPMM_WIDTHS.len());
+        // The amortisation curve must rise with width: K=16 beats K=1.
+        let g1 = s.spmm_gflops[0].1;
+        let g16 = s.spmm_gflops.last().unwrap().1;
+        assert!(g16 > g1, "SpMM must amortise: K=1 {g1} vs K=16 {g16}");
+        assert!(s.serve_p99_s >= s.serve_p50_s);
+        assert!(s.serve_p50_s > 0.0);
+        assert!((s.plan_repeat_hit_rate - 1.0).abs() < 1e-12, "unbounded budget repeats all hit");
+        let json = bench_summary_json(&gpu, 0.02, 11, &s);
+        assert!(json.contains("\"engine_gflops\""));
+        assert!(json.contains("\"spmm_gflops_by_width\""));
+        assert!(json.contains("\"16\":"));
+        assert!(json.contains("\"plan_cache_repeat_hit_rate\""));
+        // Structural sanity: braces balance and no trailing comma.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!json.contains(",\n  }"));
+        assert_eq!(bench_summary_tables(&gpu, &s).len(), 3);
+    }
+}

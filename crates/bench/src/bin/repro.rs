@@ -5,7 +5,7 @@
 //!
 //! experiments: table1 fig6 fig7 fig8 fig9a fig9b fig10a fig10b
 //!              ablations extensions reordering faults plan sanitize serve
-//!              shard traffic evolve recover verify all
+//!              shard traffic evolve recover bench verify all
 //! ```
 //!
 //! `--scale` shrinks every dataset proportionally (default 0.05; use 1.0
@@ -96,7 +96,7 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: repro <table1|fig6|fig7|fig8|fig9a|fig9b|fig10a|fig10b|ablations|extensions|reordering|faults|verify|all> \
-                 [--scale S] [--gpu l40|v100|both] [--smoke] [--seed N]   (also: plan sanitize serve shard traffic evolve recover)"
+                 [--scale S] [--gpu l40|v100|both] [--smoke] [--seed N]   (also: plan sanitize serve shard traffic evolve recover bench)"
             );
             std::process::exit(2);
         }
@@ -224,6 +224,27 @@ fn main() {
                     println!("{verdict}");
                 }
             }
+            // Batched SpMM serving: the same Zipf same-matrix workload
+            // served per-request and through the batching window. The
+            // BATCH verdict line asserts the >= 2x goodput advantage at
+            // equal-or-better p99 with zero unverified results; CI's
+            // batch-smoke job greps it.
+            let mut batch_cfg = if args.smoke {
+                spaden_bench::BatchBenchConfig::smoke()
+            } else {
+                spaden_bench::BatchBenchConfig::default()
+            };
+            if let Some(s) = args.seed {
+                batch_cfg.seed = s;
+            }
+            for gpu in &args.gpus {
+                println!("\n### Batched SpMM serving");
+                let (tables, verdict, _) = spaden_bench::batch_report(gpu, &batch_cfg);
+                for t in tables {
+                    println!("{t}");
+                }
+                println!("{verdict}");
+            }
         }
         "sanitize" => {
             // Certifies SimSan: the full engine matrix runs violation-free
@@ -343,6 +364,30 @@ fn main() {
                     println!("{t}");
                 }
                 println!("{verdict}");
+            }
+        }
+        "bench" => {
+            // The machine-readable performance summary: per-engine geomean
+            // GFLOPS on the in-scope corpus, the SpMM amortisation curve
+            // over K in {1,2,4,8,16}, serving p50/p99 under light load,
+            // and the plan cache's repeat hit rate. Written to
+            // `BENCH_9.json` for dashboards; the tables mirror it.
+            let seed = args.seed.unwrap_or(11);
+            for gpu in &args.gpus {
+                let s = spaden_bench::run_bench_summary(gpu, scale, seed);
+                for t in spaden_bench::bench_summary_tables(gpu, &s) {
+                    println!("{t}");
+                }
+                let json = spaden_bench::bench_summary_json(gpu, scale, seed, &s);
+                let path = if args.gpus.len() > 1 {
+                    format!("BENCH_9_{}.json", gpu.name.to_ascii_lowercase())
+                } else {
+                    "BENCH_9.json".to_string()
+                };
+                match std::fs::write(&path, &json) {
+                    Ok(()) => println!("wrote {path}"),
+                    Err(e) => eprintln!("could not write {path}: {e}"),
+                }
             }
         }
         "verify" => {

@@ -13,6 +13,8 @@
 //! oracle while measuring, so a table is also an end-to-end correctness
 //! run.
 
+pub mod batching;
+pub mod bench9;
 pub mod evolve;
 pub mod experiments;
 pub mod harness;
@@ -25,6 +27,10 @@ pub mod sharding;
 pub mod table;
 pub mod traffic;
 
+pub use batching::{batch_report, run_batch_bench, BatchBenchConfig, BatchPoint, BatchReport};
+pub use bench9::{
+    bench_summary_json, bench_summary_tables, run_bench_summary, BenchSummary, EngineGflops,
+};
 pub use evolve::{evolve_report, run_evolve, EvolveReport, EvolveScenario};
 pub use experiments::*;
 pub use harness::BenchGroup;

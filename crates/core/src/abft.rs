@@ -43,6 +43,7 @@
 use crate::bitbsr::BitBsr;
 use crate::delta::DeltaBitBsr;
 use spaden_gpusim::half::F16;
+use spaden_sparse::dense::Dense;
 use spaden_sparse::gen::BLOCK_DIM;
 
 /// Recomputed checksum entries of a single block-row, produced by the one
@@ -390,12 +391,26 @@ impl AbftChecksums {
     /// NaN-safe: a NaN or infinity anywhere in the block-row's outputs
     /// fails the comparison and is reported as a fault.
     pub fn check_block_row(&self, br: usize, x: &[f32], y: &[f32]) -> bool {
+        self.check_block_row_with(br, |c| x[c], |r| y[r])
+    }
+
+    /// The shared block-row check over accessor closures: `x_at(col)` reads
+    /// the multiplicand, `y_at(row)` the product. The contiguous SpMV path
+    /// and the strided per-column SpMM path both funnel through here, so a
+    /// batched sweep is held to exactly the same tolerance discipline as a
+    /// single request.
+    fn check_block_row_with(
+        &self,
+        br: usize,
+        x_at: impl Fn(usize) -> f32,
+        y_at: impl Fn(usize) -> f32,
+    ) -> bool {
         let r_lo = br * BLOCK_DIM;
         let r_hi = ((br + 1) * BLOCK_DIM).min(self.nrows);
         let mut got = 0.0f64;
         let mut got_w = 0.0f64;
         for r in r_lo..r_hi {
-            let v = y[r] as f64;
+            let v = y_at(r) as f64;
             got += v;
             got_w += (r - r_lo + 1) as f64 * v;
         }
@@ -403,7 +418,7 @@ impl AbftChecksums {
         let mut expect_w = 0.0f64;
         let mut scale = 0.0f64;
         for e in self.ptr[br] as usize..self.ptr[br + 1] as usize {
-            let xt = F16::round_f32(x[self.cols[e] as usize]) as f64;
+            let xt = F16::round_f32(x_at(self.cols[e] as usize)) as f64;
             expect += self.sums[e] * xt;
             expect_w += self.wsums[e] * xt;
             scale += self.abs[e] * xt.abs();
@@ -424,6 +439,36 @@ impl AbftChecksums {
     /// run passes both the global and every per-block-row check).
     pub fn verify(&self, x: &[f32], y: &[f32]) -> Vec<usize> {
         (0..self.block_rows()).filter(|&br| !self.check_block_row(br, x, y)).collect()
+    }
+
+    /// Checks one block-row of output column `j` of a batched SpMM
+    /// `C = A·B`. Column `j` of `C` is exactly `A · B[:, j]`, so the same
+    /// precomputed block-row column sums verify it — the accessors stride
+    /// through the row-major `Dense` operands instead of slicing.
+    pub fn check_block_row_column(&self, br: usize, b: &Dense, c: &Dense, j: usize) -> bool {
+        self.check_block_row_with(br, |col| b.get(col, j), |r| c.get(r, j))
+    }
+
+    /// Verifies output column `j` of `C = A·B`, returning its failing
+    /// block-rows (same contract as [`AbftChecksums::verify`] on the
+    /// equivalent SpMV).
+    pub fn verify_column(&self, b: &Dense, c: &Dense, j: usize) -> Vec<usize> {
+        (0..self.block_rows())
+            .filter(|&br| !self.check_block_row_column(br, b, c, j))
+            .collect()
+    }
+
+    /// Verifies every output column of a batched sweep `C = A·B`. Returns
+    /// `(column, failing block-rows)` per failing column — a fault
+    /// localised to 8 output rows of one request's response, just as in
+    /// the SpMV path.
+    pub fn verify_spmm(&self, b: &Dense, c: &Dense) -> Vec<(usize, Vec<usize>)> {
+        (0..b.cols)
+            .filter_map(|j| {
+                let bad = self.verify_column(b, c, j);
+                (!bad.is_empty()).then_some((j, bad))
+            })
+            .collect()
     }
 }
 
@@ -501,6 +546,62 @@ mod tests {
         y[33] += 0.5;
         y[38] -= 0.5; // both in block-row 4; Σy unchanged
         assert_eq!(sums.verify(&x, &y), vec![4]);
+    }
+
+    /// A dense multiplicand whose column `j` is `make_x` salted by `j`.
+    fn batch_b(rows: usize, k: usize) -> Dense {
+        Dense::from_fn(rows, k, |r, j| ((r * 37 + 11 * (j + 1)) % 64) as f32 / 32.0 - 1.0)
+    }
+
+    /// The column-exact product: column `j` of `C` is the SpMV reference
+    /// on column `j` of `B`.
+    fn batch_c(b: &BitBsr, bd: &Dense) -> Dense {
+        let mut c = Dense::zeros(b.nrows, bd.cols);
+        for j in 0..bd.cols {
+            let y = b.spmv_reference(&bd.column(j)).unwrap();
+            for (r, v) in y.iter().enumerate() {
+                c.set(r, j, *v);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn clean_spmm_columns_pass_columnwise_verification() {
+        let (b, _, _) = fixture();
+        let sums = AbftChecksums::build(&b);
+        let bd = batch_b(b.ncols, 5);
+        let c = batch_c(&b, &bd);
+        assert!(sums.verify_spmm(&bd, &c).is_empty());
+    }
+
+    #[test]
+    fn columnwise_check_agrees_with_the_spmv_check_per_column() {
+        // Column j of a batched sweep and the equivalent single request
+        // must get the same verdict from the same checksums — clean and
+        // corrupted alike.
+        let (b, _, _) = fixture();
+        let sums = AbftChecksums::build(&b);
+        let bd = batch_b(b.ncols, 3);
+        let mut c = batch_c(&b, &bd);
+        c.set(41, 1, c.get(41, 1) + 0.75); // block-row 5, column 1 only
+        for j in 0..bd.cols {
+            let x = bd.column(j);
+            let y = c.column(j);
+            assert_eq!(sums.verify_column(&bd, &c, j), sums.verify(&x, &y), "column {j}");
+        }
+        assert_eq!(sums.verify_spmm(&bd, &c), vec![(1, vec![5])]);
+    }
+
+    #[test]
+    fn corrupted_spmm_cell_is_localised_to_its_column_and_block_row() {
+        let (b, _, _) = fixture();
+        let sums = AbftChecksums::build(&b);
+        let bd = batch_b(b.ncols, 4);
+        let mut c = batch_c(&b, &bd);
+        c.set(17, 3, f32::NAN); // rows 16..24 = block-row 2
+        let bad = sums.verify_spmm(&bd, &c);
+        assert_eq!(bad, vec![(3, vec![2])]);
     }
 
     #[test]

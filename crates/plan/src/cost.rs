@@ -360,6 +360,59 @@ pub fn predict_counters(kind: EngineKind, stats: &MatrixStats, config: &GpuConfi
     m.counters(config)
 }
 
+/// Reconstructs the counters the Spaden SpMM kernel
+/// (`spaden::SpadenSpmmEngine`) would report for a batched sweep of width
+/// `k`. Mirrors the SpMV arm's diagonal two-block accounting: the block
+/// decode repeats once per 8-wide output column tile, the MMA count scales
+/// with the tile count, and each (block, tile) visit adds the dense
+/// B-fragment fill (two strided gathers, ~8 sectors) — the amortisation
+/// that makes SpMM extract 128 useful values per MMA where SpMV extracts
+/// 16.
+pub fn predict_spmm_counters(stats: &MatrixStats, k: usize, config: &GpuConfig) -> KernelCounters {
+    let k = k.max(1);
+    let nnz = stats.nnz as f64;
+    let b = stats.blocks();
+    let br = stats.block_rows();
+    let fill = stats.mean_fill();
+    let skew = stats.skew();
+    let tiles = k.div_ceil(BLOCK_DIM) as f64;
+    let mut m = Model::default();
+
+    let decode_loads = 6.0;
+    let decode_sectors = 3.0 + (4.0 * fill).max(2.0) + 1.5;
+    let decode_ops = 11.0;
+    let fmt = 16.0 * b + 2.0 * nnz + 4.0 * br;
+    let warps = (br / 2.0).ceil() * tiles;
+    let pair_imbalance = 1.0 + 0.25 * (1.0 - 1.0 / skew);
+    let steps = (b / 2.0) * pair_imbalance * tiles;
+    let bt = b * tiles; // (block, column-tile) visits
+    m.mma16 = steps;
+    m.loads = (decode_loads + 2.0) * bt + 3.0 * warps;
+    m.sectors_read = (decode_sectors + 8.0) * bt + 3.0 * warps;
+    m.cuda_ops =
+        (decode_ops + 5.0) * bt + 2.0 * steps + (2.0 * steps - bt).max(0.0) + 10.0 * warps;
+    // Both diagonal portions extracted: 4 scatters per warp, two 8×8 f32
+    // output tiles (16 sectors).
+    m.stores = 4.0 * warps;
+    m.sectors_written = 16.0 * warps;
+    m.footprint = fmt + (stats.ncols * 4 * k) as f64;
+    m.counters(config)
+}
+
+/// Predicted [`SimTime`] of one batched SpMM sweep of width `k`.
+pub fn predict_spmm_time(stats: &MatrixStats, k: usize, config: &GpuConfig) -> SimTime {
+    estimate_time(&predict_spmm_counters(stats, k, config), config)
+}
+
+/// Smallest batch width `w ∈ 2..=max_width` at which one SpMM sweep is
+/// predicted cheaper than `w` independent Spaden SpMV launches, or `None`
+/// if batching never wins within the cap. This is the per-batch
+/// SpMV-vs-SpMM crossover the serving layer caches alongside its plans.
+pub fn spmm_crossover(stats: &MatrixStats, config: &GpuConfig, max_width: usize) -> Option<usize> {
+    let spmv = predict_time(EngineKind::Spaden, stats, config).seconds;
+    (2..=max_width).find(|&w| predict_spmm_time(stats, w, config).seconds < w as f64 * spmv)
+}
+
 /// The cuSPARSE adaptive vector-width heuristic (mirrors
 /// `spaden_baselines::cusparse_csr::vector_width_for` plus its max-degree
 /// clamp), as an f64 for the model.
@@ -424,6 +477,45 @@ mod tests {
         let slow = predict_time(EngineKind::CsrWarp16, &s, &config);
         let overhead = config.launch_overhead_s;
         assert!(slow.seconds - overhead > 1.5 * (fast.seconds - overhead));
+    }
+
+    #[test]
+    fn spmm_amortises_and_crosses_over_within_a_tile() {
+        // One 8-wide sweep shares the decode across 8 columns, so it must
+        // be predicted far cheaper than 8 independent SpMVs — and with a
+        // 3 µs launch overhead per SpMV, the crossover lands at width 2.
+        let csr = gen::generate_blocked(
+            512,
+            400,
+            gen::Placement::Scattered,
+            &gen::FillDist::Uniform { lo: 8, hi: 40 },
+            81,
+        );
+        let s = stats(&csr);
+        let config = GpuConfig::l40();
+        let spmv = predict_time(EngineKind::Spaden, &s, &config).seconds;
+        let spmm8 = predict_spmm_time(&s, 8, &config).seconds;
+        assert!(spmm8 < 4.0 * spmv, "spmm(8) {spmm8:.2e} vs 8x spmv {:.2e}", 8.0 * spmv);
+        assert_eq!(spmm_crossover(&s, &config, 8), Some(2));
+    }
+
+    #[test]
+    fn spmm_prediction_is_monotone_in_width_and_tile_quantised() {
+        let csr = gen::random_uniform(256, 256, 5000, 73);
+        let s = stats(&csr);
+        let config = GpuConfig::l40();
+        let times: Vec<f64> =
+            [1, 2, 4, 8, 16].iter().map(|&k| predict_spmm_time(&s, k, &config).seconds).collect();
+        for w in times.windows(2) {
+            assert!(w[0] <= w[1], "wider batches never predicted cheaper: {times:?}");
+        }
+        // Widths within one 8-wide tile cost the same sweep.
+        let c4 = predict_spmm_counters(&s, 4, &config);
+        let c8 = predict_spmm_counters(&s, 8, &config);
+        assert_eq!(c4.mma_m16n16k16, c8.mma_m16n16k16);
+        // The single-tile MMA count matches the SpMV arm's prediction.
+        let spmv = predict_counters(EngineKind::Spaden, &s, &config);
+        assert_eq!(c8.mma_m16n16k16, spmv.mma_m16n16k16);
     }
 
     #[test]

@@ -27,7 +27,10 @@ pub mod planner;
 pub mod registry;
 
 pub use cache::{gpu_digest, structure_key, CacheStats, Lookup, PlanCache, PlanKey};
-pub use cost::{predict_counters, predict_time, rank_engines, MatrixStats, RankedEngine};
+pub use cost::{
+    predict_counters, predict_spmm_counters, predict_spmm_time, predict_time, rank_engines,
+    spmm_crossover, MatrixStats, RankedEngine,
+};
 pub use planner::{Plan, PlanSource, Planner};
 pub use registry::{
     build_engine, try_build_engine, EngineKind, ALL_ENGINES, FIG6_ENGINES, FIG8_ENGINES,

@@ -83,6 +83,7 @@ pub use queue::{
     ShedReason, PRIORITIES,
 };
 pub use server::{
-    MatrixHandle, OpenOutcome, OpenRequest, RecoveryReport, Request, Rung, ScheduledUpdate,
-    ServeConfig, ServeError, ServeStats, ServedOk, SpmvServer, UpdateOutcome, RUNGS,
+    BatchConfig, MatrixHandle, OpenOutcome, OpenRequest, RecoveryReport, Request, Rung,
+    ScheduledUpdate, ServeConfig, ServeError, ServeStats, ServedOk, SpmvServer, UpdateOutcome,
+    RUNGS,
 };

@@ -270,6 +270,47 @@ impl<T> AdmissionQueue<T> {
         }
         None
     }
+
+    /// The entry [`AdmissionQueue::pop`] would hand out next (no expiry
+    /// check, nothing removed) — lets the batching window inspect the
+    /// head before deciding to hold or drain.
+    pub fn peek(&self) -> Option<&Admitted<T>> {
+        self.classes.iter().find_map(|c| c.front())
+    }
+
+    /// Queued entries matching `pred`, across all classes — how much
+    /// coalescible backlog the batching window could drain right now.
+    pub fn count_matching(&self, mut pred: impl FnMut(&Admitted<T>) -> bool) -> usize {
+        self.classes.iter().flat_map(|c| c.iter()).filter(|e| pred(e)).count()
+    }
+
+    /// Removes the next entry *matching `pred`*, scanning classes
+    /// strongest-first and FIFO within a class — the coalescing primitive
+    /// of the batching window: pull queued requests that share the head's
+    /// matrix without reordering anything else. Expiry discipline is
+    /// identical to [`AdmissionQueue::pop`]: a matching entry whose
+    /// deadline has passed comes back as [`Dequeued::Expired`] so the
+    /// caller sheds it (a batch slot must never be filled with dead work).
+    pub fn pop_matching(
+        &mut self,
+        now_s: f64,
+        mut pred: impl FnMut(&Admitted<T>) -> bool,
+    ) -> Option<Dequeued<T>> {
+        for class in 0..PRIORITIES {
+            if let Some(pos) = self.classes[class].iter().position(&mut pred) {
+                let entry = self.classes[class].remove(pos).expect("position is in range");
+                if let Some(expires) = entry.expires_s {
+                    if now_s >= expires {
+                        self.counters.expired[class] += 1;
+                        let reason = ShedReason::Expired { late_s: now_s - expires };
+                        return Some(Dequeued::Expired(entry, reason));
+                    }
+                }
+                return Some(Dequeued::Ready(entry));
+            }
+        }
+        None
+    }
 }
 
 /// FIFO queue that refuses to grow past its capacity.
@@ -437,6 +478,49 @@ mod tests {
             other => panic!("expected AdaptiveLimit, got {other:?}"),
         }
         assert_eq!(q.counters().rejected_full[Priority::Normal as usize], 1);
+    }
+
+    #[test]
+    fn peek_mirrors_pop_order_without_removing() {
+        let mut q = AdmissionQueue::new(4);
+        q.push(1, Priority::Low, None, 4);
+        q.push(2, Priority::High, None, 4);
+        assert_eq!(q.peek().map(|e| e.item), Some(2), "peek sees the strongest head");
+        assert_eq!(q.len(), 2, "peek removes nothing");
+        assert_eq!(ready(q.pop(0.0)), 2);
+        assert_eq!(q.peek().map(|e| e.item), Some(1));
+    }
+
+    #[test]
+    fn pop_matching_takes_first_match_in_priority_then_fifo_order() {
+        let mut q = AdmissionQueue::new(8);
+        q.push(10, Priority::Low, None, 8);
+        q.push(21, Priority::Normal, None, 8);
+        q.push(20, Priority::Normal, None, 8);
+        q.push(11, Priority::Low, None, 8);
+        // Even numbers: the Normal-class 20 wins over the older Low 10.
+        assert_eq!(ready(q.pop_matching(0.0, |e| e.item % 2 == 0)), 20);
+        assert_eq!(ready(q.pop_matching(0.0, |e| e.item % 2 == 0)), 10);
+        assert!(q.pop_matching(0.0, |e| e.item % 2 == 0).is_none(), "no match left");
+        // Non-matching entries were never disturbed.
+        assert_eq!(ready(q.pop(0.0)), 21);
+        assert_eq!(ready(q.pop(0.0)), 11);
+    }
+
+    #[test]
+    fn pop_matching_sheds_expired_matches_like_pop() {
+        let mut q = AdmissionQueue::new(4);
+        q.push("dead", Priority::Normal, Some(5.0), 4);
+        q.push("alive", Priority::Normal, Some(100.0), 4);
+        match q.pop_matching(7.0, |_| true) {
+            Some(Dequeued::Expired(e, ShedReason::Expired { late_s })) => {
+                assert_eq!(e.item, "dead");
+                assert!((late_s - 2.0).abs() < 1e-12);
+            }
+            other => panic!("expected Expired, got {}", kind(&other)),
+        }
+        assert_eq!(q.counters().expired[Priority::Normal as usize], 1);
+        assert_eq!(ready(q.pop_matching(7.0, |_| true)), "alive");
     }
 
     #[test]

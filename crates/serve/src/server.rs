@@ -70,18 +70,19 @@ use crate::queue::{
 use spaden::engine::{EngineError, SpmvRun};
 use spaden::{
     AbftChecksums, EvolveConfig, EvolveStats, EvolvingMatrix, SideEntry, SpadenConfig,
-    SpadenEngine, SpadenNoTcEngine, SpmvEngine, UpdateFault, UpdateReport,
+    SpadenEngine, SpadenNoTcEngine, SpadenSpmmEngine, SpmvEngine, UpdateFault, UpdateReport,
 };
 use spaden_baselines::CusparseCsrEngine;
 use spaden_gpusim::half::F16;
 use spaden_gpusim::{DeviceFaultConfig, FaultConfig, Gpu, GpuConfig};
-use spaden_plan::{predict_time, EngineKind, MatrixStats};
+use spaden_plan::{predict_spmm_time, predict_time, EngineKind, MatrixStats};
 use spaden_shard::{
     DeviceFleet, PartitionCache, PartitionCacheStats, PartitionKey, ShardError, ShardPolicy,
     ShardedMatrix,
 };
 use spaden_sparse::csr::Csr;
 use spaden_sparse::delta::{DeltaBatch, DeltaClass, UpdateError};
+use spaden_sparse::dense::Dense;
 use spaden_sparse::{fingerprint, MatrixFingerprint};
 use spaden_store::{recover, DurableStore, SnapshotPolicy, StoreImage, WalError};
 use std::sync::Arc;
@@ -158,6 +159,40 @@ fn planned_ladder(stats: &MatrixStats, config: &GpuConfig) -> [Rung; 3] {
     order
 }
 
+/// Policy of the open-loop batching window: coalescing queued requests
+/// that share a matrix snapshot into one verified SpMM sweep.
+///
+/// Disabled by default — with `enabled == false` the open-loop path is
+/// byte-for-byte the per-request server (no SpMM engine is even
+/// prepared), so existing behaviour is bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchConfig {
+    /// Master switch for the batched serving path.
+    pub enabled: bool,
+    /// Most requests coalesced into one sweep (clamped to ≥ 1). Widths
+    /// within one 8-wide output tile cost the same MMAs, so 8 is the
+    /// sweet spot on the evaluation corpus.
+    pub max_width: usize,
+    /// How long past a request's arrival the dequeue may *hold* it to
+    /// wait for batchmates. Holding is bounded by this window and by the
+    /// head's deadline — the window never turns a servable request into
+    /// an expired one.
+    pub window_s: f64,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig { enabled: false, max_width: 8, window_s: 20e-6 }
+    }
+}
+
+impl BatchConfig {
+    /// Batching enabled with the default width and window.
+    pub fn on() -> Self {
+        BatchConfig { enabled: true, ..BatchConfig::default() }
+    }
+}
+
 /// Serving policy knobs. All times are simulated seconds.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -191,6 +226,10 @@ pub struct ServeConfig {
     /// closed-loop paths and a disabled controller are bit-identical to
     /// the pre-overload-control server.
     pub overload: OverloadConfig,
+    /// Batching window of the open-loop path: coalesce queued
+    /// same-matrix requests into one verified SpMM sweep. Disabled by
+    /// default (bit-identical to the per-request server).
+    pub batch: BatchConfig,
 }
 
 impl Default for ServeConfig {
@@ -211,6 +250,7 @@ impl Default for ServeConfig {
             shard_policy: ShardPolicy::default(),
             device_faults: DeviceFaultConfig::disabled(),
             overload: OverloadConfig::default(),
+            batch: BatchConfig::default(),
         }
     }
 }
@@ -482,6 +522,19 @@ pub struct ServeStats {
     /// the fleet's current partition (served by their captured
     /// single-device ladder instead — never a torn read).
     pub epoch_stragglers: u64,
+    /// Coalesced SpMM sweeps executed by the batching window (each one
+    /// serves `width ≥ 2` requests in a single verified launch).
+    pub batches: u64,
+    /// Requests served *inside* a coalesced sweep (their rung reports
+    /// [`Rung::SpadenChecked`]; `served` counts them too).
+    pub batched_served: u64,
+    /// Coalesced sweeps that failed verification and fell back to the
+    /// per-request ladder for every member.
+    pub batch_fallbacks: u64,
+    /// Sum of executed batch widths (mean width = this / `batches`).
+    pub batch_width_sum: u64,
+    /// Widest executed batch.
+    pub batch_width_max: u64,
     latencies_s: Vec<f64>,
 }
 
@@ -511,6 +564,26 @@ impl ServeStats {
     /// 99th-percentile simulated latency of served requests.
     pub fn p99_s(&self) -> f64 {
         self.latency_percentile_s(99.0)
+    }
+
+    /// Mean width of executed coalesced sweeps (0 when none ran).
+    pub fn mean_batch_width(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batch_width_sum as f64 / self.batches as f64
+        }
+    }
+
+    /// Fraction of verified results that were served inside a coalesced
+    /// sweep (0 when nothing was served).
+    pub fn coalescing_rate(&self) -> f64 {
+        let ok = self.ok_total();
+        if ok == 0 {
+            0.0
+        } else {
+            self.batched_served as f64 / ok as f64
+        }
     }
 }
 
@@ -543,6 +616,27 @@ struct PreparedMatrix {
     /// Checksums of the full logical matrix; present exactly when
     /// `side` is non-empty (they verify the base-plus-tail output).
     logical: Option<AbftChecksums>,
+    /// Batched-serving plan; present exactly when
+    /// [`BatchConfig::enabled`] — a disabled config never prepares the
+    /// SpMM engine, keeping registration bit-identical to the
+    /// per-request server.
+    batch: Option<BatchPlan>,
+}
+
+/// The per-epoch batched-serving plan: the SpMM engine over the *full
+/// logical* matrix (side entries included, so a sweep needs no tail),
+/// predicted sweep costs per width, and the cached SpMV-vs-SpMM
+/// crossover decision.
+struct BatchPlan {
+    spmm: SpadenSpmmEngine,
+    /// Predicted seconds of one sweep at width `w` (index `w - 1`,
+    /// lengths `1..=max_width`), from the plan layer's SpMM cost model.
+    cost_s: Vec<f64>,
+    /// Smallest width at which one sweep is predicted cheaper than that
+    /// many per-request SpMV rungs; `usize::MAX` when batching never
+    /// wins within `max_width` (the window then always serves
+    /// per-request).
+    crossover: usize,
 }
 
 /// A registered matrix slot: the head snapshot served to new requests,
@@ -692,6 +786,27 @@ impl SpmvServer {
         self.clock_s
     }
 
+    /// Builds the batched-serving plan for one epoch's logical matrix,
+    /// or `None` when batching is disabled (the SpMM engine is never
+    /// prepared — the bit-identity guarantee of [`BatchConfig`]).
+    /// `est_spmv_s` is the measured per-request cost of the
+    /// ABFT-checked rung, the baseline of the crossover decision.
+    fn batch_plan(&self, csr: &Csr, est_spmv_s: f64) -> Result<Option<BatchPlan>, ServeError> {
+        if !self.config.batch.enabled {
+            return Ok(None);
+        }
+        let max_width = self.config.batch.max_width.max(1);
+        let spmm = SpadenSpmmEngine::try_prepare(&self.gpu, csr).map_err(ServeError::Invalid)?;
+        let stats = MatrixStats::of(csr);
+        let cost_s: Vec<f64> = (1..=max_width)
+            .map(|k| predict_spmm_time(&stats, k, &self.gpu.config).seconds)
+            .collect();
+        let crossover = (2..=max_width)
+            .find(|&w| cost_s[w - 1] < w as f64 * est_spmv_s)
+            .unwrap_or(usize::MAX);
+        Ok(Some(BatchPlan { spmm, cost_s, crossover }))
+    }
+
     /// Validates and registers a matrix: structural ingress check, all
     /// three rung engines prepared, checksums and per-rung cost estimates
     /// built. Malformed matrices are rejected with a typed error before
@@ -737,6 +852,7 @@ impl SpmvServer {
             est(scalar.try_run(&self.gpu, &x0).map_err(ServeError::Invalid)?),
             est(csr_eng.try_run(&self.gpu, &x0).map_err(ServeError::Invalid)?),
         ];
+        let batch = self.batch_plan(csr, est_cost_s[Rung::SpadenChecked as usize])?;
         self.matrices.push(MatrixEntry {
             current: Arc::new(PreparedMatrix {
                 nrows: csr.nrows,
@@ -750,6 +866,7 @@ impl SpmvServer {
                 epoch: 0,
                 side: Vec::new(),
                 logical: None,
+                batch,
             }),
             evolving: None,
             fp: fingerprint(csr),
@@ -868,6 +985,7 @@ impl SpmvServer {
             est(csr_eng.try_run(&self.gpu, &x0).map_err(ServeError::Invalid)?),
         ];
         let ladder = planned_ladder(&MatrixStats::of(ev.csr()), &self.gpu.config);
+        let batch = self.batch_plan(ev.csr(), est_cost_s[Rung::SpadenChecked as usize])?;
         let (nrows, ncols) = (ev.csr().nrows, ev.csr().ncols);
         // Recovery ends with a checkpoint: a fresh store snapshotted at
         // the recovered epoch with an empty log, so a second crash
@@ -886,6 +1004,7 @@ impl SpmvServer {
                 epoch: ev.epoch(),
                 side,
                 logical,
+                batch,
             }),
             evolving: Some(ev),
             fp,
@@ -1084,6 +1203,9 @@ impl SpmvServer {
 
         // Publish: swap the head snapshot. In-flight requests hold their
         // own Arc and finish on the epoch they were admitted on.
+        let batch = self
+            .batch_plan(ev.csr(), est_cost_s[Rung::SpadenChecked as usize])
+            .expect("a verified epoch rebuilds the SpMM engine");
         let (nrows, ncols) = (ev.csr().nrows, ev.csr().ncols);
         let entry = &mut self.matrices[idx];
         entry.current = Arc::new(PreparedMatrix {
@@ -1098,6 +1220,7 @@ impl SpmvServer {
             epoch: ev.epoch(),
             side,
             logical,
+            batch,
         });
         entry.fp = new_fp;
         entry.evolving = Some(ev);
@@ -1206,7 +1329,7 @@ impl SpmvServer {
             let event_s =
                 if update_next { upd_it.peek().unwrap().at_s } else { arr_it.peek().unwrap().1.arrival_s };
             while self.clock_s < event_s {
-                if !self.drain_one_open(&mut out) {
+                if !self.drain_step(&mut out, Some(event_s)) {
                     break;
                 }
             }
@@ -1232,8 +1355,22 @@ impl SpmvServer {
                 self.admit_open(index, a, &mut out);
             }
         }
-        while self.drain_one_open(&mut out) {}
+        while self.drain_step(&mut out, None) {}
         (out.into_iter().map(|o| o.expect("every arrival resolves")).collect(), applied)
+    }
+
+    /// One open-loop drain step. Batching disabled dispatches straight to
+    /// the per-request drain — byte-for-byte the pre-batching loop, the
+    /// bit-identity guarantee of [`BatchConfig`]. Batching enabled runs
+    /// the coalescing window; `horizon_s` is the next scheduled event
+    /// (`None` on the final flush), the instant up to which the window
+    /// may hold the head waiting for batchmates.
+    fn drain_step(&mut self, out: &mut [Option<OpenOutcome>], horizon_s: Option<f64>) -> bool {
+        if self.config.batch.enabled {
+            self.drain_one_batched(out, horizon_s)
+        } else {
+            self.drain_one_open(out)
+        }
     }
 
     /// Admission for one open-loop arrival: brownout gate, then the
@@ -1320,30 +1457,226 @@ impl SpmvServer {
                     continue;
                 }
                 Some(Dequeued::Ready(entry)) => {
-                    let slot = entry.item;
-                    let matrix = slot.request.matrix;
-                    let wait = self.clock_s - slot.arrival_s;
-                    // Queue wait spends the budget; the ladder gets what
-                    // remains (positive — expiry was checked at dequeue).
-                    let remaining = slot.budget_s - wait;
-                    let req = Request { deadline_s: Some(remaining), ..slot.request };
-                    // Serve on the snapshot captured at admission, not
-                    // the head — updates that landed while this request
-                    // queued must not tear its matrix out from under it.
-                    let result = self.serve_on(slot.state, req);
-                    let done = self.clock_s;
+                    self.serve_slot(entry.item, out);
+                    return true;
+                }
+            }
+        }
+    }
+
+    /// Serves one dequeued slot on the per-request ladder and records
+    /// its outcome (the Ready arm of the open-loop drain).
+    fn serve_slot(&mut self, slot: OpenSlot, out: &mut [Option<OpenOutcome>]) {
+        let matrix = slot.request.matrix;
+        let wait = self.clock_s - slot.arrival_s;
+        // Queue wait spends the budget; the ladder gets what
+        // remains (positive — expiry was checked at dequeue).
+        let remaining = slot.budget_s - wait;
+        let req = Request { deadline_s: Some(remaining), ..slot.request };
+        // Serve on the snapshot captured at admission, not
+        // the head — updates that landed while this request
+        // queued must not tear its matrix out from under it.
+        let result = self.serve_on(slot.state, req);
+        let done = self.clock_s;
+        self.overload.on_complete(done - slot.arrival_s);
+        out[slot.index] = Some(OpenOutcome {
+            index: slot.index,
+            priority: slot.priority,
+            matrix,
+            arrival_s: slot.arrival_s,
+            queue_wait_s: wait,
+            done_s: done,
+            epoch: slot.epoch,
+            result,
+        });
+    }
+
+    /// Resolves one open-loop slot as shed (the Expired arm of the
+    /// drains, shared with the batching window's gather).
+    fn shed_open_slot(&mut self, v: OpenSlot, reason: ShedReason, out: &mut [Option<OpenOutcome>]) {
+        let wait = self.clock_s - v.arrival_s;
+        self.stats.shed += 1;
+        out[v.index] = Some(OpenOutcome {
+            index: v.index,
+            priority: v.priority,
+            matrix: v.request.matrix,
+            arrival_s: v.arrival_s,
+            queue_wait_s: wait,
+            done_s: self.clock_s,
+            epoch: v.epoch,
+            result: Err(ServeError::Shed(reason)),
+        });
+        // A dead-on-dequeue request spent its whole budget in queue —
+        // strong overload evidence.
+        self.overload.on_complete(wait);
+    }
+
+    /// The batching window's drain step. Dequeues the head, coalesces
+    /// queued requests sharing its matrix snapshot (same epoch `Arc`)
+    /// into one ABFT-checked SpMM sweep, and scatters the output columns
+    /// back to per-request responses. Three guarantees carry over from
+    /// the per-request path unchanged: expiry-at-dequeue (an expired
+    /// entry is shed, never batched), priority order (the head is
+    /// whatever [`AdmissionQueue::pop`] yields; batchmates are pulled
+    /// matching-first in the same class order), and verification (the
+    /// sweep is column-verified against the same block-row checksums; a
+    /// failed sweep falls back to the per-request ladder for every
+    /// member). Returns false when the queue is empty or the head is
+    /// held for batchmates — bounded by [`BatchConfig::window_s`] and
+    /// the head's own deadline, so holding never expires a request.
+    fn drain_one_batched(
+        &mut self,
+        out: &mut [Option<OpenOutcome>],
+        horizon_s: Option<f64>,
+    ) -> bool {
+        let max_width = self.config.batch.max_width.max(1);
+        // Hold decision: with the next event inside the window, the head
+        // batchable, and spare width, give the outer loop a chance to
+        // admit more coalescible arrivals before draining.
+        if let Some(event_s) = horizon_s {
+            let head_hold = self.open_queue.peek().and_then(|head| {
+                let slot = &head.item;
+                let state = slot.state.clone()?;
+                let plan = state.batch.as_ref()?;
+                if plan.crossover > max_width {
+                    return None; // batching never wins on this matrix
+                }
+                let sweep_s = plan.cost_s.last().copied().unwrap_or(0.0);
+                let hold_until = (slot.arrival_s + self.config.batch.window_s)
+                    .min(head.expires_s.unwrap_or(f64::INFINITY) - sweep_s);
+                Some((state, hold_until))
+            });
+            if let Some((state, hold_until)) = head_hold {
+                if event_s <= hold_until {
+                    let matching = self.open_queue.count_matching(|e| {
+                        e.item.state.as_ref().is_some_and(|s| Arc::ptr_eq(s, &state))
+                    });
+                    if matching < max_width {
+                        return false;
+                    }
+                }
+            }
+        }
+        loop {
+            match self.open_queue.pop(self.clock_s) {
+                None => return false,
+                Some(Dequeued::Expired(entry, reason)) => {
+                    self.shed_open_slot(entry.item, reason, out);
+                    continue;
+                }
+                Some(Dequeued::Ready(entry)) => {
+                    let head = entry.item;
+                    let batchable = head.state.as_ref().is_some_and(|s| {
+                        s.batch.as_ref().is_some_and(|p| p.crossover <= max_width)
+                            && head.request.x.len() == s.ncols
+                    });
+                    if !batchable {
+                        self.serve_slot(head, out);
+                        return true;
+                    }
+                    let m = head.state.clone().expect("batchable head has a snapshot");
+                    self.run_batch_window(head, m, max_width, out);
+                    return true;
+                }
+            }
+        }
+    }
+
+    /// Gathers batchmates for a dequeued head and executes the window:
+    /// one coalesced sweep at or past the crossover width, the
+    /// per-request ladder below it or on sweep failure.
+    fn run_batch_window(
+        &mut self,
+        head: OpenSlot,
+        m: Arc<PreparedMatrix>,
+        max_width: usize,
+        out: &mut [Option<OpenOutcome>],
+    ) {
+        let plan = m.batch.as_ref().expect("caller checked the plan");
+        let sweep_s = plan.cost_s.last().copied().unwrap_or(0.0);
+        // Pull queued requests on the same snapshot, in priority-then-
+        // FIFO order, skipping any whose remaining budget could not sit
+        // through a sweep. The expiry discipline of `pop_matching` makes
+        // a dead entry structurally unbatchable.
+        let mut slots = vec![head];
+        while slots.len() < max_width {
+            let now = self.clock_s;
+            match self.open_queue.pop_matching(now, |e| {
+                e.item.state.as_ref().is_some_and(|s| Arc::ptr_eq(s, &m))
+                    && e.item.request.x.len() == m.ncols
+                    && e.expires_s.is_none_or(|x| x - now >= sweep_s)
+            }) {
+                None => break,
+                Some(Dequeued::Expired(entry, reason)) => {
+                    self.shed_open_slot(entry.item, reason, out);
+                }
+                Some(Dequeued::Ready(entry)) => slots.push(entry.item),
+            }
+        }
+        if slots.len() < plan.crossover.max(2) {
+            // Below the crossover a sweep is predicted slower than the
+            // per-request rungs: serve the gathered slots individually.
+            for slot in slots {
+                self.serve_slot(slot, out);
+            }
+            return;
+        }
+
+        // One coalesced sweep: the members' x vectors become the columns
+        // of a dense B, one ingress tick covers the whole batch (the
+        // amortisation the open-loop throughput gain comes from), and
+        // every output column is verified block-row-wise before any
+        // member sees its response.
+        let w = slots.len();
+        let popped_at = self.clock_s;
+        self.clock_s += self.config.arrival_interval_s;
+        let b = Dense::from_fn(m.ncols, w, |r, j| slots[j].request.x[r]);
+        let r = Rung::SpadenChecked as usize;
+        self.stats.attempts[r] += 1;
+        match plan.spmm.try_run_checked(&self.gpu, &b) {
+            Ok(run) => {
+                self.clock_s += run.time.seconds;
+                self.breakers[r].record_success();
+                self.stats.served[r] += w as u64;
+                self.stats.batches += 1;
+                self.stats.batched_served += w as u64;
+                self.stats.batch_width_sum += w as u64;
+                self.stats.batch_width_max = self.stats.batch_width_max.max(w as u64);
+                let done = self.clock_s;
+                for (j, slot) in slots.into_iter().enumerate() {
+                    self.stats.latencies_s.push(run.time.seconds);
                     self.overload.on_complete(done - slot.arrival_s);
                     out[slot.index] = Some(OpenOutcome {
                         index: slot.index,
                         priority: slot.priority,
-                        matrix,
+                        matrix: slot.request.matrix,
                         arrival_s: slot.arrival_s,
-                        queue_wait_s: wait,
+                        queue_wait_s: popped_at - slot.arrival_s,
                         done_s: done,
                         epoch: slot.epoch,
-                        result,
+                        result: Ok(ServedOk {
+                            y: run.c.column(j),
+                            rung: Rung::SpadenChecked,
+                            latency_s: run.time.seconds,
+                            retries: 0,
+                            epoch: m.epoch,
+                        }),
                     });
-                    return true;
+                }
+            }
+            Err(_) => {
+                // The sweep ran and could not be verified: charge its
+                // predicted cost, record the failure on the shared
+                // tensor-core breaker, and fall back to the per-request
+                // ladder for every member — the existing rung walk
+                // decides each one's fate with its remaining budget.
+                let cost = plan.cost_s.get(w - 1).copied().unwrap_or(sweep_s);
+                self.clock_s += cost;
+                self.breakers[r].record_failure(self.clock_s);
+                self.stats.failures[r] += 1;
+                self.stats.batch_fallbacks += 1;
+                for slot in slots {
+                    self.serve_slot(slot, out);
                 }
             }
         }
@@ -2026,6 +2359,173 @@ mod tests {
             (served, latencies, srv.clock_s().to_bits(), srv.stats().shed)
         };
         assert_eq!(run(), run(), "same schedule, same bits");
+    }
+
+    fn batched_server(batch: BatchConfig) -> (SpmvServer, MatrixHandle, Csr) {
+        let csr = gen::random_uniform(128, 96, 1800, 901);
+        let cfg = ServeConfig { batch, ..ServeConfig::default() };
+        let mut srv = SpmvServer::new(Gpu::new(GpuConfig::l40()), cfg);
+        let h = srv.register(&csr).expect("valid matrix registers");
+        (srv, h, csr)
+    }
+
+    #[test]
+    fn batched_burst_coalesces_and_every_column_is_verified() {
+        let (mut srv, h, csr) = batched_server(BatchConfig::on());
+        let arrivals: Vec<OpenRequest> =
+            (0..16).map(|_| open(h, Priority::Normal, 0.0, 10.0)).collect();
+        let out = srv.run_open_loop(arrivals);
+        let st = srv.stats();
+        assert!(st.batches >= 1, "a same-instant burst must coalesce");
+        assert_eq!(st.batched_served, 16, "every member served from a sweep");
+        assert_eq!(st.batch_width_max, 8, "width saturates at max_width");
+        assert!(st.mean_batch_width() > 1.0);
+        assert!((st.coalescing_rate() - 1.0).abs() < 1e-12);
+        let oracle = csr.spmv_f64(&make_x(96)).unwrap();
+        for o in &out {
+            let ok = o.result.as_ref().expect("whole burst fits the budget");
+            assert_eq!(ok.rung, Rung::SpadenChecked, "batched serves report the ABFT rung");
+            for (r, (a, e)) in ok.y.iter().zip(&oracle).enumerate() {
+                let tol = 1e-2f64.max(e.abs() * 2e-2);
+                assert!((*a as f64 - e).abs() <= tol, "row {r}: {a} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn batching_outruns_per_request_serving_on_a_same_matrix_burst() {
+        // The acceptance bar in miniature: the same 32-deep same-matrix
+        // burst must finish in under half the wall-clock when coalesced.
+        let run = |batch: BatchConfig| {
+            let (mut srv, h, _) = batched_server(batch);
+            let arrivals: Vec<OpenRequest> =
+                (0..32).map(|i| open(h, Priority::Normal, i as f64 * 1e-7, 10.0)).collect();
+            let out = srv.run_open_loop(arrivals);
+            assert!(out.iter().all(|o| o.result.is_ok()), "idle server serves the burst");
+            srv.clock_s()
+        };
+        let batched = run(BatchConfig::on());
+        let single = run(BatchConfig::default());
+        assert!(
+            batched * 2.0 < single,
+            "batched {batched:.3e}s vs per-request {single:.3e}s must be a >=2x win"
+        );
+    }
+
+    #[test]
+    fn batched_open_loop_is_deterministic() {
+        let run = || {
+            let (mut srv, h, _) = batched_server(BatchConfig::on());
+            let arrivals: Vec<OpenRequest> = (0..30)
+                .map(|i| open(h, Priority::ALL[i % 3], i as f64 * 5e-6, 400e-6))
+                .collect();
+            let out = srv.run_open_loop(arrivals);
+            let bits: Vec<u64> = out.iter().map(|o| o.time_in_system_s().to_bits()).collect();
+            (bits, srv.clock_s().to_bits(), srv.stats().batches, srv.stats().shed)
+        };
+        assert_eq!(run(), run(), "same schedule, same sweeps, same bits");
+    }
+
+    #[test]
+    fn batching_window_never_serves_an_expired_request() {
+        let (mut srv, h, _) = batched_server(BatchConfig::on());
+        // A deep same-instant burst on tight budgets: the tail dies in
+        // queue and must be shed at dequeue, never gathered into a sweep.
+        let budget = 15e-6;
+        let arrivals: Vec<OpenRequest> =
+            (0..24).map(|_| open(h, Priority::Normal, 0.0, budget)).collect();
+        let out = srv.run_open_loop(arrivals);
+        for o in &out {
+            match &o.result {
+                Ok(_) => assert!(
+                    o.queue_wait_s < budget,
+                    "a served request was dead at dequeue: waited {}",
+                    o.queue_wait_s
+                ),
+                Err(ServeError::Shed(ShedReason::Expired { .. })) => {
+                    assert!(o.queue_wait_s >= budget, "expired only after the budget elapsed")
+                }
+                // Alive at dequeue but with less remaining budget than
+                // one service: the ladder's deadline gate fails it
+                // before executing — also never served expired.
+                Err(ServeError::DeadlineExceeded { .. }) => {}
+                Err(e) => panic!("unexpected outcome {e:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn enabled_batching_at_width_one_matches_per_request_bits() {
+        // max_width below the crossover makes every head unbatchable, so
+        // the batched drain must reduce to the per-request drain exactly.
+        let run = |batch: BatchConfig| {
+            let (mut srv, h, _) = batched_server(batch);
+            let arrivals: Vec<OpenRequest> = (0..30)
+                .map(|i| open(h, Priority::ALL[i % 3], i as f64 * 20e-6, 300e-6))
+                .collect();
+            let out = srv.run_open_loop(arrivals);
+            let bits: Vec<u64> = out.iter().map(|o| o.time_in_system_s().to_bits()).collect();
+            (bits, srv.clock_s().to_bits(), srv.stats().shed)
+        };
+        let width_one = BatchConfig { enabled: true, max_width: 1, ..BatchConfig::default() };
+        assert_eq!(run(width_one), run(BatchConfig::default()), "same bits either way");
+        let (mut srv, h, _) = batched_server(width_one);
+        let out = srv.run_open_loop(vec![open(h, Priority::Normal, 0.0, 10.0)]);
+        assert!(out[0].result.is_ok());
+        assert_eq!(srv.stats().batches, 0, "width one never forms a batch");
+    }
+
+    #[test]
+    fn batched_sweep_absorbs_tensor_core_faults_via_column_checksums() {
+        // Fragment corruption lands only on MMA accumulators; the
+        // column-wise ABFT pass detects it and the scalar recompute
+        // repairs it, so sweeps keep serving verified answers — the
+        // paper's ABFT story, observed through the batching window.
+        let (mut srv, h, csr) = batched_server(BatchConfig::on());
+        srv.set_fault_config(FaultConfig {
+            fragment_corrupt_rate: 1.0,
+            ..FaultConfig::disabled()
+        });
+        let arrivals: Vec<OpenRequest> =
+            (0..16).map(|_| open(h, Priority::Normal, 0.0, 10.0)).collect();
+        let out = srv.run_open_loop(arrivals);
+        let st = srv.stats();
+        assert!(st.batches >= 1, "sweeps keep forming under tensor-only faults");
+        assert_eq!(st.batched_served, 16, "correction keeps every member on the sweep");
+        assert_eq!(st.batch_fallbacks, 0);
+        let oracle = csr.spmv_f64(&make_x(96)).unwrap();
+        for o in &out {
+            let ok = o.result.as_ref().expect("ABFT absorbs fragment faults");
+            for (a, e) in ok.y.iter().zip(&oracle) {
+                assert!((*a as f64 - e).abs() <= 1e-2f64.max(e.abs() * 2e-2));
+            }
+        }
+    }
+
+    #[test]
+    fn failed_sweep_falls_back_to_the_per_request_ladder() {
+        let (mut srv, h, _) = batched_server(BatchConfig::on());
+        // Saturating memory faults corrupt the recompute path too, so the
+        // SpMM retry ladder exhausts and every coalesced sweep fails.
+        // Members must be re-served individually through the rung walk;
+        // under full-rate injection that walk also fails — but with typed
+        // errors, never an unverified Ok.
+        srv.set_fault_config(FaultConfig { mem_bit_flip_rate: 1.0, ..FaultConfig::disabled() });
+        let arrivals: Vec<OpenRequest> =
+            (0..8).map(|_| open(h, Priority::Normal, 0.0, 10.0)).collect();
+        let out = srv.run_open_loop(arrivals);
+        let st = srv.stats();
+        assert!(st.batch_fallbacks >= 1, "the sweep must have failed and fallen back");
+        assert_eq!(st.batched_served, 0, "no member was served from a failed sweep");
+        for o in &out {
+            match &o.result {
+                Ok(ok) => panic!("full-rate faults must not produce a verified result: {ok:?}"),
+                Err(ServeError::LadderExhausted { .. })
+                | Err(ServeError::DeadlineExceeded { .. })
+                | Err(ServeError::Unavailable) => {}
+                Err(other) => panic!("unexpected error under injection: {other}"),
+            }
+        }
     }
 
     #[test]

@@ -183,6 +183,16 @@ pub struct TrafficSummary {
     /// traffic verdict requires this to be zero in every mode — brownout
     /// degrades by shedding, never by skipping verification.
     pub unverified_ok: u64,
+    /// Coalesced SpMM sweeps executed (0 unless batching is enabled).
+    pub batches: u64,
+    /// Requests served from a sweep column rather than a per-request rung.
+    pub batched_served: u64,
+    /// Sweeps that failed verification and fell back to the ladder.
+    pub batch_fallbacks: u64,
+    /// Sum of sweep widths (for the mean) and the widest sweep seen.
+    pub batch_width_sum: u64,
+    /// Widest sweep executed.
+    pub batch_width_max: u64,
     /// Queue-level shed counters (expired / evicted / rejected-full).
     pub queue_shed: ShedCounters,
     /// Overload-controller counters (brownout sheds, limit moves).
@@ -228,6 +238,23 @@ impl TrafficSummary {
         self.offered as f64 / self.duration_s
     }
 
+    /// Mean width of executed sweeps (0 when none formed).
+    pub fn mean_batch_width(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.batch_width_sum as f64 / self.batches as f64
+    }
+
+    /// Fraction of verified results served from a coalesced sweep.
+    pub fn coalescing_rate(&self) -> f64 {
+        let served: u64 = self.served_by.iter().sum();
+        if served == 0 {
+            return 0.0;
+        }
+        self.batched_served as f64 / served as f64
+    }
+
     /// Worst per-tenant SLO attainment (1.0 when no tenant sent traffic).
     pub fn worst_tenant_attainment(&self) -> f64 {
         self.tenants
@@ -263,6 +290,11 @@ impl TrafficSummary {
             mix(self.overload.shed_brownout[i]);
         }
         mix(self.unverified_ok);
+        mix(self.batches);
+        mix(self.batched_served);
+        mix(self.batch_fallbacks);
+        mix(self.batch_width_sum);
+        mix(self.batch_width_max);
         mix(self.final_limit as u64);
         mix(self.final_mode as u64);
         for t in &self.tenants {
@@ -367,6 +399,11 @@ pub fn run_traffic(gpu: &GpuConfig, cfg: &TrafficConfig) -> TrafficSummary {
         p99_s: [0.0; PRIORITIES],
         p999_s: [0.0; PRIORITIES],
         unverified_ok: 0,
+        batches: server.stats().batches,
+        batched_served: server.stats().batched_served,
+        batch_fallbacks: server.stats().batch_fallbacks,
+        batch_width_sum: server.stats().batch_width_sum,
+        batch_width_max: server.stats().batch_width_max,
         queue_shed: server.shed_counters(),
         overload: server.overload_stats(),
         final_limit: server.overload_state().0,

@@ -1,0 +1,149 @@
+//! End-to-end properties of the batched SpMM serving path:
+//!
+//! 1. Every column of a checked batched sweep matches the f64 oracle
+//!    within the SpMV rung's tolerance, across the generator family.
+//! 2. A batch-of-1 SpMM agrees with the SpMV rung's verdict — same
+//!    Ok/Err outcome on a clean GPU and under saturating faults, and
+//!    numerically equivalent output when both succeed.
+//! 3. The batching window never serves an expired request: open-loop
+//!    outcomes on a batch-enabled server respect every budget.
+//! 4. Batched open-loop serving is a pure function of its seed — same
+//!    digest run to run, different digest across seeds.
+
+use spaden::gpusim::{FaultConfig, Gpu, GpuConfig};
+use spaden::{SpadenEngine, SpadenSpmmEngine};
+use spaden_serve::{
+    BatchConfig, OpenRequest, Priority, Request, ServeConfig, ServeError, ShedReason, SpmvServer,
+};
+use spaden_sparse::dense::Dense;
+use spaden_sparse::gen::{self, FillDist, Placement};
+use spaden_sparse::Csr;
+use spaden_traffic::{run_traffic, ArrivalProcess, CorpusConfig, TrafficConfig};
+
+/// Per-row oracle tolerance for the f16 tensor-core path (the same bound
+/// the SpMV rung is held to by the traffic harness).
+fn spmv_tol(csr: &Csr, row: usize, oracle: f64) -> f64 {
+    let row_nnz = (csr.row_ptr[row + 1] - csr.row_ptr[row]) as f64;
+    (2.0f64.powi(-10) * 3.0 * row_nnz.max(1.0) + 1e-4) * oracle.abs().max(1.0)
+}
+
+fn corpus() -> Vec<Csr> {
+    vec![
+        gen::random_uniform(128, 96, 1800, 901),
+        gen::generate_blocked(256, 180, Placement::Scattered, &FillDist::Uniform { lo: 8, hi: 40 }, 55),
+        gen::generate_blocked(192, 120, Placement::Banded { bandwidth: 6 }, &FillDist::Uniform { lo: 1, hi: 64 }, 77),
+        gen::scale_free(160, 2000, 2.2, 33),
+    ]
+}
+
+#[test]
+fn every_batched_column_matches_the_oracle_within_spmv_tolerance() {
+    for (mi, csr) in corpus().iter().enumerate() {
+        let gpu = Gpu::new(GpuConfig::l40());
+        let eng = SpadenSpmmEngine::try_prepare(&gpu, csr).expect("corpus prepares");
+        for k in [1usize, 3, 8, 16] {
+            let b = Dense::from_fn(csr.ncols, k, |r, c| {
+                ((r * 31 + 17 * (c + 1) + mi) % 64) as f32 / 32.0 - 1.0
+            });
+            let run = eng.try_run_checked(&gpu, &b).expect("clean sweep verifies");
+            for j in 0..k {
+                let oracle = csr.spmv_f64(&b.column(j)).expect("oracle dims");
+                for (r, e) in oracle.iter().enumerate() {
+                    let a = run.c.get(r, j) as f64;
+                    assert!(
+                        (a - e).abs() <= spmv_tol(csr, r, *e),
+                        "matrix {mi} K={k} column {j} row {r}: {a} vs {e}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_of_one_agrees_with_the_spmv_rungs_verdict() {
+    let csr = gen::random_uniform(128, 96, 1800, 901);
+    let x: Vec<f32> = (0..96).map(|i| ((i * 37 + 11) % 64) as f32 / 32.0 - 1.0).collect();
+    let b = Dense::from_fn(96, 1, |r, _| x[r]);
+
+    // Clean GPU: both rungs succeed, and the width-1 sweep's only column
+    // is numerically equivalent to the SpMV rung's output (both are
+    // f16-product tensor-core kernels held to the same tolerance).
+    let gpu = Gpu::new(GpuConfig::l40());
+    let spmv = SpadenEngine::try_prepare(&gpu, &csr).unwrap();
+    let spmm = SpadenSpmmEngine::try_prepare(&gpu, &csr).unwrap();
+    let rv = spmv.try_run_checked(&gpu, &x).expect("SpMV rung serves clean");
+    let rm = spmm.try_run_checked(&gpu, &b).expect("batch-of-1 serves clean");
+    let oracle = csr.spmv_f64(&x).unwrap();
+    for (r, e) in oracle.iter().enumerate() {
+        let tol = spmv_tol(&csr, r, *e);
+        assert!((rv.y[r] as f64 - e).abs() <= tol, "SpMV row {r}");
+        assert!((rm.c.get(r, 0) as f64 - e).abs() <= tol, "SpMM row {r}");
+    }
+
+    // Saturating memory faults: both verdicts flip to a typed error —
+    // the sweep may not succeed where the rung would refuse.
+    let mut faulty_cfg = GpuConfig::l40();
+    faulty_cfg.faults = FaultConfig { mem_bit_flip_rate: 1.0, ..FaultConfig::disabled() };
+    let faulty = Gpu::new(faulty_cfg);
+    let spmv_f = SpadenEngine::try_prepare(&faulty, &csr).unwrap();
+    let spmm_f = SpadenSpmmEngine::try_prepare(&faulty, &csr).unwrap();
+    assert!(spmv_f.try_run_checked(&faulty, &x).is_err(), "SpMV rung refuses");
+    assert!(spmm_f.try_run_checked(&faulty, &b).is_err(), "batch-of-1 refuses");
+}
+
+#[test]
+fn batching_window_never_serves_an_expired_request() {
+    let csr = gen::random_uniform(128, 96, 1800, 901);
+    let cfg = ServeConfig { batch: BatchConfig::on(), ..ServeConfig::default() };
+    let mut srv = SpmvServer::new(Gpu::new(GpuConfig::l40()), cfg);
+    let h = srv.register(&csr).unwrap();
+    let budget = 18e-6;
+    let arrivals: Vec<OpenRequest> = (0..32)
+        .map(|i| OpenRequest {
+            request: Request {
+                matrix: h,
+                x: (0..96).map(|v| ((v * 37 + 11) % 64) as f32 / 32.0 - 1.0).collect(),
+                deadline_s: Some(budget),
+            },
+            priority: Priority::ALL[i % 3],
+            arrival_s: 0.0,
+        })
+        .collect();
+    let out = srv.run_open_loop(arrivals);
+    assert_eq!(out.len(), 32);
+    for o in &out {
+        match &o.result {
+            Ok(_) => assert!(
+                o.queue_wait_s < budget,
+                "served a request that was dead at dequeue (waited {})",
+                o.queue_wait_s
+            ),
+            Err(ServeError::Shed(ShedReason::Expired { .. })) => {
+                assert!(o.queue_wait_s >= budget, "shed a live request as expired")
+            }
+            // Alive at dequeue but without budget for one more service:
+            // refused by the deadline gate, not served late.
+            Err(ServeError::DeadlineExceeded { .. }) => {}
+            Err(ServeError::Shed(_)) => {}
+            Err(e) => panic!("unexpected outcome: {e}"),
+        }
+    }
+}
+
+#[test]
+fn batched_serving_is_deterministic_per_seed() {
+    let gpu = GpuConfig::l40();
+    let cfg_for = |seed: u64| {
+        let mut cfg = TrafficConfig::new(seed, 2e-3, ArrivalProcess::Poisson { rate_rps: 400_000.0 });
+        cfg.corpus = CorpusConfig { matrices: 3, rows: 64, cols: 64, nnz: 700, seed: 8_400 };
+        cfg.serve.batch = BatchConfig::on();
+        cfg
+    };
+    let a = run_traffic(&gpu, &cfg_for(42));
+    let b = run_traffic(&gpu, &cfg_for(42));
+    assert!(a.batches > 0, "overload on a 3-matrix corpus must coalesce: {a:?}");
+    assert_eq!(a.unverified_ok, 0, "every coalesced Ok passes the oracle");
+    assert_eq!(a.digest(), b.digest(), "same seed, same sweeps, same bits");
+    assert_ne!(a.digest(), run_traffic(&gpu, &cfg_for(43)).digest(), "seed must matter");
+}
