@@ -10,6 +10,7 @@
 //! peak load), sweeps actually forming, and zero unverified results in
 //! either mode. CI's batch-smoke job greps the `BATCH` verdict line.
 
+use crate::verdict::Verdict;
 use crate::Table;
 use spaden_gpusim::GpuConfig;
 use spaden_serve::BatchConfig;
@@ -191,8 +192,8 @@ pub fn run_batch_bench(gpu: &GpuConfig, bench: &BatchBenchConfig) -> BatchReport
 }
 
 /// Runs the experiment on `gpu` and renders the comparison table, the
-/// checks table, and the one-line `BATCH` verdict string.
-pub fn batch_report(gpu: &GpuConfig, bench: &BatchBenchConfig) -> (Vec<Table>, String, BatchReport) {
+/// checks table, and the typed `BATCH` verdict.
+pub fn batch_report(gpu: &GpuConfig, bench: &BatchBenchConfig) -> (Vec<Table>, Verdict, BatchReport) {
     let report = run_batch_bench(gpu, bench);
 
     let mut curve = Table::new(
@@ -233,7 +234,7 @@ pub fn batch_report(gpu: &GpuConfig, bench: &BatchBenchConfig) -> (Vec<Table>, S
     }
 
     let peak = report.points.last().expect("at least one point");
-    let verdict = format!(
+    let verdict = Verdict::new(report.ok(), format!(
         "BATCH {}: batched {:.0} rps vs per-request {:.0} rps ({:.1}x) at peak load, \
          p99 {:.0}us vs {:.0}us, {:.0}% coalesced, {}/{} checks passed",
         if report.ok() { "OK" } else { "FAIL" },
@@ -245,7 +246,7 @@ pub fn batch_report(gpu: &GpuConfig, bench: &BatchBenchConfig) -> (Vec<Table>, S
         peak.batched.coalescing_rate() * 100.0,
         report.checks.iter().filter(|c| c.pass).count(),
         report.checks.len(),
-    );
+    ));
     (vec![curve, checks], verdict, report)
 }
 
@@ -259,7 +260,8 @@ mod tests {
         assert_eq!(tables.len(), 2);
         assert!(report.ok(), "verdict checks: {:?}", report.checks);
         assert!(report.speedup >= 2.0, "speedup {:.2}", report.speedup);
-        assert!(verdict.starts_with("BATCH OK"), "{verdict}");
+        assert!(verdict.pass, "{verdict}");
+        assert!(verdict.line.starts_with("BATCH OK"), "{verdict}");
         let rendered = tables[0].to_string();
         assert!(rendered.contains("Batched vs per-request"));
         assert!(rendered.contains("coalesce"));

@@ -1,17 +1,23 @@
 //! The `repro bench` experiment: a machine-readable performance summary
-//! of the whole stack, written to `BENCH_9.json`.
+//! of the whole stack, written to `BENCH_10.json`.
 //!
 //! One JSON document captures the numbers a regression dashboard would
 //! track: per-engine geomean GFLOPS on the in-scope Table-1 corpus, SpMM
 //! throughput as a function of batch width K (the amortisation curve the
 //! batching window exploits), served-traffic p50/p99 under light load,
-//! and the plan cache's repeat hit rate.
+//! the plan cache's repeat hit rate, measured host-side conversion cost
+//! per nonzero for each format, and the simulator's own wall-clock per
+//! simulated SpMV (the number that bounds how much traffic any
+//! experiment can afford to push through the stack).
 
-use crate::{geomean, load_datasets, run_sweep, Table};
-use spaden::SpadenSpmmEngine;
+use crate::{geomean, load_datasets, make_x, run_sweep, Table};
+use spaden::{BitBsr, SpadenEngine, SpadenSpmmEngine, SpmvEngine};
 use spaden_gpusim::{Gpu, GpuConfig};
 use spaden_plan::{PlanSource, Planner};
+use spaden_sparse::bsr::Bsr;
 use spaden_sparse::dense::Dense;
+use spaden_sparse::ell::Ell;
+use spaden_sparse::hyb::Hyb;
 use spaden_traffic::{calibrate_capacity_rps, run_traffic, ArrivalProcess, TrafficConfig};
 
 /// Batch widths of the SpMM amortisation curve.
@@ -24,6 +30,30 @@ pub struct EngineGflops {
     pub engine: &'static str,
     /// Geomean modelled GFLOP/s over the in-scope corpus.
     pub gflops: f64,
+}
+
+/// One format's measured host-side conversion cost on the probe matrix.
+#[derive(Debug, Clone)]
+pub struct ConversionCost {
+    /// Conversion target (the on-device format built from CSR).
+    pub target: &'static str,
+    /// Best-of-five wall nanoseconds per nonzero.
+    pub ns_per_nnz: f64,
+}
+
+/// Host wall-clock cost of the simulator itself: how long one simulated
+/// SpMV takes in real time, and how that compares to the simulated
+/// duration it models.
+#[derive(Debug, Clone)]
+pub struct SimWallClock {
+    /// Timed SpMV launches.
+    pub runs: usize,
+    /// Mean host wall microseconds per simulated launch.
+    pub wall_us_per_run: f64,
+    /// Mean modelled (simulated) microseconds per launch.
+    pub sim_us_per_run: f64,
+    /// Slowdown: host wall time per unit of simulated time.
+    pub wall_per_sim: f64,
 }
 
 /// Everything `repro bench` measures.
@@ -39,6 +69,22 @@ pub struct BenchSummary {
     pub serve_p99_s: f64,
     /// Plan-cache hit rate on a repeat pass over the corpus.
     pub plan_repeat_hit_rate: f64,
+    /// Measured conversion cost per format on the probe matrix.
+    pub conversions: Vec<ConversionCost>,
+    /// Simulator wall-clock per simulated SpMV on the probe matrix.
+    pub sim_wall: SimWallClock,
+}
+
+/// Best-of-five wall nanoseconds of `f` (one warmup call first).
+fn best_ns(mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t = std::time::Instant::now();
+        f();
+        best = best.min(t.elapsed().as_nanos() as f64);
+    }
+    best
 }
 
 /// Runs the summary measurements on `gpu`.
@@ -107,7 +153,67 @@ pub fn run_bench_summary(gpu: &GpuConfig, scale: f64, seed: u64) -> BenchSummary
     }
     let plan_repeat_hit_rate = hits as f64 / repeats.max(1) as f64;
 
-    BenchSummary { engines, spmm_gflops, serve_p50_s, serve_p99_s, plan_repeat_hit_rate }
+    // Host-side conversion cost per nonzero, on the corpus's probe
+    // matrix (the same one the conversions micro-bench uses).
+    let probe_csr = spaden_sparse::datasets::by_name("cant")
+        .expect("probe dataset")
+        .generate(scale)
+        .csr;
+    let probe_nnz = probe_csr.nnz().max(1) as f64;
+    let conversions = vec![
+        ConversionCost {
+            target: "bitBSR",
+            ns_per_nnz: best_ns(|| {
+                std::hint::black_box(BitBsr::from_csr(std::hint::black_box(&probe_csr)));
+            }) / probe_nnz,
+        },
+        ConversionCost {
+            target: "BSR",
+            ns_per_nnz: best_ns(|| {
+                std::hint::black_box(Bsr::from_csr(std::hint::black_box(&probe_csr)));
+            }) / probe_nnz,
+        },
+        ConversionCost {
+            target: "ELL",
+            ns_per_nnz: best_ns(|| {
+                std::hint::black_box(Ell::from_csr(std::hint::black_box(&probe_csr)));
+            }) / probe_nnz,
+        },
+        ConversionCost {
+            target: "HYB",
+            ns_per_nnz: best_ns(|| {
+                std::hint::black_box(Hyb::from_csr(std::hint::black_box(&probe_csr)));
+            }) / probe_nnz,
+        },
+    ];
+
+    // Simulator wall-clock: host time per simulated SpMV vs the
+    // simulated duration it models.
+    let eng = SpadenEngine::prepare(&dev, &probe_csr);
+    let x = make_x(probe_csr.ncols);
+    let runs = 16usize;
+    let mut sim_s = 0.0;
+    let t0 = std::time::Instant::now();
+    for _ in 0..runs {
+        sim_s += std::hint::black_box(eng.run(&dev, std::hint::black_box(&x))).time.seconds;
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let sim_wall = SimWallClock {
+        runs,
+        wall_us_per_run: wall_s * 1e6 / runs as f64,
+        sim_us_per_run: sim_s * 1e6 / runs as f64,
+        wall_per_sim: wall_s / sim_s.max(1e-12),
+    };
+
+    BenchSummary {
+        engines,
+        spmm_gflops,
+        serve_p50_s,
+        serve_p99_s,
+        plan_repeat_hit_rate,
+        conversions,
+        sim_wall,
+    }
 }
 
 fn json_str(s: &str) -> String {
@@ -126,7 +232,7 @@ fn json_str(s: &str) -> String {
     out
 }
 
-/// Renders the `BENCH_9.json` body.
+/// Renders the `BENCH_10.json` body.
 pub fn bench_summary_json(gpu: &GpuConfig, scale: f64, seed: u64, s: &BenchSummary) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
@@ -151,10 +257,26 @@ pub fn bench_summary_json(gpu: &GpuConfig, scale: f64, seed: u64, s: &BenchSumma
         ));
     }
     out.push_str(&format!(
-        "  }},\n  \"serve_p50_us\": {:.2},\n  \"serve_p99_us\": {:.2},\n  \"plan_cache_repeat_hit_rate\": {:.4}\n}}\n",
+        "  }},\n  \"serve_p50_us\": {:.2},\n  \"serve_p99_us\": {:.2},\n  \"plan_cache_repeat_hit_rate\": {:.4},\n",
         s.serve_p50_s * 1e6,
         s.serve_p99_s * 1e6,
         s.plan_repeat_hit_rate,
+    ));
+    out.push_str("  \"conversion_ns_per_nnz\": {\n");
+    for (i, c) in s.conversions.iter().enumerate() {
+        out.push_str(&format!(
+            "    {}: {:.3}{}\n",
+            json_str(c.target),
+            c.ns_per_nnz,
+            if i + 1 < s.conversions.len() { "," } else { "" },
+        ));
+    }
+    out.push_str(&format!(
+        "  }},\n  \"simulator_wall_clock\": {{\n    \"spmv_runs\": {},\n    \"wall_us_per_run\": {:.3},\n    \"sim_us_per_run\": {:.3},\n    \"wall_per_sim\": {:.2}\n  }}\n}}\n",
+        s.sim_wall.runs,
+        s.sim_wall.wall_us_per_run,
+        s.sim_wall.sim_us_per_run,
+        s.sim_wall.wall_per_sim,
     ));
     out
 }
@@ -184,7 +306,28 @@ pub fn bench_summary_tables(gpu: &GpuConfig, s: &BenchSummary) -> Vec<Table> {
         "plan cache repeat hit rate".into(),
         format!("{:.0}%", s.plan_repeat_hit_rate * 100.0),
     ]);
-    vec![engines, spmm, summary]
+    let mut conv = Table::new(
+        format!("Conversion cost, CSR -> format ({})", gpu.name),
+        &["target", "ns/nnz"],
+    );
+    for c in &s.conversions {
+        conv.push_row(vec![c.target.to_string(), format!("{:.2}", c.ns_per_nnz)]);
+    }
+    let mut sim = Table::new(
+        format!("Simulator wall-clock ({})", gpu.name),
+        &["metric", "value"],
+    );
+    sim.push_row(vec!["SpMV launches timed".into(), s.sim_wall.runs.to_string()]);
+    sim.push_row(vec![
+        "host wall per launch".into(),
+        format!("{:.1} us", s.sim_wall.wall_us_per_run),
+    ]);
+    sim.push_row(vec![
+        "simulated time per launch".into(),
+        format!("{:.1} us", s.sim_wall.sim_us_per_run),
+    ]);
+    sim.push_row(vec!["wall / simulated".into(), format!("{:.2}x", s.sim_wall.wall_per_sim)]);
+    vec![engines, spmm, summary, conv, sim]
 }
 
 #[cfg(test)]
@@ -210,9 +353,15 @@ mod tests {
         assert!(json.contains("\"spmm_gflops_by_width\""));
         assert!(json.contains("\"16\":"));
         assert!(json.contains("\"plan_cache_repeat_hit_rate\""));
+        assert!(json.contains("\"conversion_ns_per_nnz\""));
+        assert!(json.contains("\"simulator_wall_clock\""));
+        assert_eq!(s.conversions.len(), 4);
+        assert!(s.conversions.iter().all(|c| c.ns_per_nnz > 0.0));
+        assert!(s.sim_wall.wall_us_per_run > 0.0);
+        assert!(s.sim_wall.sim_us_per_run > 0.0);
         // Structural sanity: braces balance and no trailing comma.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(!json.contains(",\n  }"));
-        assert_eq!(bench_summary_tables(&gpu, &s).len(), 3);
+        assert_eq!(bench_summary_tables(&gpu, &s).len(), 5);
     }
 }

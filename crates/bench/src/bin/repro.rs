@@ -5,16 +5,19 @@
 //!
 //! experiments: table1 fig6 fig7 fig8 fig9a fig9b fig10a fig10b
 //!              ablations extensions reordering faults plan sanitize serve
-//!              shard traffic evolve recover bench verify all
+//!              shard traffic evolve recover bench chaos verify all
 //! ```
 //!
 //! `--scale` shrinks every dataset proportionally (default 0.05; use 1.0
 //! for paper-size matrices). Figures 6/7 include the two out-of-scope
 //! matrices like the paper; summary rows always exclude them. `--smoke`
 //! shortens the `evolve` and `recover` scenarios for CI smoke jobs.
-//! `--seed` overrides the seed of every seeded experiment (chaos,
-//! traffic, shard, evolve, recover) and is echoed in the report header
-//! so any run can be reproduced from its output alone.
+//! `--seed` overrides the seed of every seeded experiment (serve,
+//! faults, traffic, shard, evolve, recover, bench, chaos) and is echoed
+//! in the report header so any run can be reproduced from its output
+//! alone. `chaos --replay <file>` re-runs a shrunk reproducer emitted
+//! by a failing chaos sweep. Any experiment whose verdict fails makes
+//! `repro` exit nonzero, so CI gates on exit codes, not output greps.
 
 use spaden_bench::{
     fig10a, fig10b, fig6, fig7, fig8, fig9a, fig9b, load_datasets, run_sweep, table1,
@@ -28,6 +31,7 @@ struct Args {
     gpus: Vec<GpuConfig>,
     smoke: bool,
     seed: Option<u64>,
+    replay: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -37,9 +41,14 @@ fn parse_args() -> Result<Args, String> {
     let mut gpus = vec![GpuConfig::l40(), GpuConfig::v100()];
     let mut smoke = false;
     let mut seed = None;
+    let mut replay = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--smoke" => smoke = true,
+            "--replay" => {
+                let v = args.next().ok_or("--replay needs a file path")?;
+                replay = Some(v);
+            }
             "--seed" => {
                 let v = args.next().ok_or("--seed needs a value")?;
                 seed = Some(v.parse().map_err(|_| format!("bad seed: {v}"))?);
@@ -63,7 +72,7 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag: {other}")),
         }
     }
-    Ok(Args { experiment, scale, gpus, smoke, seed })
+    Ok(Args { experiment, scale, gpus, smoke, seed, replay })
 }
 
 /// All eight engines: the Figure-6 set plus the Figure-8 ablations.
@@ -96,7 +105,8 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: repro <table1|fig6|fig7|fig8|fig9a|fig9b|fig10a|fig10b|ablations|extensions|reordering|faults|verify|all> \
-                 [--scale S] [--gpu l40|v100|both] [--smoke] [--seed N]   (also: plan sanitize serve shard traffic evolve recover bench)"
+                 [--scale S] [--gpu l40|v100|both] [--smoke] [--seed N] [--replay FILE]   \
+                 (also: plan sanitize serve shard traffic evolve recover bench chaos)"
             );
             std::process::exit(2);
         }
@@ -113,6 +123,7 @@ fn main() {
         ),
     }
 
+    let mut failed = false;
     match args.experiment.as_str() {
         "table1" => {
             println!("{}", table1(&load_datasets(scale, true)));
@@ -182,7 +193,7 @@ fn main() {
             let datasets = load_datasets(scale, false);
             let rates = [1e-4, 1e-3, 1e-2];
             for cfg in args.gpus {
-                let (t, s) = spaden_bench::fault_sweep(cfg, &datasets, &rates, 6);
+                let (t, s) = spaden_bench::fault_sweep(cfg, &datasets, &rates, 6, args.seed.unwrap_or(0xFA));
                 println!("{t}");
                 println!(
                     "detection: {}/{} corrupted runs flagged; correction: {}/{} checked runs verified",
@@ -222,6 +233,7 @@ fn main() {
                         println!("{t}");
                     }
                     println!("{verdict}");
+                    failed |= !verdict.pass;
                 }
             }
             // Batched SpMM serving: the same Zipf same-matrix workload
@@ -244,6 +256,7 @@ fn main() {
                     println!("{t}");
                 }
                 println!("{verdict}");
+                failed |= !verdict.pass;
             }
         }
         "sanitize" => {
@@ -258,6 +271,7 @@ fn main() {
                 println!("{t}");
             }
             println!("{verdict}");
+            failed |= !verdict.pass;
         }
         "plan" => {
             // Certifies the plan layer: cost-model selection accuracy vs
@@ -269,6 +283,7 @@ fn main() {
                 println!("{t}");
             }
             println!("{verdict}");
+            failed |= !verdict.pass;
         }
         "traffic" => {
             // Certifies the overload-control layer: an open-loop Poisson
@@ -288,6 +303,7 @@ fn main() {
                     println!("{t}");
                 }
                 println!("{verdict}");
+                failed |= !verdict.pass;
             }
         }
         "evolve" => {
@@ -314,6 +330,7 @@ fn main() {
                     println!("{t}");
                 }
                 println!("{verdict}");
+                failed |= !verdict.pass;
             }
         }
         "recover" => {
@@ -341,7 +358,8 @@ fn main() {
                     println!("{t}");
                 }
                 println!("{verdict}");
-                let json = spaden_bench::recover_report_json(gpu, &cfg, &verdict, &report);
+                failed |= !verdict.pass;
+                let json = spaden_bench::recover_report_json(gpu, &cfg, &verdict.line, &report);
                 match std::fs::write("recover_report.json", &json) {
                     Ok(()) => println!("wrote recover_report.json"),
                     Err(e) => eprintln!("could not write recover_report.json: {e}"),
@@ -364,6 +382,7 @@ fn main() {
                     println!("{t}");
                 }
                 println!("{verdict}");
+                failed |= !verdict.pass;
             }
         }
         "bench" => {
@@ -371,7 +390,7 @@ fn main() {
             // GFLOPS on the in-scope corpus, the SpMM amortisation curve
             // over K in {1,2,4,8,16}, serving p50/p99 under light load,
             // and the plan cache's repeat hit rate. Written to
-            // `BENCH_9.json` for dashboards; the tables mirror it.
+            // `BENCH_10.json` for dashboards; the tables mirror it.
             let seed = args.seed.unwrap_or(11);
             for gpu in &args.gpus {
                 let s = spaden_bench::run_bench_summary(gpu, scale, seed);
@@ -380,13 +399,86 @@ fn main() {
                 }
                 let json = spaden_bench::bench_summary_json(gpu, scale, seed, &s);
                 let path = if args.gpus.len() > 1 {
-                    format!("BENCH_9_{}.json", gpu.name.to_ascii_lowercase())
+                    format!("BENCH_10_{}.json", gpu.name.to_ascii_lowercase())
                 } else {
-                    "BENCH_9.json".to_string()
+                    "BENCH_10.json".to_string()
                 };
                 match std::fs::write(&path, &json) {
                     Ok(()) => println!("wrote {path}"),
                     Err(e) => eprintln!("could not write {path}: {e}"),
+                }
+            }
+        }
+        "chaos" => {
+            // Deterministic chaos orchestration: correlated multi-fault
+            // schedules through the full stack with the global invariant
+            // oracle. `--replay FILE` re-runs a shrunk reproducer emitted
+            // by a failing sweep; otherwise the sweep explores 200
+            // schedules (24 with `--smoke`). On a violation the minimal
+            // reproducer is written to `chaos_repro.txt` and the exit
+            // code is nonzero — CI's chaos-smoke job gates on it.
+            if let Some(path) = &args.replay {
+                let text = match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("cannot read replay file {path}: {e}");
+                        std::process::exit(2);
+                    }
+                };
+                let replay = match spaden_chaos::ReplayFile::parse(&text) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("bad replay file {path}: {e}");
+                        std::process::exit(2);
+                    }
+                };
+                for gpu in &args.gpus {
+                    let out = spaden_chaos::run_schedule(gpu, &replay.schedule, replay.weaken);
+                    println!(
+                        "replayed seed {} on {}: {} events, {} arrivals offered, {} served, digest {:#018x}",
+                        replay.schedule.seed,
+                        gpu.name,
+                        replay.schedule.events.len(),
+                        out.offered,
+                        out.served,
+                        out.digest,
+                    );
+                    if out.violations.is_empty() {
+                        println!("CHAOS REPLAY OK: no invariant violations");
+                    } else {
+                        for v in &out.violations {
+                            println!("violation: {v}");
+                        }
+                        println!("CHAOS REPLAY FAIL: {} invariant violation(s)", out.violations.len());
+                        failed = true;
+                    }
+                }
+            } else {
+                let seed0 = args.seed.unwrap_or(1);
+                let cfg = if args.smoke {
+                    spaden_chaos::ExploreConfig::smoke(seed0)
+                } else {
+                    spaden_chaos::ExploreConfig::full(seed0)
+                };
+                for gpu in &args.gpus {
+                    let (tables, verdict, findings) = spaden_bench::chaos_report(gpu, &cfg);
+                    for t in tables {
+                        println!("{t}");
+                    }
+                    println!("{verdict}");
+                    failed |= !verdict.pass;
+                    if let Some(caught) = &findings.caught {
+                        for v in &caught.violations {
+                            println!("violation: {v}");
+                        }
+                        match std::fs::write("chaos_repro.txt", &caught.replay) {
+                            Ok(()) => println!(
+                                "wrote chaos_repro.txt (shrunk to {} event(s); replay with `repro chaos --replay chaos_repro.txt`)",
+                                caught.shrunk.events.len()
+                            ),
+                            Err(e) => eprintln!("could not write chaos_repro.txt: {e}"),
+                        }
+                    }
                 }
             }
         }
@@ -410,7 +502,7 @@ fn main() {
                     println!("{}", fig10a(&s));
                     println!("{}", fig10b(&s));
                     let (ft, _) =
-                        spaden_bench::fault_sweep(cfg.clone(), &load_datasets(scale, false), &[1e-3], 4);
+                        spaden_bench::fault_sweep(cfg.clone(), &load_datasets(scale, false), &[1e-3], 4, args.seed.unwrap_or(0xFA));
                     println!("{ft}");
                 }
                 println!("{}", verification(&s));
@@ -420,5 +512,9 @@ fn main() {
             eprintln!("unknown experiment: {other}");
             std::process::exit(2);
         }
+    }
+    if failed {
+        eprintln!("repro: experiment `{}` FAILED", args.experiment);
+        std::process::exit(1);
     }
 }

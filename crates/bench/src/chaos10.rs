@@ -1,0 +1,123 @@
+//! The `chaos` experiment: seeded multi-fault schedule exploration with
+//! the global invariant oracle, behind the `CHAOS` verdict line.
+//!
+//! One sweep generates hundreds of [`ChaosSchedule`]s — each correlating
+//! at least three fault families inside a commit-aligned window — runs
+//! every one through the full serving stack, and demands zero invariant
+//! violations plus per-seed digest determinism. On a violation the
+//! shrinker's minimal reproducer is rendered as a replay file the
+//! `repro chaos --replay` mode re-runs bit-exactly. CI's chaos-smoke job
+//! gates on the `repro` exit code.
+//!
+//! [`ChaosSchedule`]: spaden_chaos::ChaosSchedule
+
+use crate::table::Table;
+use crate::verdict::Verdict;
+use spaden_chaos::{explore, ChaosFindings, ExploreConfig, FaultFamily, FAMILIES};
+use spaden_gpusim::GpuConfig;
+
+/// Runs the sweep on `gpu` and renders the coverage tables and the
+/// typed `CHAOS` verdict.
+pub fn chaos_report(gpu: &GpuConfig, cfg: &ExploreConfig) -> (Vec<Table>, Verdict, ChaosFindings) {
+    let findings = explore(gpu, cfg);
+
+    // Fault-family coverage: in how many explored schedules was each
+    // family active (regenerated from the seed — schedules are pure
+    // functions of profile + seed).
+    let mut active = [0usize; FAMILIES];
+    for row in &findings.rows {
+        let sched = cfg.profile.schedule(row.seed);
+        for (i, fam) in FaultFamily::ALL.iter().enumerate() {
+            if sched.events.iter().any(|e| e.family() == *fam) {
+                active[i] += 1;
+            }
+        }
+    }
+    let mut coverage = Table::new(
+        format!("Chaos fault-family coverage ({})", gpu.name),
+        &["family", "schedules active", "share"],
+    );
+    for (i, fam) in FaultFamily::ALL.iter().enumerate() {
+        coverage.push_row(vec![
+            fam.name().to_string(),
+            active[i].to_string(),
+            format!("{:.0}%", 100.0 * active[i] as f64 / findings.rows.len().max(1) as f64),
+        ]);
+    }
+
+    let mut sweep = Table::new(
+        format!("Chaos sweep summary ({})", gpu.name),
+        &["metric", "value"],
+    );
+    let offered: usize = findings.rows.iter().map(|r| r.offered).sum();
+    let served: usize = findings.rows.iter().map(|r| r.served).sum();
+    let commits: u64 = findings.rows.iter().map(|r| r.commits).sum();
+    let rollbacks: u64 = findings.rows.iter().map(|r| r.rollbacks).sum();
+    let crash_checks: usize = findings.rows.iter().map(|r| r.crash_checks).sum();
+    for (metric, value) in [
+        ("schedules explored", findings.explored.to_string()),
+        ("min simultaneous families", findings.min_simultaneous.to_string()),
+        ("arrivals offered", offered.to_string()),
+        ("results served (verified)", served.to_string()),
+        ("updates committed", commits.to_string()),
+        ("updates rolled back", rollbacks.to_string()),
+        ("crash-point recovery audits", crash_checks.to_string()),
+        ("determinism replays", findings.determinism_replays.to_string()),
+        (
+            "determinism replays bit-identical",
+            if findings.determinism_ok { "all" } else { "NO" }.to_string(),
+        ),
+        ("invariant violations", findings.total_violations().to_string()),
+    ] {
+        sweep.push_row(vec![metric.to_string(), value]);
+    }
+
+    let complete = findings.explored == cfg.schedules;
+    let pass = complete
+        && findings.caught.is_none()
+        && findings.total_violations() == 0
+        && findings.determinism_ok
+        && findings.min_simultaneous >= cfg.profile.min_families;
+    let verdict = Verdict::new(
+        pass,
+        match &findings.caught {
+            None => format!(
+                "CHAOS {}: {} schedules explored (>= {} fault families simultaneously active), \
+                 {} crash-point audits, {} invariant violations, {}/{} determinism replays bit-identical",
+                if pass { "OK" } else { "FAIL" },
+                findings.explored,
+                findings.min_simultaneous,
+                crash_checks,
+                findings.total_violations(),
+                if findings.determinism_ok { findings.determinism_replays } else { 0 },
+                findings.determinism_replays,
+            ),
+            Some(c) => format!(
+                "CHAOS FAIL: seed {} violated {} invariant(s); shrunk to {} fault event(s) / {} arrivals in {} runs",
+                c.seed,
+                c.violations.len(),
+                c.shrunk.events.len(),
+                c.shrunk.arrivals,
+                c.shrink_runs,
+            ),
+        },
+    );
+    (vec![sweep, coverage], verdict, findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_renders_and_passes() {
+        let cfg = ExploreConfig { schedules: 2, replay_every: 2, ..ExploreConfig::smoke(31) };
+        let (tables, verdict, findings) = chaos_report(&GpuConfig::l40(), &cfg);
+        assert_eq!(tables.len(), 2);
+        assert!(verdict.pass, "{verdict}");
+        assert!(verdict.line.starts_with("CHAOS OK"), "{verdict}");
+        assert!(findings.caught.is_none());
+        let rendered = tables[1].to_string();
+        assert!(rendered.contains("bit-flip"), "{rendered}");
+    }
+}

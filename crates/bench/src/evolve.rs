@@ -27,6 +27,7 @@
 //! [`SpmvServer::register_evolving`]: spaden_serve::SpmvServer::register_evolving
 //! [`UpdateFault`]: spaden::UpdateFault
 
+use crate::verdict::Verdict;
 use crate::Table;
 use spaden::{AbftChecksums, EvolveConfig, EvolvingMatrix, UpdateFault};
 use spaden_gpusim::{Gpu, GpuConfig};
@@ -557,7 +558,7 @@ fn classify_row(plan: &EvolvePlan, u: &ScheduledUpdate) -> DeltaClass {
 /// Runs the scenario on `gpu` and renders the update ledger, the
 /// serving-during-updates window curve, the verdict checks, and the
 /// one-line `EVOLVE` verdict string.
-pub fn evolve_report(gpu: &GpuConfig, cfg: &EvolveScenario) -> (Vec<Table>, String, EvolveReport) {
+pub fn evolve_report(gpu: &GpuConfig, cfg: &EvolveScenario) -> (Vec<Table>, Verdict, EvolveReport) {
     let report = run_evolve(gpu, cfg);
 
     let mut ledger = Table::new(
@@ -606,7 +607,7 @@ pub fn evolve_report(gpu: &GpuConfig, cfg: &EvolveScenario) -> (Vec<Table>, Stri
         ]);
     }
 
-    let verdict = format!(
+    let verdict = Verdict::new(report.ok(), format!(
         "EVOLVE {}: {} epochs committed, {} reads epoch-verified, min window availability {:.3}, {}/{} checks passed",
         if report.ok() { "OK" } else { "FAIL" },
         report.updates.iter().filter(|r| r.outcome.is_ok()).count(),
@@ -614,7 +615,7 @@ pub fn evolve_report(gpu: &GpuConfig, cfg: &EvolveScenario) -> (Vec<Table>, Stri
         report.min_window_availability,
         report.checks.iter().filter(|c| c.pass).count(),
         report.checks.len(),
-    );
+    ));
     (vec![ledger, checks], verdict, report)
 }
 
@@ -627,7 +628,8 @@ mod tests {
     fn smoke_scenario_passes_every_check() {
         let (tables, verdict, report) = evolve_report(&GpuConfig::l40(), &EvolveScenario::smoke());
         assert!(report.ok(), "checks: {:#?}", report.checks);
-        assert!(verdict.starts_with("EVOLVE OK"), "{verdict}");
+        assert!(verdict.pass, "{verdict}");
+        assert!(verdict.line.starts_with("EVOLVE OK"), "{verdict}");
         assert_eq!(tables.len(), 2);
         let ledger = tables[0].to_string();
         assert!(ledger.contains("ROLLBACK"), "{ledger}");

@@ -643,6 +643,7 @@ pub fn fault_sweep(
     datasets: &[Dataset],
     rates: &[f64],
     trials: usize,
+    seed: u64,
 ) -> (Table, FaultStats) {
     use spaden::{SpadenEngine, SpmvEngine};
     use spaden_gpusim::FaultConfig;
@@ -668,7 +669,7 @@ pub fn fault_sweep(
         let row_nnz: Vec<usize> = (0..ds.csr.nrows).map(|r| ds.csr.row_nnz(r)).collect();
         for (ri, &rate) in rates.iter().enumerate() {
             let mut cfg = config.clone();
-            cfg.faults = FaultConfig::uniform(0xFA + (di * 16 + ri) as u64, rate);
+            cfg.faults = FaultConfig::uniform(seed + (di * 16 + ri) as u64, rate);
             let gpu = Gpu::new(cfg);
             let eng = match SpadenEngine::try_prepare(&gpu, &ds.csr) {
                 Ok(e) => e,
@@ -820,7 +821,7 @@ mod tests {
     fn fault_sweep_has_no_silent_corruption_and_corrects() {
         let datasets: Vec<Dataset> =
             spaden_sparse::datasets::ALL_DATASETS[..2].iter().map(|d| d.generate(0.01)).collect();
-        let (t, s) = fault_sweep(GpuConfig::l40(), &datasets, &[1e-4, 1e-3], 4);
+        let (t, s) = fault_sweep(GpuConfig::l40(), &datasets, &[1e-4, 1e-3], 4, 0xFA);
         assert_eq!(s.runs, 2 * 2 * 4);
         assert!(s.faulted > 0, "rates up to 1e-3 must inject something");
         assert_eq!(s.detected, s.corrupted, "silent corruption");

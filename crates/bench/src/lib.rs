@@ -15,6 +15,7 @@
 
 pub mod batching;
 pub mod bench9;
+pub mod chaos10;
 pub mod evolve;
 pub mod experiments;
 pub mod harness;
@@ -26,11 +27,13 @@ pub mod serving;
 pub mod sharding;
 pub mod table;
 pub mod traffic;
+pub mod verdict;
 
 pub use batching::{batch_report, run_batch_bench, BatchBenchConfig, BatchPoint, BatchReport};
 pub use bench9::{
     bench_summary_json, bench_summary_tables, run_bench_summary, BenchSummary, EngineGflops,
 };
+pub use chaos10::chaos_report;
 pub use evolve::{evolve_report, run_evolve, EvolveReport, EvolveScenario};
 pub use experiments::*;
 pub use harness::BenchGroup;
@@ -42,6 +45,7 @@ pub use serving::serve_report;
 pub use sharding::shard_report;
 pub use table::Table;
 pub use traffic::traffic_report;
+pub use verdict::Verdict;
 
 use spaden_sparse::datasets::{Dataset, ALL_DATASETS};
 

@@ -15,6 +15,7 @@
 //! The verdict line (`PLAN OK` / `PLAN FAIL`) is what CI's plan smoke job
 //! greps for.
 
+use crate::verdict::Verdict;
 use crate::registry::try_build_engine;
 use crate::table::Table;
 use crate::make_x;
@@ -181,7 +182,7 @@ fn oracle_times(gpu: &Gpu, csr: &Csr, x: &[f32]) -> Vec<(EngineKind, f64)> {
 
 /// Runs the selection study and the cache budget sweep, renders the
 /// tables, and returns the verdict line.
-pub fn plan_report(gpus: &[GpuConfig]) -> (Vec<Table>, String, PlanReport) {
+pub fn plan_report(gpus: &[GpuConfig]) -> (Vec<Table>, Verdict, PlanReport) {
     let corpus = plan_corpus();
 
     // ---- Selection accuracy vs the exhaustive oracle -------------------
@@ -353,7 +354,7 @@ pub fn plan_report(gpus: &[GpuConfig]) -> (Vec<Table>, String, PlanReport) {
         cases,
         budgets: budget_cells,
     };
-    let verdict = format!(
+    let verdict = Verdict::new(report.ok(), format!(
         "PLAN {}: selector matched oracle on {}/{} cases ({:.0}%, floor {:.0}%; {} exact top-1), \
          geomean regret {:.3}x, budgets respected: {}, repeat hit rate at full budget: {}",
         if report.ok() { "OK" } else { "FAIL" },
@@ -365,7 +366,7 @@ pub fn plan_report(gpus: &[GpuConfig]) -> (Vec<Table>, String, PlanReport) {
         geomean_regret,
         if budgets_respected { "yes" } else { "NO" },
         if repeats_all_hit { "100%" } else { "NOT 100%" },
-    );
+    ));
     (vec![scatter, model, budget_table], verdict, report)
 }
 
@@ -379,7 +380,8 @@ mod tests {
         assert_eq!(tables.len(), 3);
         assert!(report.budgets_respected, "{verdict}");
         assert!(report.repeats_all_hit, "{verdict}");
-        assert!(verdict.starts_with("PLAN OK"), "{verdict}");
+        assert!(verdict.pass, "{verdict}");
+        assert!(verdict.line.starts_with("PLAN OK"), "{verdict}");
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! rendered with an `injected:` prefix so CI can fail on any `WalError`
 //! printed *outside* the injection phase.
 
+use crate::verdict::Verdict;
 use crate::evolve::{oracle_tol, structural_batch, value_only_batch};
 use crate::Table;
 use spaden::{EvolveConfig, UpdateFault};
@@ -486,7 +487,7 @@ pub fn run_recover(gpu: &GpuConfig, cfg: &RecoverScenario) -> RecoverReport {
 pub fn recover_report(
     gpu: &GpuConfig,
     cfg: &RecoverScenario,
-) -> (Vec<Table>, String, RecoverReport) {
+) -> (Vec<Table>, Verdict, RecoverReport) {
     let report = run_recover(gpu, cfg);
 
     let mut ledger = Table::new(
@@ -533,7 +534,7 @@ pub fn recover_report(
         ]);
     }
 
-    let verdict = format!(
+    let verdict = Verdict::new(report.ok(), format!(
         "RECOVER {}: {} crash points bit-identical, {} fault injections held the contract, {}/{} reopened reads verified, {}/{} checks passed",
         if report.ok() { "OK" } else { "FAIL" },
         report.crash_points.iter().filter(|r| r.identical).count(),
@@ -542,7 +543,7 @@ pub fn recover_report(
         report.reads_offered,
         report.checks.iter().filter(|c| c.pass).count(),
         report.checks.len(),
-    );
+    ));
     (vec![ledger, faults, checks], verdict, report)
 }
 
@@ -616,7 +617,8 @@ mod tests {
         for c in &report.checks {
             assert!(c.pass, "check failed: {} — {}", c.name, c.detail);
         }
-        assert!(verdict.starts_with("RECOVER OK"), "{verdict}");
+        assert!(verdict.pass, "{verdict}");
+        assert!(verdict.line.starts_with("RECOVER OK"), "{verdict}");
         assert_eq!(tables.len(), 3);
         // Kill points: one per committed epoch, plus registration, plus
         // one synthesized pre-snapshot point per installed checkpoint.
@@ -646,7 +648,7 @@ mod tests {
     fn json_report_is_complete_and_balanced() {
         let cfg = RecoverScenario::smoke();
         let (_, verdict, report) = recover_report(&GpuConfig::l40(), &cfg);
-        let json = recover_report_json(&GpuConfig::l40(), &cfg, &verdict, &report);
+        let json = recover_report_json(&GpuConfig::l40(), &cfg, &verdict.line, &report);
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),

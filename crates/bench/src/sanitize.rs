@@ -21,6 +21,7 @@
 //! The verdict line (`SAN OK` / `SAN FAIL`) is what CI's sanitize job
 //! greps for.
 
+use crate::verdict::Verdict;
 use crate::registry::{try_build_engine, ALL_ENGINES};
 use crate::table::Table;
 use crate::make_x;
@@ -135,7 +136,7 @@ fn fmt_report(r: Option<&SanReport>) -> String {
 
 /// Runs the three-part sanitizer certification, renders the tables, and
 /// returns the verdict line.
-pub fn sanitize_report(gpus: &[GpuConfig]) -> (Vec<Table>, String, SanitizeReport) {
+pub fn sanitize_report(gpus: &[GpuConfig]) -> (Vec<Table>, Verdict, SanitizeReport) {
     let cfg = gpus.first().cloned().unwrap_or_else(GpuConfig::l40);
     let corpus = clean_corpus();
 
@@ -341,7 +342,7 @@ pub fn sanitize_report(gpus: &[GpuConfig]) -> (Vec<Table>, String, SanitizeRepor
         hazards_demoted,
         hazard_cases,
     };
-    let verdict = format!(
+    let verdict = Verdict::new(report.ok(), format!(
         "SAN {}: {} clean cells with {} violations and {} bit mismatches; \
          {}/{} injected hazard classes detected; {}/{} edge cases resolved; \
          {}/{} f16 hazard cases demoted off the tensor-core rung",
@@ -355,7 +356,7 @@ pub fn sanitize_report(gpus: &[GpuConfig]) -> (Vec<Table>, String, SanitizeRepor
         report.ladder_cases,
         report.hazards_demoted,
         report.hazard_cases,
-    );
+    ));
     (vec![clean, inject, ladder], verdict, report)
 }
 
@@ -370,7 +371,8 @@ mod tests {
         assert_eq!(report.clean_violations, 0, "{verdict}");
         assert_eq!(report.bit_mismatches, 0, "{verdict}");
         assert_eq!(report.injection_detected, report.injection_classes, "{verdict}");
-        assert!(verdict.starts_with("SAN OK"), "{verdict}");
+        assert!(verdict.pass, "{verdict}");
+        assert!(verdict.line.starts_with("SAN OK"), "{verdict}");
     }
 
     #[test]

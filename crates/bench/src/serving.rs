@@ -8,13 +8,14 @@
 //! fault burst and recover after it, and the p50/p99 simulated latencies
 //! quantify the cost of degraded service.
 
+use crate::verdict::Verdict;
 use crate::Table;
 use spaden_gpusim::GpuConfig;
 use spaden_serve::{chaos_sweep, ChaosConfig, ChaosReport, Rung};
 
 /// Runs the chaos sweep on `gpu` and renders the per-cell outcome table,
 /// the latency table, and a one-line SLO verdict string.
-pub fn serve_report(gpu: &GpuConfig, cfg: &ChaosConfig) -> (Vec<Table>, String, ChaosReport) {
+pub fn serve_report(gpu: &GpuConfig, cfg: &ChaosConfig) -> (Vec<Table>, Verdict, ChaosReport) {
     let report = chaos_sweep(gpu, cfg);
 
     let mut outcomes = Table::new(
@@ -60,14 +61,14 @@ pub fn serve_report(gpu: &GpuConfig, cfg: &ChaosConfig) -> (Vec<Table>, String, 
         ]);
     }
 
-    let verdict = format!(
+    let verdict = Verdict::new(report.slo_holds(), format!(
         "SLO {}: {} requests, {} silently wrong, {} breaker trips, {} recoveries",
         if report.slo_holds() { "HELD" } else { "VIOLATED" },
         report.submitted(),
         report.silent_wrong(),
         report.trips(),
         report.recoveries(),
-    );
+    ));
     (vec![outcomes, latency], verdict, report)
 }
 
@@ -88,7 +89,8 @@ mod tests {
         assert_eq!(tables.len(), 2);
         assert_eq!(report.cells.len(), 2);
         assert!(report.slo_holds());
-        assert!(verdict.starts_with("SLO HELD"), "{verdict}");
+        assert!(verdict.pass, "{verdict}");
+        assert!(verdict.line.starts_with("SLO HELD"), "{verdict}");
         let rendered = tables[0].to_string();
         assert!(rendered.contains("Serving outcomes"));
         assert!(rendered.contains("trips"));

@@ -10,6 +10,7 @@
 //! availability with a device killed mid-stream, and speculation
 //! improving straggler p99.
 
+use crate::verdict::Verdict;
 use crate::Table;
 use spaden::gpusim::{DeviceFaultConfig, GpuConfig};
 use spaden::sparse::gen;
@@ -193,7 +194,7 @@ fn health_table(gpu: &GpuConfig) -> Table {
 
 /// Runs the full `repro shard` experiment: scaling, speculation,
 /// device chaos, and per-device health, with a one-line SLO verdict.
-pub fn shard_report(gpu: &GpuConfig, cfg: &DeviceChaosConfig) -> (Vec<Table>, String, DeviceChaosReport) {
+pub fn shard_report(gpu: &GpuConfig, cfg: &DeviceChaosConfig) -> (Vec<Table>, Verdict, DeviceChaosReport) {
     let scaling = scaling_table(gpu);
     let (speculation, spec_beats) = speculation_table(gpu);
     let report = device_chaos_sweep(gpu, cfg);
@@ -206,7 +207,7 @@ pub fn shard_report(gpu: &GpuConfig, cfg: &DeviceChaosConfig) -> (Vec<Table>, St
         .filter(|c| c.profile == DeviceProfile::KillOneMidBatch)
         .map(|c| c.success_rate())
         .fold(1.0f64, f64::min);
-    let verdict = format!(
+    let verdict = Verdict::new(report.slo_holds() && spec_beats, format!(
         "SLO {}: {} requests, {} silently wrong, {:.1}% served with a device killed mid-stream, \
          speculation {} no-speculation on straggler p99",
         if report.slo_holds() && spec_beats { "HELD" } else { "VIOLATED" },
@@ -214,7 +215,7 @@ pub fn shard_report(gpu: &GpuConfig, cfg: &DeviceChaosConfig) -> (Vec<Table>, St
         report.silent_wrong(),
         kill_rate * 100.0,
         if spec_beats { "beats" } else { "misses" },
-    );
+    ));
     (vec![scaling, speculation, chaos, health], verdict, report)
 }
 
@@ -231,7 +232,8 @@ mod tests {
         let (tables, verdict, report) = shard_report(&GpuConfig::l40(), &cfg);
         assert_eq!(tables.len(), 4);
         assert_eq!(report.cells.len(), 3);
-        assert!(verdict.starts_with("SLO HELD"), "{verdict}");
+        assert!(verdict.pass, "{verdict}");
+        assert!(verdict.line.starts_with("SLO HELD"), "{verdict}");
         let rendered = tables[0].to_string();
         assert!(rendered.contains("device count"));
         assert!(tables[3].to_string().contains("Per-device health"));

@@ -7,6 +7,7 @@
 //! brownout, and zero unverified results in any degraded mode. CI's
 //! traffic-smoke job greps the `TRAFFIC` verdict line.
 
+use crate::verdict::Verdict;
 use crate::Table;
 use spaden_gpusim::GpuConfig;
 use spaden_serve::Priority;
@@ -43,7 +44,7 @@ fn push_scenario_row(table: &mut Table, label: String, s: &TrafficSummary) {
 
 /// Runs the sweep on `gpu` and renders the degradation-curve table, the
 /// shed/SLO table, and the one-line `TRAFFIC` verdict string.
-pub fn traffic_report(gpu: &GpuConfig, cfg: &SweepConfig) -> (Vec<Table>, String, TrafficReport) {
+pub fn traffic_report(gpu: &GpuConfig, cfg: &SweepConfig) -> (Vec<Table>, Verdict, TrafficReport) {
     let report = traffic_sweep(gpu, cfg);
 
     let mut curve = Table::new(
@@ -103,7 +104,7 @@ pub fn traffic_report(gpu: &GpuConfig, cfg: &SweepConfig) -> (Vec<Table>, String
         ]);
     }
 
-    let verdict = format!(
+    let verdict = Verdict::new(report.ok(), format!(
         "TRAFFIC {}: capacity {:.0} rps, max sustained {:.0} rps at >= {:.0}% availability, {}/{} checks passed",
         if report.ok() { "OK" } else { "FAIL" },
         report.capacity_rps,
@@ -111,7 +112,7 @@ pub fn traffic_report(gpu: &GpuConfig, cfg: &SweepConfig) -> (Vec<Table>, String
         cfg.min_availability * 100.0,
         report.checks.iter().filter(|c| c.pass).count(),
         report.checks.len(),
-    );
+    ));
     (vec![curve, windows, checks], verdict, report)
 }
 
@@ -131,7 +132,8 @@ mod tests {
         assert_eq!(tables.len(), 3);
         assert_eq!(report.points.len(), 2);
         assert!(report.ok(), "verdict checks: {:?}", report.checks);
-        assert!(verdict.starts_with("TRAFFIC OK"), "{verdict}");
+        assert!(verdict.pass, "{verdict}");
+        assert!(verdict.line.starts_with("TRAFFIC OK"), "{verdict}");
         let rendered = tables[0].to_string();
         assert!(rendered.contains("saturation sweep"));
         let windows = tables[1].to_string();

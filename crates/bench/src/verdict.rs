@@ -1,0 +1,47 @@
+//! Typed experiment verdicts.
+//!
+//! Every `*_report` function used to return its verdict as a bare
+//! `String`, which forced CI to grep for `OK` substrings. A [`Verdict`]
+//! carries the pass/fail bit alongside the human-readable line, so the
+//! `repro` binary can exit nonzero on any failed experiment and CI can
+//! gate on exit codes instead of output scraping.
+
+use std::fmt;
+
+/// One experiment's verdict: the machine-checkable outcome plus the
+/// one-line summary that has always been printed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdict {
+    /// Whether every check behind the verdict passed.
+    pub pass: bool,
+    /// The printable verdict line (e.g. `EVOLVE OK: ...`).
+    pub line: String,
+}
+
+impl Verdict {
+    /// Builds a verdict from the pass bit and the rendered line.
+    pub fn new(pass: bool, line: impl Into<String>) -> Self {
+        Verdict { pass, line: line.into() }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_the_line_and_keeps_the_bit() {
+        let v = Verdict::new(true, "X OK: fine");
+        assert!(v.pass);
+        assert_eq!(v.to_string(), "X OK: fine");
+        let f = Verdict::new(false, format!("X FAIL: {} checks", 2));
+        assert!(!f.pass);
+        assert_eq!(f.to_string(), "X FAIL: 2 checks");
+    }
+}

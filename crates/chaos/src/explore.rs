@@ -1,0 +1,203 @@
+//! Seed exploration: many schedules, one verdict.
+//!
+//! The explorer generates one [`ChaosSchedule`] per seed, runs each
+//! through the orchestrator, replays every `replay_every`-th schedule
+//! to certify per-seed digest determinism, and — on the first invariant
+//! violation — invokes the shrinker and renders the minimal reproducer
+//! as a replay file. Exploration stops at the first violation: chaos
+//! findings are for fixing, not collecting.
+
+use crate::replay::ReplayFile;
+use crate::run::{run_schedule, ScenarioOutcome};
+use crate::schedule::{ChaosProfile, ChaosSchedule};
+use crate::shrink::shrink;
+use spaden_gpusim::GpuConfig;
+use spaden_serve::Weaken;
+
+/// Shape of one exploration sweep.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Schedules to explore (consecutive seeds from `seed0`).
+    pub schedules: usize,
+    /// First seed.
+    pub seed0: u64,
+    /// The schedule generator.
+    pub profile: ChaosProfile,
+    /// Test-only verification weakening (always [`Weaken::None`] in
+    /// production sweeps).
+    pub weaken: Weaken,
+    /// Replay every n-th schedule and compare digests (0 = never).
+    pub replay_every: usize,
+}
+
+impl ExploreConfig {
+    /// The full acceptance sweep: 200 schedules.
+    pub fn full(seed0: u64) -> Self {
+        ExploreConfig {
+            schedules: 200,
+            seed0,
+            profile: ChaosProfile::default(),
+            weaken: Weaken::None,
+            replay_every: 8,
+        }
+    }
+
+    /// The CI smoke sweep: bounded schedule count, same structure.
+    pub fn smoke(seed0: u64) -> Self {
+        ExploreConfig { schedules: 24, ..ExploreConfig::full(seed0) }
+    }
+}
+
+/// One explored schedule's summary row.
+#[derive(Debug, Clone)]
+pub struct ScheduleRow {
+    /// The schedule's seed.
+    pub seed: u64,
+    /// Fault events in the schedule.
+    pub events: usize,
+    /// Most fault families simultaneously active.
+    pub simultaneous: usize,
+    /// Arrivals offered (base + flash crowds).
+    pub offered: usize,
+    /// Verified results served.
+    pub served: usize,
+    /// Updates committed / rolled back.
+    pub commits: u64,
+    /// Updates rolled back.
+    pub rollbacks: u64,
+    /// Crash-point recovery audits.
+    pub crash_checks: usize,
+    /// Invariant violations (0 on a sound build).
+    pub violations: usize,
+    /// Scenario digest (determinism certificate).
+    pub digest: u64,
+}
+
+/// The first caught violation, shrunk.
+#[derive(Debug, Clone)]
+pub struct CaughtViolation {
+    /// Seed of the violating schedule.
+    pub seed: u64,
+    /// Violations of the original schedule.
+    pub violations: Vec<String>,
+    /// The shrunk minimal schedule.
+    pub shrunk: ChaosSchedule,
+    /// Violations of the shrunk schedule.
+    pub shrunk_violations: Vec<String>,
+    /// Scenario runs the shrink cost.
+    pub shrink_runs: usize,
+    /// The rendered replay file for `repro chaos --replay`.
+    pub replay: String,
+}
+
+/// Everything one exploration sweep produced.
+#[derive(Debug, Clone)]
+pub struct ChaosFindings {
+    /// Per-schedule rows, in seed order (stops after a violation).
+    pub rows: Vec<ScheduleRow>,
+    /// Schedules explored.
+    pub explored: usize,
+    /// Fewest simultaneously-active families over the sweep.
+    pub min_simultaneous: usize,
+    /// Determinism replays performed.
+    pub determinism_replays: usize,
+    /// Whether every replay reproduced its digest.
+    pub determinism_ok: bool,
+    /// The first violation, shrunk — `None` on a clean sweep.
+    pub caught: Option<CaughtViolation>,
+}
+
+impl ChaosFindings {
+    /// Total invariant violations over the sweep.
+    pub fn total_violations(&self) -> usize {
+        self.rows.iter().map(|r| r.violations).sum()
+    }
+}
+
+/// Runs the sweep.
+pub fn explore(gpu: &GpuConfig, cfg: &ExploreConfig) -> ChaosFindings {
+    let mut rows = Vec::with_capacity(cfg.schedules);
+    let mut min_simultaneous = usize::MAX;
+    let mut determinism_replays = 0usize;
+    let mut determinism_ok = true;
+    let mut caught = None;
+
+    for i in 0..cfg.schedules {
+        let seed = cfg.seed0 + i as u64;
+        let sched = cfg.profile.schedule(seed);
+        let out = run_schedule(gpu, &sched, cfg.weaken);
+        min_simultaneous = min_simultaneous.min(sched.simultaneous_families());
+        if cfg.replay_every > 0 && i % cfg.replay_every == cfg.replay_every - 1 {
+            determinism_replays += 1;
+            let replay = run_schedule(gpu, &sched, cfg.weaken);
+            determinism_ok &= replay.digest == out.digest;
+        }
+        let violating = !out.violations.is_empty();
+        rows.push(row(seed, &sched, &out));
+        if violating {
+            let r = shrink(gpu, &sched, cfg.weaken);
+            let replay =
+                ReplayFile { schedule: r.schedule.clone(), weaken: cfg.weaken }.serialize();
+            caught = Some(CaughtViolation {
+                seed,
+                violations: out.violations,
+                shrunk: r.schedule,
+                shrunk_violations: r.violations,
+                shrink_runs: r.runs,
+                replay,
+            });
+            break;
+        }
+    }
+
+    ChaosFindings {
+        explored: rows.len(),
+        min_simultaneous: if rows.is_empty() { 0 } else { min_simultaneous },
+        determinism_replays,
+        determinism_ok,
+        caught,
+        rows,
+    }
+}
+
+fn row(seed: u64, sched: &ChaosSchedule, out: &ScenarioOutcome) -> ScheduleRow {
+    ScheduleRow {
+        seed,
+        events: sched.events.len(),
+        simultaneous: sched.simultaneous_families(),
+        offered: out.offered,
+        served: out.served,
+        commits: out.commits,
+        rollbacks: out.rollbacks,
+        crash_checks: out.crash_checks.len(),
+        violations: out.violations.len(),
+        digest: out.digest,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_clean_sweep_has_no_violations_and_is_deterministic() {
+        let cfg = ExploreConfig {
+            schedules: 3,
+            replay_every: 2,
+            ..ExploreConfig::smoke(40)
+        };
+        let gpu = GpuConfig::l40();
+        let f = explore(&gpu, &cfg);
+        assert_eq!(f.explored, 3);
+        assert_eq!(f.total_violations(), 0);
+        assert!(f.caught.is_none());
+        assert!(f.determinism_replays >= 1);
+        assert!(f.determinism_ok);
+        assert!(f.min_simultaneous >= cfg.profile.min_families);
+        let g = explore(&gpu, &cfg);
+        assert_eq!(
+            f.rows.iter().map(|r| r.digest).collect::<Vec<_>>(),
+            g.rows.iter().map(|r| r.digest).collect::<Vec<_>>(),
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Automatic failure shrinking: delta debugging over the fault
+//! schedule, then over the arrival count.
+//!
+//! Because a [`ChaosSchedule`] regenerates its entire world (batches,
+//! arrivals, truth chain) from the seed plus the event list, *every*
+//! subset of the events is itself a valid schedule — the precondition
+//! ddmin needs. The shrinker first minimizes the event list with
+//! classic delta debugging (Zeller's ddmin: try chunks, then
+//! complements, refine granularity), then halves the base arrival count
+//! while the violation persists. The result is the smallest
+//! counterexample this procedure can certify, ready for a replay file.
+
+use crate::run::run_schedule;
+use crate::schedule::ChaosSchedule;
+use spaden_gpusim::GpuConfig;
+use spaden_serve::Weaken;
+
+/// What the shrinker ended with.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The minimal failing schedule.
+    pub schedule: ChaosSchedule,
+    /// Violations of the minimal schedule (non-empty by construction).
+    pub violations: Vec<String>,
+    /// Scenario runs the shrink cost.
+    pub runs: usize,
+}
+
+/// Shrinks a failing schedule to a minimal one that still violates an
+/// invariant. `sched` must already fail (the caller found it); if it
+/// does not, it is returned unshrunk with the empty violation list.
+pub fn shrink(gpu: &GpuConfig, sched: &ChaosSchedule, weaken: Weaken) -> ShrinkResult {
+    let mut runs = 0usize;
+    let mut fails = |s: &ChaosSchedule| -> Option<Vec<String>> {
+        runs += 1;
+        let out = run_schedule(gpu, s, weaken);
+        (!out.violations.is_empty()).then_some(out.violations)
+    };
+
+    let mut best = sched.clone();
+    let Some(mut violations) = fails(&best) else {
+        return ShrinkResult { schedule: best, violations: Vec::new(), runs };
+    };
+
+    // Phase 1: ddmin over the event list.
+    let mut n = 2usize;
+    while best.events.len() >= 2 {
+        let len = best.events.len();
+        let chunk = len.div_ceil(n.min(len));
+        let mut reduced = false;
+        // Try each chunk alone, then each complement.
+        for keep_complement in [false, true] {
+            for start in (0..len).step_by(chunk) {
+                let subset: Vec<_> = if keep_complement {
+                    best.events
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i < start || *i >= start + chunk)
+                        .map(|(_, e)| e.clone())
+                        .collect()
+                } else {
+                    best.events[start..(start + chunk).min(len)].to_vec()
+                };
+                if subset.is_empty() || subset.len() == len {
+                    continue;
+                }
+                let candidate = ChaosSchedule { events: subset, ..best.clone() };
+                if let Some(v) = fails(&candidate) {
+                    best = candidate;
+                    violations = v;
+                    n = 2;
+                    reduced = true;
+                    break;
+                }
+            }
+            if reduced {
+                break;
+            }
+        }
+        if !reduced {
+            if n >= len {
+                break;
+            }
+            n = (n * 2).min(len);
+        }
+    }
+
+    // Phase 2: halve the base arrival count while the violation holds.
+    while best.arrivals >= 8 {
+        let candidate = ChaosSchedule { arrivals: best.arrivals / 2, ..best.clone() };
+        match fails(&candidate) {
+            Some(v) => {
+                best = candidate;
+                violations = v;
+            }
+            None => break,
+        }
+    }
+
+    ShrinkResult { schedule: best, violations, runs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChaosProfile;
+
+    #[test]
+    fn passing_schedule_is_returned_unshrunk() {
+        let sched = ChaosProfile::default().schedule(21);
+        let r = shrink(&GpuConfig::l40(), &sched, Weaken::None);
+        assert!(r.violations.is_empty());
+        assert_eq!(r.schedule, sched);
+        assert_eq!(r.runs, 1);
+    }
+}

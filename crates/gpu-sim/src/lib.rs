@@ -28,6 +28,7 @@ pub mod exec;
 pub mod fault;
 pub mod fragment;
 pub mod half;
+pub mod inject;
 pub mod memory;
 pub mod mma;
 pub mod san;
@@ -40,6 +41,7 @@ pub use exec::{Gpu, WarpCtx, WARP_SIZE};
 pub use fault::{FaultConfig, FaultInjector};
 pub use fragment::{FragKind, Fragment, FRAG_DIM, REGS_PER_LANE};
 pub use half::{ConvertHazard, F16};
+pub use inject::InjectionConfig;
 pub use memory::{DeviceBuffer, DeviceOutput, DeviceScalar};
 pub use san::{HazardKind, SanConfig, SanReport};
 pub use timing::{estimate_time, SimTime};

@@ -85,5 +85,5 @@ pub use queue::{
 pub use server::{
     BatchConfig, MatrixHandle, OpenOutcome, OpenRequest, RecoveryReport, Request, Rung,
     ScheduledUpdate, ServeConfig, ServeError, ServeStats, ServedOk, SpmvServer, UpdateOutcome,
-    RUNGS,
+    Weaken, RUNGS,
 };

@@ -74,7 +74,7 @@ use spaden::{
 };
 use spaden_baselines::CusparseCsrEngine;
 use spaden_gpusim::half::F16;
-use spaden_gpusim::{DeviceFaultConfig, FaultConfig, Gpu, GpuConfig};
+use spaden_gpusim::{DeviceFaultConfig, FaultConfig, Gpu, GpuConfig, InjectionConfig};
 use spaden_plan::{predict_spmm_time, predict_time, EngineKind, MatrixStats};
 use spaden_shard::{
     DeviceFleet, PartitionCache, PartitionCacheStats, PartitionKey, ShardError, ShardPolicy,
@@ -193,6 +193,21 @@ impl BatchConfig {
     }
 }
 
+/// Test-only weakening hooks for the chaos orchestrator's
+/// catch-the-bug demonstration: each variant disables exactly one
+/// verification step so the global invariant oracle can prove it would
+/// notice. Production configs must always use [`Weaken::None`] — the
+/// other variants exist to be caught.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Weaken {
+    /// All verification intact (the only sound configuration).
+    #[default]
+    None,
+    /// Skip the f32 checksum verification on the CSR baseline rung, so
+    /// a corrupted bottom-rung result is served as if verified.
+    SkipCsrVerify,
+}
+
 /// Serving policy knobs. All times are simulated seconds.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -230,6 +245,10 @@ pub struct ServeConfig {
     /// same-matrix requests into one verified SpMM sweep. Disabled by
     /// default (bit-identical to the per-request server).
     pub batch: BatchConfig,
+    /// Test-only verification weakening (see [`Weaken`]). Always
+    /// [`Weaken::None`] outside the chaos orchestrator's
+    /// catch-the-bug tests.
+    pub weaken: Weaken,
 }
 
 impl Default for ServeConfig {
@@ -251,6 +270,7 @@ impl Default for ServeConfig {
             device_faults: DeviceFaultConfig::disabled(),
             overload: OverloadConfig::default(),
             batch: BatchConfig::default(),
+            weaken: Weaken::None,
         }
     }
 }
@@ -735,6 +755,18 @@ impl SpmvServer {
         if let Some(fleet) = &mut self.fleet {
             fleet.set_bit_faults(faults);
         }
+    }
+
+    /// Atomically applies all three injection planes — kernel bit
+    /// faults, device failure processes, sanitizer arming — at one
+    /// simulated-time boundary (the chaos orchestrator's segment swap).
+    /// Equivalent to calling [`SpmvServer::set_fault_config`] and
+    /// [`SpmvServer::set_device_faults`] and setting the sanitizer
+    /// state, in one step.
+    pub fn set_injection(&mut self, inj: &InjectionConfig) {
+        self.gpu.config.san = inj.san;
+        self.set_fault_config(inj.faults);
+        self.set_device_faults(inj.device);
     }
 
     /// The sharded rung's fleet, when one is configured.
@@ -1776,7 +1808,7 @@ impl SpmvServer {
                         Err(e) => Err(e.to_engine_error()),
                     }
                 } else {
-                    Self::run_rung(&self.gpu, &m, rung, &req.x).map(|run| {
+                    Self::run_rung(&self.gpu, &m, rung, &req.x, self.config.weaken).map(|run| {
                         let seconds = run.time.seconds;
                         (run.y, seconds)
                     })
@@ -1840,12 +1872,14 @@ impl SpmvServer {
         }
     }
 
-    /// Runs one rung and verifies its output; `Ok` is always verified.
+    /// Runs one rung and verifies its output; `Ok` is always verified —
+    /// unless a test-only [`Weaken`] hook disables that rung's check.
     fn run_rung(
         gpu: &Gpu,
         m: &PreparedMatrix,
         rung: Rung,
         x: &[f32],
+        weaken: Weaken,
     ) -> Result<SpmvRun, EngineError> {
         match rung {
             Rung::Sharded => unreachable!("sharded rung is dispatched in serve_on"),
@@ -1866,6 +1900,9 @@ impl SpmvServer {
                 // The CSR engine is prepared from the full logical
                 // matrix — no side tail to add.
                 let run = m.csr.try_run(gpu, x)?;
+                if weaken == Weaken::SkipCsrVerify {
+                    return Ok(run);
+                }
                 let bad = m.sums.verify(x, &run.y);
                 if bad.is_empty() {
                     Ok(run)

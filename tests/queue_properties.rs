@@ -1,0 +1,140 @@
+//! Property tests for [`AdmissionQueue::pop_matching`] — the coalescing
+//! primitive the batching window drains same-matrix backlog with.
+//!
+//! Entries carry an `Arc` snapshot exactly like the batching window's
+//! queued requests do; the predicate is `Arc::ptr_eq` against the
+//! window's snapshot. The properties, checked against a reference
+//! model over seeded random workloads:
+//!
+//! 1. `pop_matching` returns the first matching entry scanning priority
+//!    classes strongest-first and FIFO within a class — never any other.
+//! 2. Every returned entry satisfies the `Arc::ptr_eq` predicate (a
+//!    batch is never filled with a request pinned to another snapshot).
+//! 3. Expiry discipline matches `pop`: a matching entry past its
+//!    deadline comes back `Expired` (and bumps the counter), one before
+//!    it comes back `Ready`.
+//! 4. Non-matching entries are left in place, in order.
+
+use spaden_serve::{Admitted, AdmissionQueue, Dequeued, Priority, PushOutcome};
+use spaden_sparse::Pcg64;
+use std::sync::Arc;
+
+/// What the batching window queues: a payload pinned to a snapshot.
+#[derive(Debug, Clone)]
+struct Queued {
+    snapshot: Arc<usize>,
+    seq: usize,
+}
+
+/// Reference model: per-class FIFO lists of (seq, snapshot id, expiry).
+#[derive(Default)]
+struct Model {
+    classes: [Vec<(usize, usize, Option<f64>)>; 3],
+}
+
+impl Model {
+    fn push(&mut self, p: Priority, seq: usize, snap: usize, expires: Option<f64>) {
+        self.classes[p as usize].push((seq, snap, expires));
+    }
+
+    /// First entry matching `snap`, classes strongest-first, FIFO within.
+    fn pop_matching(&mut self, snap: usize) -> Option<(usize, usize, Option<f64>)> {
+        for class in &mut self.classes {
+            if let Some(pos) = class.iter().position(|&(_, s, _)| s == snap) {
+                return Some(class.remove(pos));
+            }
+        }
+        None
+    }
+
+    fn len(&self) -> usize {
+        self.classes.iter().map(|c| c.len()).sum()
+    }
+}
+
+#[test]
+fn pop_matching_agrees_with_the_model_and_never_breaks_ptr_eq() {
+    // Three distinct snapshots: equal *values* on purpose, so any
+    // value-based comparison would conflate them — only pointer
+    // identity separates them, which is exactly what the batching
+    // window relies on.
+    let snapshots: [Arc<usize>; 3] = [Arc::new(7), Arc::new(7), Arc::new(7)];
+
+    for seed in 0..24u64 {
+        let mut rng = Pcg64::new(seed, 0x9e7);
+        let mut q: AdmissionQueue<Queued> = AdmissionQueue::new(1024);
+        let mut model = Model::default();
+        let mut now_s = 0.0f64;
+        let mut seq = 0usize;
+
+        for _step in 0..400 {
+            now_s += rng.range_f32(0.0, 1.0) as f64;
+            if rng.chance(0.55) || model.len() == 0 {
+                // Push a random entry; capacity is generous so no
+                // evictions disturb the order property.
+                let p = Priority::ALL[rng.below_usize(3)];
+                let snap = rng.below_usize(3);
+                let expires = rng.chance(0.4).then(|| now_s + rng.range_f32(-0.5, 2.0) as f64);
+                let item = Queued { snapshot: Arc::clone(&snapshots[snap]), seq };
+                match q.push(item, p, expires, 1024) {
+                    PushOutcome::Admitted => {}
+                    other => panic!("uncontended push must admit, got {other:?}"),
+                }
+                model.push(p, seq, snap, expires);
+                seq += 1;
+            } else {
+                // Drain one entry matching a randomly chosen snapshot,
+                // exactly the way the batching window coalesces.
+                let want = rng.below_usize(3);
+                let pred = |e: &Admitted<Queued>| Arc::ptr_eq(&e.item.snapshot, &snapshots[want]);
+                let got = q.pop_matching(now_s, pred);
+                let expect = model.pop_matching(want);
+                match (got, expect) {
+                    (None, None) => {}
+                    (Some(d), Some((eseq, esnap, eexp))) => {
+                        let (entry, expired) = match d {
+                            Dequeued::Ready(e) => (e, false),
+                            Dequeued::Expired(e, _) => (e, true),
+                        };
+                        // Property 1: the model's pick, not any other.
+                        assert_eq!(entry.item.seq, eseq, "seed {seed}: wrong entry dequeued");
+                        // Property 2: the snapshot pointer matches.
+                        assert!(
+                            Arc::ptr_eq(&entry.item.snapshot, &snapshots[want]),
+                            "seed {seed}: pop_matching returned an entry of another snapshot"
+                        );
+                        assert_eq!(esnap, want);
+                        // Property 3: expiry discipline mirrors pop.
+                        let should_expire = eexp.is_some_and(|t| now_s >= t);
+                        assert_eq!(
+                            expired, should_expire,
+                            "seed {seed}: expiry verdict diverged at now {now_s}"
+                        );
+                    }
+                    (got, expect) => panic!(
+                        "seed {seed}: queue and model disagree: queue {} vs model {}",
+                        if got.is_some() { "Some" } else { "None" },
+                        if expect.is_some() { "Some" } else { "None" },
+                    ),
+                }
+            }
+            assert_eq!(q.len(), model.len(), "seed {seed}: backlog sizes diverged");
+        }
+
+        // Property 4: drain the remainder with pop(); the survivors come
+        // out in the model's exact priority-then-FIFO order.
+        let mut rest = Vec::new();
+        while let Some(d) = q.pop(now_s) {
+            let entry = match d {
+                Dequeued::Ready(e) | Dequeued::Expired(e, _) => e,
+            };
+            rest.push(entry.item.seq);
+        }
+        let expected: Vec<usize> = model
+            .classes
+            .iter()
+            .flat_map(|c| c.iter().map(|&(s, _, _)| s))
+            .collect();
+        assert_eq!(rest, expected, "seed {seed}: survivors reordered");
+    }
+}
